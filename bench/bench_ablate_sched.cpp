@@ -1,0 +1,112 @@
+// Design ablation (§3.3): the global sequential dynamic scheduler vs static
+// partition striping.
+//
+// FlashR dispatches I/O partitions sequentially and dynamically. This bench
+// isolates the scheduler: workers process synthetic partitions whose cost is
+// heavily skewed (a heavy tail of expensive partitions), under (a) dynamic
+// batch dispatch and (b) static round-robin striping, and reports wall time
+// and worker imbalance.
+#include "bench_common.h"
+
+#include <atomic>
+#include <cmath>
+
+#include "common/rng.h"
+#include "parallel/scheduler.h"
+#include "parallel/thread_pool.h"
+
+using namespace flashr;
+using namespace flashr::bench;
+
+namespace {
+
+/// Busy work proportional to `units`.
+double spin(std::size_t units) {
+  double acc = 0;
+  for (std::size_t i = 0; i < units * 2000; ++i)
+    acc += std::sqrt(static_cast<double>(i) + acc * 1e-9);
+  return acc;
+}
+
+}  // namespace
+
+int main() {
+  bench_init("ablate_sched");
+  header("Ablation: sequential dynamic dispatch vs static striping",
+         "skewed partition costs; values: wall seconds and max/mean worker "
+         "load imbalance");
+
+  const std::size_t parts = 2048;
+  // Cost profile: every 8th partition 20x heavier — a periodic pattern whose
+  // stride aligns with the worker count, the adversarial case for static
+  // striping (e.g. block-boundary partitions that carry extra work). Random
+  // skew is also mixed in.
+  std::vector<std::size_t> cost(parts);
+  rng64 rng(5);
+  for (std::size_t i = 0; i < parts; ++i)
+    cost[i] = (i % 8 == 0) ? 200 : (rng.next_below(10) == 0 ? 60 : 10);
+
+  thread_pool pool(4);
+  volatile double sink = 0;
+
+  auto run_dynamic = [&](double& imbalance) {
+    part_scheduler sched(parts, pool.size(), conf().dispatch_batch);
+    std::vector<std::atomic<std::size_t>> load(
+        static_cast<std::size_t>(pool.size()));
+    timer t;
+    pool.run_all([&](int w) {
+      std::size_t b, e;
+      while (sched.fetch(b, e))
+        for (std::size_t i = b; i < e; ++i) {
+          sink = spin(cost[i]);
+          load[static_cast<std::size_t>(w)] += cost[i];
+        }
+    });
+    const double secs = t.seconds();
+    std::size_t mx = 0, total = 0;
+    for (auto& l : load) {
+      mx = std::max(mx, l.load());
+      total += l.load();
+    }
+    imbalance = static_cast<double>(mx) /
+                (static_cast<double>(total) / static_cast<double>(pool.size()));
+    return secs;
+  };
+
+  auto run_static = [&](double& imbalance) {
+    static_scheduler sched(parts, pool.size());
+    std::vector<std::atomic<std::size_t>> load(
+        static_cast<std::size_t>(pool.size()));
+    timer t;
+    pool.run_all([&](int w) {
+      std::size_t cursor = 0, part = 0;
+      while (sched.fetch(w, cursor, part)) {
+        sink = spin(cost[part]);
+        load[static_cast<std::size_t>(w)] += cost[part];
+      }
+    });
+    const double secs = t.seconds();
+    std::size_t mx = 0, total = 0;
+    for (auto& l : load) {
+      mx = std::max(mx, l.load());
+      total += l.load();
+    }
+    imbalance = static_cast<double>(mx) /
+                (static_cast<double>(total) / static_cast<double>(pool.size()));
+    return secs;
+  };
+
+  double imb_d = 0, imb_s = 0;
+  const double t_d = run_dynamic(imb_d);
+  const double t_s = run_static(imb_s);
+
+  std::vector<series_row> rows{
+      {"dynamic (FlashR)", {t_d, imb_d}},
+      {"static striping", {t_s, imb_s}},
+  };
+  print_table({"seconds", "imbalance"}, rows, "%10.3f");
+  std::printf("\nNote: with a single hardware core both schedulers serialize; "
+              "the imbalance column still shows the load-distribution "
+              "difference the dynamic scheduler exists to fix.\n");
+  return 0;
+}

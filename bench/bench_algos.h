@@ -1,0 +1,100 @@
+// The seven benchmark algorithms of §4.1 packaged for the figure benches.
+//
+// Iteration counts are FIXED (not run-to-convergence) so that every engine,
+// storage and execution mode runs the identical computation — the paper does
+// the same for its comparisons ("all iterative algorithms take the same
+// number of iterations"). Table 6 separately runs the iterative algorithms
+// to convergence.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/dense_matrix.h"
+#include "matrix/datasets.h"
+#include "ml/gmm.h"
+#include "ml/kmeans.h"
+#include "ml/lda.h"
+#include "ml/logistic.h"
+#include "ml/naive_bayes.h"
+#include "ml/pca.h"
+#include "ml/stats.h"
+
+namespace flashr::bench {
+
+inline constexpr int kLogisticIters = 10;
+inline constexpr int kKmeansIters = 5;
+inline constexpr int kKmeansK = 10;
+inline constexpr int kGmmIters = 3;
+inline constexpr int kGmmK = 4;
+
+struct bench_algo {
+  std::string name;
+  /// true: runs on the PageGraph-like data (clustering); false: Criteo-like.
+  bool clustering;
+  /// Relative dataset size (1 = the bench's base n); heavy algorithms run on
+  /// proportionally fewer rows so every bar takes comparable time.
+  double n_scale;
+  std::function<void(const dense_matrix& X, const dense_matrix& y)> run;
+};
+
+inline std::vector<bench_algo> benchmark_algorithms() {
+  return {
+      {"correlation", false, 1.0,
+       [](const dense_matrix& X, const dense_matrix&) {
+         ml::correlation(X);
+       }},
+      {"pca", false, 1.0,
+       [](const dense_matrix& X, const dense_matrix&) { ml::pca(X); }},
+      {"naive-bayes", false, 1.0,
+       [](const dense_matrix& X, const dense_matrix& y) {
+         ml::naive_bayes_train(X, y, 2);
+       }},
+      {"logistic", false, 0.5,
+       [](const dense_matrix& X, const dense_matrix& y) {
+         ml::logistic_options o;
+         o.max_iters = kLogisticIters;
+         o.loss_tol = 0;  // fixed iteration count
+         ml::logistic_regression(X, y, o);
+       }},
+      {"lda", false, 1.0,
+       [](const dense_matrix& X, const dense_matrix& y) {
+         ml::lda_train(X, y, 2);
+       }},
+      {"k-means", true, 0.5,
+       [](const dense_matrix& X, const dense_matrix&) {
+         ml::kmeans_options o;
+         o.max_iters = kKmeansIters;
+         o.seed = 7;
+         ml::kmeans(X, kKmeansK, o);
+       }},
+      {"gmm", true, 0.125,
+       [](const dense_matrix& X, const dense_matrix&) {
+         ml::gmm_options o;
+         o.max_iters = kGmmIters;
+         o.loglik_tol = 0;  // fixed iteration count
+         o.seed = 7;
+         ml::gmm_fit(X, kGmmK, o);
+       }},
+  };
+}
+
+/// Generate and place the two datasets at the requested scale.
+struct bench_data {
+  labeled_data criteo;
+  labeled_data pagegraph;
+};
+
+inline bench_data make_data(std::size_t n, storage st) {
+  labeled_data c = criteo_like(n, 31);
+  labeled_data g = pagegraph_like(n, kKmeansK, 37);
+  bench_data d;
+  d.criteo.X = conv_store(c.X, st);
+  d.criteo.y = conv_store(c.y, st);
+  d.pagegraph.X = conv_store(g.X, st);
+  d.pagegraph.y = g.y;
+  return d;
+}
+
+}  // namespace flashr::bench

@@ -1,0 +1,5 @@
+// Intentionally small: the harness is header-only except for this anchor,
+// which keeps a dedicated object file so the bench_common target exists.
+#include "bench_common.h"
+
+namespace flashr::bench {}

@@ -1,0 +1,61 @@
+// Figure 7b: the cloud experiment. FlashR-IM and FlashR-EM on one
+// i3.16xlarge (fast NVMe) vs the cluster systems. The observation the paper
+// highlights: "Because the NVMe in i3.16xlarge provide higher I/O throughput
+// than the SSDs in our local server, the performance gap between FlashR-IM
+// and FlashR-EM decreases."
+//
+// Substitution: hardware tiers are emulated with the engine's I/O throttle —
+// "local SSD array" runs EM with a reduced-throughput token bucket and
+// "NVMe" runs unthrottled. The claim reproduced is the *narrowing* of the
+// EM/IM gap as I/O throughput rises.
+#include "bench_algos.h"
+#include "bench_common.h"
+
+#include "io/safs.h"
+
+using namespace flashr;
+using namespace flashr::bench;
+
+int main() {
+  bench_init("fig7b");
+  const std::size_t n = base_n() / 4;
+  header("Figure 7b: EM/IM gap vs I/O throughput (cloud NVMe emulation)",
+         "values: runtime normalized to FlashR-IM = 1; slow-SSD tier is "
+         "throttled, NVMe tier is unthrottled");
+
+  // Calibrate the throttle to a fraction of what the fast tier achieves so
+  // the slow tier is genuinely I/O-bound on this machine.
+  const double slow_mbps = 150.0;
+  std::printf("base n = %zu; slow tier throttled to %.0f MB/s\n", n,
+              slow_mbps);
+
+  std::vector<series_row> rows;
+  for (const bench_algo& algo : benchmark_algorithms()) {
+    const std::size_t an =
+        static_cast<std::size_t>(static_cast<double>(n) * algo.n_scale);
+    labeled_data fresh = algo.clustering ? pagegraph_like(an, kKmeansK, 37)
+                                         : criteo_like(an, 31);
+    labeled_data d_im, d_em;
+    d_im.X = conv_store(fresh.X, storage::in_mem);
+    d_em.X = conv_store(fresh.X, storage::ext_mem);
+    if (fresh.y.valid()) {
+      d_im.y = conv_store(fresh.y, storage::in_mem);
+      d_em.y = conv_store(fresh.y, storage::ext_mem);
+    }
+
+    set_throttle(0);
+    const double t_im = time_once([&] { algo.run(d_im.X, d_im.y); });
+    set_throttle(slow_mbps);
+    const double t_slow = time_once([&] { algo.run(d_em.X, d_em.y); });
+    set_throttle(0);
+    const double t_nvme = time_once([&] { algo.run(d_em.X, d_em.y); });
+
+    rows.push_back({algo.name + " (n=" + std::to_string(an) + ")",
+                    {1.0, t_slow / t_im, t_nvme / t_im}});
+  }
+  set_throttle(0);
+  print_table({"IM", "EM-slowSSD", "EM-NVMe"}, rows, "%10.2f");
+  std::printf("\nExpected shape (paper): EM-NVMe column much closer to 1 "
+              "than EM-slowSSD for the I/O-bound algorithms.\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Table 4: computation and I/O complexity of the benchmark algorithms.
+//
+// The table itself is analytic; this bench validates it empirically on the
+// implementation: it measures runtime and exact I/O bytes while sweeping p
+// (correlation: compute O(n p^2) / I/O O(n p); naive bayes: both O(n p))
+// and k (k-means: compute O(n p k) / I/O O(n p), i.e. I/O flat in k), and
+// prints the measured growth factors next to the expected exponents.
+#include "bench_common.h"
+
+#include "io/safs.h"
+#include "ml/kmeans.h"
+#include "ml/naive_bayes.h"
+#include "ml/stats.h"
+
+using namespace flashr;
+using namespace flashr::bench;
+
+namespace {
+
+struct sample {
+  double seconds;
+  double mb;
+};
+
+sample measure(const std::function<void()>& fn) {
+  io_stats::global().reset();
+  timer t;
+  fn();
+  return {t.seconds(),
+          static_cast<double>(io_stats::global().read_bytes.load()) / (1 << 20)};
+}
+
+double factor(double a, double b) { return b / std::max(a, 1e-9); }
+
+}  // namespace
+
+int main() {
+  bench_init("table4");
+  const std::size_t n = base_n() / 10;
+  header("Table 4 (validation): measured runtime & I/O growth vs p and k",
+         "doubling p should double correlation I/O but ~4x its compute; "
+         "k-means I/O must be flat in k");
+  std::printf("n = %zu, external memory\n\n", n);
+
+  // p sweeps.
+  std::printf("%-14s %6s %12s %12s\n", "algorithm", "p", "runtime(s)",
+              "read (MB)");
+  std::vector<sample> corr, nb;
+  for (std::size_t p = 16; p <= 64; p *= 2) {
+    dense_matrix X =
+        conv_store(dense_matrix::rnorm(n, p, 0, 1, 3), storage::ext_mem);
+    dense_matrix y =
+        conv_store(dense_matrix::bernoulli(n, 1, 0.5, 5), storage::ext_mem);
+    sample sc = measure([&] { ml::correlation(X); });
+    sample sn = measure([&] { ml::naive_bayes_train(X, y, 2); });
+    corr.push_back(sc);
+    nb.push_back(sn);
+    std::printf("%-14s %6zu %12.2f %12.1f\n", "correlation", p, sc.seconds,
+                sc.mb);
+    std::printf("%-14s %6zu %12.2f %12.1f\n", "naive-bayes", p, sn.seconds,
+                sn.mb);
+  }
+  std::printf("\ncorrelation p 16->64: I/O grew %.1fx (expect 4x, O(np)); "
+              "runtime grew %.1fx (expect up to 16x once compute-bound, "
+              "O(np^2))\n",
+              factor(corr.front().mb, corr.back().mb),
+              factor(corr.front().seconds, corr.back().seconds));
+  std::printf("naive-bayes p 16->64: I/O grew %.1fx and runtime %.1fx "
+              "(both expect ~4x, O(np))\n\n",
+              factor(nb.front().mb, nb.back().mb),
+              factor(nb.front().seconds, nb.back().seconds));
+
+  // k sweep for k-means.
+  dense_matrix X =
+      conv_store(dense_matrix::rnorm(n, 32, 0, 1, 7), storage::ext_mem);
+  std::printf("%-14s %6s %12s %12s\n", "algorithm", "k", "runtime(s)",
+              "read (MB)");
+  std::vector<sample> km;
+  for (std::size_t k = 4; k <= 16; k *= 2) {
+    ml::kmeans_options o;
+    o.max_iters = 3;
+    sample s = measure([&] { ml::kmeans(X, k, o); });
+    km.push_back(s);
+    std::printf("%-14s %6zu %12.2f %12.1f\n", "k-means", k, s.seconds, s.mb);
+  }
+  std::printf("\nk-means k 4->16: I/O grew %.2fx (expect 1x, independent of "
+              "k); runtime grew %.1fx (expect up to 4x, O(npk))\n",
+              factor(km.front().mb, km.back().mb),
+              factor(km.front().seconds, km.back().seconds));
+  return 0;
+}

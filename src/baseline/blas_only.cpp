@@ -1,0 +1,151 @@
+#include "baseline/blas_only.h"
+
+#include <cmath>
+
+#include "blas/blas.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "parallel/thread_pool.h"
+
+namespace flashr::baseline {
+
+namespace {
+
+/// Parallelize a GEMM over contiguous row blocks of the result.
+template <typename Fn>
+void parallel_blocks(std::size_t nrow, Fn&& fn) {
+  thread_pool& pool = thread_pool::global();
+  const std::size_t workers = static_cast<std::size_t>(pool.size());
+  const std::size_t block = (nrow + workers - 1) / workers;
+  pool.run_all([&](int t) {
+    const std::size_t r0 = static_cast<std::size_t>(t) * block;
+    const std::size_t r1 = std::min(r0 + block, nrow);
+    if (r0 < r1) fn(r0, r1);
+  });
+}
+
+}  // namespace
+
+smat bo_crossprod(const smat& a, const smat& b) {
+  FLASHR_CHECK_SHAPE(a.nrow() == b.nrow(), "bo_crossprod: shape mismatch");
+  thread_pool& pool = thread_pool::global();
+  const std::size_t workers = static_cast<std::size_t>(pool.size());
+  const std::size_t n = a.nrow();
+  const std::size_t block = (n + workers - 1) / workers;
+  std::vector<smat> partials(workers, smat(a.ncol(), b.ncol()));
+  pool.run_all([&](int t) {
+    const std::size_t r0 = static_cast<std::size_t>(t) * block;
+    const std::size_t r1 = std::min(r0 + block, n);
+    if (r0 >= r1) return;
+    blas::gemm_tn(a.ncol(), b.ncol(), r1 - r0, 1.0, a.data() + r0, a.nrow(),
+                  b.data() + r0, b.nrow(), 0.0,
+                  partials[static_cast<std::size_t>(t)].data(), a.ncol());
+  });
+  smat total(a.ncol(), b.ncol());
+  for (const auto& part : partials) total = total + part;
+  return total;
+}
+
+smat bo_mm(const smat& a, const smat& b) {
+  FLASHR_CHECK_SHAPE(a.ncol() == b.nrow(), "bo_mm: shape mismatch");
+  smat c(a.nrow(), b.ncol());
+  parallel_blocks(a.nrow(), [&](std::size_t r0, std::size_t r1) {
+    blas::gemm_nn(r1 - r0, b.ncol(), a.ncol(), 1.0, a.data() + r0, a.nrow(),
+                  b.data(), b.nrow(), 0.0, c.data() + r0, c.nrow());
+  });
+  return c;
+}
+
+smat bo_sweep_sub(const smat& a, const smat& row_vec) {
+  smat out(a.nrow(), a.ncol());
+  for (std::size_t j = 0; j < a.ncol(); ++j)
+    for (std::size_t i = 0; i < a.nrow(); ++i)
+      out(i, j) = a(i, j) - row_vec(0, j);
+  return out;
+}
+
+smat bo_sweep_add(const smat& a, const smat& row_vec) {
+  smat out(a.nrow(), a.ncol());
+  for (std::size_t j = 0; j < a.ncol(); ++j)
+    for (std::size_t i = 0; i < a.nrow(); ++i)
+      out(i, j) = a(i, j) + row_vec(0, j);
+  return out;
+}
+
+smat bo_square(const smat& a) {
+  smat out(a.nrow(), a.ncol());
+  for (std::size_t j = 0; j < a.ncol(); ++j)
+    for (std::size_t i = 0; i < a.nrow(); ++i)
+      out(i, j) = a(i, j) * a(i, j);
+  return out;
+}
+
+smat bo_col_means(const smat& a) {
+  smat out(1, a.ncol());
+  for (std::size_t j = 0; j < a.ncol(); ++j) {
+    double s = 0;
+    for (std::size_t i = 0; i < a.nrow(); ++i) s += a(i, j);
+    out(0, j) = s / static_cast<double>(a.nrow());
+  }
+  return out;
+}
+
+smat bo_mvrnorm(std::size_t n, const smat& mu, const smat& sigma,
+                std::uint64_t seed) {
+  const std::size_t p = sigma.nrow();
+  smat work = sigma;
+  std::vector<double> w(p);
+  smat V(p, p);
+  blas::jacobi_eigen(p, work.data(), p, w.data(), V.data(), p);
+  for (double& ev : w) ev = std::max(ev, 0.0);
+  smat VD = V;
+  for (std::size_t j = 0; j < p; ++j) {
+    const double s = std::sqrt(w[j]);
+    for (std::size_t i = 0; i < p; ++i) VD(i, j) *= s;
+  }
+  smat B = VD.mm(V.t());
+
+  // R's rnorm is a serial stream in the interpreter.
+  smat Z(n, p);
+  rng64 rng(seed);
+  for (std::size_t j = 0; j < p; ++j)
+    for (std::size_t i = 0; i < n; ++i) Z(i, j) = rng.next_normal();
+
+  smat X = bo_mm(Z, B);  // the only parallel step
+  smat mu_row(1, p);
+  for (std::size_t j = 0; j < p; ++j)
+    mu_row(0, j) = mu.nrow() == 1 ? mu(0, j) : mu(j, 0);
+  return bo_sweep_add(X, mu_row);
+}
+
+smat bo_lda_pooled_cov(const smat& X, const smat& y,
+                       std::size_t num_classes) {
+  const std::size_t p = X.ncol();
+  const std::size_t n = X.nrow();
+  // Serial class means/counts (interpreter ops).
+  smat means(num_classes, p);
+  std::vector<double> counts(num_classes, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto c = static_cast<std::size_t>(y(i, 0));
+    counts[c] += 1;
+    for (std::size_t j = 0; j < p; ++j) means(c, j) += X(i, j);
+  }
+  for (std::size_t c = 0; c < num_classes; ++c)
+    for (std::size_t j = 0; j < p; ++j)
+      means(c, j) /= std::max(counts[c], 1.0);
+  // Parallel crossprod (the BLAS step)...
+  smat G = bo_crossprod(X, X);
+  // ...then serial assembly.
+  smat W(p, p);
+  for (std::size_t j = 0; j < p; ++j)
+    for (std::size_t i = 0; i < p; ++i) {
+      double between = 0;
+      for (std::size_t c = 0; c < num_classes; ++c)
+        between += counts[c] * means(c, i) * means(c, j);
+      W(i, j) = (G(i, j) - between) /
+                static_cast<double>(n - num_classes);
+    }
+  return W;
+}
+
+}  // namespace flashr::baseline

@@ -1,0 +1,43 @@
+// blas_only: the architectural stand-in for Revolution R Open (Fig 8).
+//
+// RRO accelerates R by linking a parallel BLAS (Intel MKL) — so matrix
+// multiplication is parallel, but every other R operation runs in the
+// single-threaded interpreter, and every operation fully materializes its
+// result. The paper's Fig 8 shows that this is insufficient ("even though
+// matrix multiplication is the most computation-intensive operation in an
+// algorithm, it is insufficient to only parallelize matrix multiplication").
+//
+// This module mirrors that model over host memory: crossprod/gemm are
+// parallelized over row blocks, and the "interpreter" operations
+// (element-wise transforms, sweeps, aggregations) are deliberately serial
+// per-op passes over fully materialized matrices.
+#pragma once
+
+#include <cstdint>
+
+#include "blas/smat.h"
+
+namespace flashr::baseline {
+
+/// Parallel t(A) %*% B over row blocks (the "MKL" part).
+smat bo_crossprod(const smat& a, const smat& b);
+/// Parallel A %*% B (small right-hand side), parallel over row blocks of A.
+smat bo_mm(const smat& a, const smat& b);
+
+/// Serial "interpreter" ops — each materializes a new matrix.
+smat bo_sweep_sub(const smat& a, const smat& row_vec);
+smat bo_sweep_add(const smat& a, const smat& row_vec);
+smat bo_square(const smat& a);
+smat bo_col_means(const smat& a);
+
+/// mvrnorm exactly as MASS (eigen of sigma, serial RNG, parallel only in the
+/// final Z %*% B product).
+smat bo_mvrnorm(std::size_t n, const smat& mu, const smat& sigma,
+                std::uint64_t seed);
+
+/// MASS-style lda training: class means/counts via serial passes, the
+/// Gramian via parallel crossprod. Returns the pooled covariance (the
+/// dominant cost); discriminant extraction matches flashr::ml::lda_train.
+smat bo_lda_pooled_cov(const smat& X, const smat& y, std::size_t num_classes);
+
+}  // namespace flashr::baseline

@@ -1,0 +1,33 @@
+// Aligned allocation helpers. Direct I/O requires sector-aligned buffers;
+// vectorized kernels benefit from cache-line alignment, so all engine buffers
+// use 4096-byte alignment.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <memory>
+#include <new>
+
+namespace flashr {
+
+inline constexpr std::size_t kBufferAlign = 4096;
+
+inline constexpr std::size_t round_up(std::size_t v, std::size_t align) {
+  return (v + align - 1) / align * align;
+}
+
+struct aligned_deleter {
+  void operator()(void* p) const noexcept { std::free(p); }
+};
+
+using aligned_ptr = std::unique_ptr<char[], aligned_deleter>;
+
+/// Allocate `bytes` rounded up to kBufferAlign, aligned to kBufferAlign.
+inline aligned_ptr aligned_alloc_bytes(std::size_t bytes) {
+  const std::size_t rounded = round_up(bytes == 0 ? 1 : bytes, kBufferAlign);
+  void* p = std::aligned_alloc(kBufferAlign, rounded);
+  if (p == nullptr) throw std::bad_alloc();
+  return aligned_ptr(static_cast<char*>(p));
+}
+
+}  // namespace flashr

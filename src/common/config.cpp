@@ -1,0 +1,68 @@
+#include "common/config.h"
+
+#include <sys/stat.h>
+
+#include <bit>
+#include <mutex>
+
+#include "common/error.h"
+#include "common/log.h"
+
+namespace flashr {
+
+namespace {
+options g_options;
+bool g_initialized = false;
+std::mutex g_mutex;
+}  // namespace
+
+const char* exec_mode_name(exec_mode m) {
+  switch (m) {
+    case exec_mode::eager: return "eager";
+    case exec_mode::mem_fuse: return "mem-fuse";
+    case exec_mode::cache_fuse: return "cache-fuse";
+  }
+  return "?";
+}
+
+void options::validate() const {
+  FLASHR_CHECK(num_threads >= 1, "num_threads must be >= 1");
+  FLASHR_CHECK(io_threads >= 1, "io_threads must be >= 1");
+  FLASHR_CHECK(io_part_rows >= 8 && std::has_single_bit(io_part_rows),
+               "io_part_rows must be a power of two >= 8");
+  FLASHR_CHECK(pcache_bytes >= 512, "pcache_bytes too small");
+  FLASHR_CHECK(stripes >= 1, "stripes must be >= 1");
+  FLASHR_CHECK(stripe_unit >= 4096, "stripe_unit must be >= 4096");
+  FLASHR_CHECK(numa_nodes >= 1, "numa_nodes must be >= 1");
+  FLASHR_CHECK(dispatch_batch >= 1, "dispatch_batch must be >= 1");
+  FLASHR_CHECK(!em_dir.empty(), "em_dir must be set");
+}
+
+void init(const options& opts) {
+  opts.validate();
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_options = opts;
+  if (g_options.num_threads <= 0) g_options.num_threads = 1;
+  ::mkdir(g_options.em_dir.c_str(), 0755);
+  g_initialized = true;
+  FLASHR_DEBUG("initialized: threads=%d io_threads=%d part_rows=%zu mode=%s",
+               g_options.num_threads, g_options.io_threads,
+               g_options.io_part_rows, exec_mode_name(g_options.mode));
+}
+
+void shutdown() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_initialized = false;
+}
+
+const options& conf() {
+  if (!g_initialized) init(options());
+  return g_options;
+}
+
+options& mutable_conf() {
+  if (!g_initialized) init(options());
+  return g_options;
+}
+
+}  // namespace flashr

@@ -1,0 +1,87 @@
+// Global engine configuration. A single flashr::options instance is installed
+// by flashr::init() and read through flashr::conf(). The defaults target the
+// evaluation container (few cores, local disk); the paper's machine would set
+// num_threads=48, stripes=24 and larger partitions.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <thread>
+
+namespace flashr {
+
+/// How a DAG of matrix operations is executed (the ablation axis of Fig 10).
+enum class exec_mode : int {
+  /// "base": every operation materializes its full output in its own pass
+  /// (on SSDs when storage is external memory).
+  eager = 0,
+  /// Operations fused at I/O-partition granularity: one pass over SSD data,
+  /// but each intermediate materializes a whole I/O partition in RAM.
+  mem_fuse = 1,
+  /// Default: I/O partitions split into processor-cache partitions; the DAG
+  /// is evaluated depth-first one Pcache partition at a time with buffer
+  /// recycling (mem-fuse + cache-fuse in the paper's terms).
+  cache_fuse = 2,
+};
+
+const char* exec_mode_name(exec_mode m);
+
+/// Where materialized matrices live.
+enum class storage : int {
+  in_mem = 0,   ///< FlashR-IM
+  ext_mem = 1,  ///< FlashR-EM (SAFS files on "SSDs")
+};
+
+struct options {
+  /// Worker threads for compute.
+  int num_threads = static_cast<int>(std::thread::hardware_concurrency());
+  /// Dedicated I/O threads servicing asynchronous reads/writes.
+  int io_threads = 2;
+  /// Rows per I/O partition; must be a power of two (paper §3.2.1).
+  std::size_t io_part_rows = 16384;
+  /// Target bytes per matrix for one Pcache partition; determines how many
+  /// rows of an I/O partition are materialized at a time under cache_fuse.
+  std::size_t pcache_bytes = 64 * 1024;
+  /// Size of the fixed memory chunks backing in-memory matrices (§3.2.1).
+  std::size_t mem_chunk_bytes = std::size_t{4} << 20;
+  /// Directory holding SAFS backing files.
+  std::string em_dir = "/tmp/flashr_em";
+  /// Number of backing files an EM matrix is striped over ("SSD array").
+  int stripes = 4;
+  /// Bytes per stripe unit when striping EM data across backing files.
+  std::size_t stripe_unit = std::size_t{1} << 20;
+  /// Attempt O_DIRECT for EM I/O (falls back transparently if unsupported).
+  bool direct_io = false;
+  /// Emulated aggregate I/O throughput in MB/s; 0 = unthrottled. Used by
+  /// benchmarks to reproduce the paper's RAM-vs-SSD gap on fast local disks.
+  double io_throttle_mbps = 0.0;
+  /// Execution mode for DAG materialization.
+  exec_mode mode = exec_mode::cache_fuse;
+  /// Simulated NUMA nodes for placement accounting (1 = UMA).
+  int numa_nodes = 1;
+  /// Matrices with at most this many rows are evaluated eagerly with serial
+  /// kernels instead of joining a DAG (cluster centers, sink results, ...).
+  std::size_t small_nrow_threshold = 4096;
+  /// I/O partitions handed to a worker per dispatch at the start of a pass
+  /// (§3.3: contiguous partitions read in a single asynchronous I/O).
+  int dispatch_batch = 4;
+
+  void validate() const;
+};
+
+/// Install `opts` as the global configuration. Creates em_dir. Must be called
+/// before matrices are created; re-initialization is allowed when no engine
+/// state is live (tests do this to sweep configurations).
+void init(const options& opts = options());
+
+/// Tear down engine state (thread pools, buffer pools). Idempotent.
+void shutdown();
+
+/// Current configuration; initializes with defaults on first use.
+const options& conf();
+
+/// Mutable access for test/bench knobs that are safe to flip between DAG
+/// executions (mode, throttle, pcache size).
+options& mutable_conf();
+
+}  // namespace flashr

@@ -1,0 +1,19 @@
+#include "common/error.h"
+
+namespace flashr {
+
+void throw_error(const std::string& msg) { throw error(msg); }
+void throw_io_error(const std::string& msg) { throw io_error(msg); }
+void throw_shape_error(const std::string& msg) { throw shape_error(msg); }
+
+namespace detail {
+
+void assert_fail(const char* expr, const char* file, int line,
+                 const std::string& msg) {
+  std::fprintf(stderr, "flashr assertion failed: %s at %s:%d: %s\n", expr,
+               file, line, msg.c_str());
+  std::abort();
+}
+
+}  // namespace detail
+}  // namespace flashr

@@ -1,0 +1,54 @@
+// Error handling: all recoverable failures surface as flashr::error; internal
+// invariant violations use FLASHR_ASSERT which aborts with a message. Per the
+// C++ Core Guidelines we throw exceptions for errors a caller can react to
+// (bad shapes, I/O failures) and assert on programming errors.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace flashr {
+
+class error : public std::runtime_error {
+ public:
+  explicit error(const std::string& what) : std::runtime_error(what) {}
+};
+
+class io_error : public error {
+ public:
+  explicit io_error(const std::string& what) : error(what) {}
+};
+
+class shape_error : public error {
+ public:
+  explicit shape_error(const std::string& what) : error(what) {}
+};
+
+[[noreturn]] void throw_error(const std::string& msg);
+[[noreturn]] void throw_io_error(const std::string& msg);
+[[noreturn]] void throw_shape_error(const std::string& msg);
+
+namespace detail {
+[[noreturn]] void assert_fail(const char* expr, const char* file, int line,
+                              const std::string& msg);
+}
+
+}  // namespace flashr
+
+#define FLASHR_ASSERT(expr, msg)                                          \
+  do {                                                                    \
+    if (!(expr)) ::flashr::detail::assert_fail(#expr, __FILE__, __LINE__, \
+                                               (msg));                   \
+  } while (0)
+
+#define FLASHR_CHECK(expr, msg)                \
+  do {                                         \
+    if (!(expr)) ::flashr::throw_error((msg)); \
+  } while (0)
+
+#define FLASHR_CHECK_SHAPE(expr, msg)                \
+  do {                                               \
+    if (!(expr)) ::flashr::throw_shape_error((msg)); \
+  } while (0)

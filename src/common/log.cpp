@@ -1,0 +1,32 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace flashr {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(log_level::warn)};
+std::mutex g_mutex;
+}  // namespace
+
+void set_log_level(log_level lvl) { g_level.store(static_cast<int>(lvl)); }
+
+log_level get_log_level() { return static_cast<log_level>(g_level.load()); }
+
+void log_msg(log_level lvl, const char* fmt, ...) {
+  if (static_cast<int>(lvl) > g_level.load(std::memory_order_relaxed)) return;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  const char* tag = lvl == log_level::warn   ? "W"
+                    : lvl == log_level::info ? "I"
+                                             : "D";
+  std::fprintf(stderr, "[flashr %s] ", tag);
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fprintf(stderr, "\n");
+}
+
+}  // namespace flashr

@@ -1,0 +1,22 @@
+// Minimal leveled logger. Quiet by default; benchmarks and examples raise the
+// level to info to narrate progress. Thread-safe via a single mutex — logging
+// is never on a hot path.
+#pragma once
+
+#include <cstdarg>
+
+namespace flashr {
+
+enum class log_level : int { none = 0, warn = 1, info = 2, debug = 3 };
+
+void set_log_level(log_level lvl);
+log_level get_log_level();
+
+void log_msg(log_level lvl, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+}  // namespace flashr
+
+#define FLASHR_WARN(...) ::flashr::log_msg(::flashr::log_level::warn, __VA_ARGS__)
+#define FLASHR_INFO(...) ::flashr::log_msg(::flashr::log_level::info, __VA_ARGS__)
+#define FLASHR_DEBUG(...) ::flashr::log_msg(::flashr::log_level::debug, __VA_ARGS__)

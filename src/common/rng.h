@@ -1,0 +1,73 @@
+// Counter-based random number generation. FlashR's runif.matrix/rnorm.matrix
+// create matrices whose partitions are generated on demand; to make the same
+// (seed, element-index) pair produce the same value no matter how the matrix
+// is partitioned or which thread materializes it, we derive every element
+// from a stateless hash of its global index (SplitMix64 finalizer), rather
+// than from a sequential stream.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+
+namespace flashr {
+
+/// SplitMix64 finalizer: a high-quality 64-bit mix. Stateless.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Uniform double in [0, 1) from a (seed, counter) pair.
+inline double counter_uniform(std::uint64_t seed, std::uint64_t counter) {
+  const std::uint64_t h = mix64(seed ^ mix64(counter));
+  // 53 high bits -> [0,1) double.
+  return static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+}
+
+/// Standard-normal double from a (seed, counter) pair via Box-Muller. Each
+/// element consumes two independent uniforms derived from disjoint counter
+/// streams, so consecutive elements stay independent.
+inline double counter_normal(std::uint64_t seed, std::uint64_t counter) {
+  double u1 = counter_uniform(seed ^ 0x5bf03635d0c63eb1ULL, counter);
+  const double u2 = counter_uniform(seed ^ 0xa48b23be42f0f2afULL, counter);
+  if (u1 <= 0.0) u1 = 1e-300;  // guard log(0)
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+/// Small sequential PRNG for host-side (non-matrix) randomness: xoshiro-like
+/// based on the SplitMix64 stream.
+class rng64 {
+ public:
+  explicit rng64(std::uint64_t seed) : state_(seed ? seed : 0x853c49e6748fea9bULL) {}
+
+  std::uint64_t next_u64() {
+    state_ += 0x9e3779b97f4a7c15ULL;
+    return mix64(state_);
+  }
+
+  double next_uniform() {
+    return static_cast<double>(next_u64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  double next_normal() {
+    double u1 = next_uniform();
+    const double u2 = next_uniform();
+    if (u1 <= 0.0) u1 = 1e-300;
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * std::numbers::pi * u2);
+  }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t next_below(std::uint64_t n) {
+    return n == 0 ? 0 : next_u64() % n;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace flashr

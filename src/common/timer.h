@@ -1,0 +1,27 @@
+// Wall-clock timing utilities used by the benchmark harness and the engine's
+// internal statistics.
+#pragma once
+
+#include <chrono>
+
+namespace flashr {
+
+class timer {
+ public:
+  timer() : start_(clock::now()) {}
+
+  void restart() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last restart().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace flashr

@@ -1,0 +1,9 @@
+#include "common/types.h"
+
+namespace flashr {
+
+std::string shape_str(std::size_t nrow, std::size_t ncol) {
+  return std::to_string(nrow) + "x" + std::to_string(ncol);
+}
+
+}  // namespace flashr

@@ -1,0 +1,111 @@
+// Scalar element types supported by FlashR matrices and the kernel dispatch
+// machinery that maps a runtime scalar_type tag onto template instantiations.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace flashr {
+
+/// Element types a dense or sparse matrix may hold. FlashR (the paper)
+/// supports generic element types through its GenOps; we support the four
+/// types the evaluation actually exercises.
+enum class scalar_type : int {
+  f64 = 0,
+  f32 = 1,
+  i64 = 2,
+  i32 = 3,
+};
+
+constexpr std::size_t type_size(scalar_type t) noexcept {
+  switch (t) {
+    case scalar_type::f64: return 8;
+    case scalar_type::f32: return 4;
+    case scalar_type::i64: return 8;
+    case scalar_type::i32: return 4;
+  }
+  return 0;
+}
+
+constexpr const char* type_name(scalar_type t) noexcept {
+  switch (t) {
+    case scalar_type::f64: return "f64";
+    case scalar_type::f32: return "f32";
+    case scalar_type::i64: return "i64";
+    case scalar_type::i32: return "i32";
+  }
+  return "?";
+}
+
+template <typename T>
+constexpr scalar_type type_of();
+
+template <> constexpr scalar_type type_of<double>() { return scalar_type::f64; }
+template <> constexpr scalar_type type_of<float>() { return scalar_type::f32; }
+template <> constexpr scalar_type type_of<std::int64_t>() { return scalar_type::i64; }
+template <> constexpr scalar_type type_of<std::int32_t>() { return scalar_type::i32; }
+
+/// Result type of a binary operation between two element types: the usual
+/// promotion lattice i32 < i64 < f32 < f64.
+constexpr scalar_type promote(scalar_type a, scalar_type b) noexcept {
+  auto rank = [](scalar_type t) {
+    switch (t) {
+      case scalar_type::i32: return 0;
+      case scalar_type::i64: return 1;
+      case scalar_type::f32: return 2;
+      case scalar_type::f64: return 3;
+    }
+    return 3;
+  };
+  return rank(a) >= rank(b) ? a : b;
+}
+
+constexpr bool is_floating(scalar_type t) noexcept {
+  return t == scalar_type::f64 || t == scalar_type::f32;
+}
+
+/// Invoke f.template operator()<T>() with T = the C++ type for `t`.
+/// All element kernels are instantiated through this single dispatcher.
+template <typename F>
+decltype(auto) dispatch_type(scalar_type t, F&& f) {
+  switch (t) {
+    case scalar_type::f64: return f.template operator()<double>();
+    case scalar_type::f32: return f.template operator()<float>();
+    case scalar_type::i64: return f.template operator()<std::int64_t>();
+    case scalar_type::i32: return f.template operator()<std::int32_t>();
+  }
+  return f.template operator()<double>();
+}
+
+/// A typed scalar value (used for scalar operands of GenOps and for the
+/// results of full-matrix aggregation). Stored as both integer and double so
+/// kernels can pick the lossless representation.
+struct scalar_val {
+  scalar_type type = scalar_type::f64;
+  double d = 0.0;
+  std::int64_t i = 0;
+
+  scalar_val() = default;
+  scalar_val(double v) : type(scalar_type::f64), d(v), i(static_cast<std::int64_t>(v)) {}
+  scalar_val(float v) : type(scalar_type::f32), d(v), i(static_cast<std::int64_t>(v)) {}
+  scalar_val(std::int64_t v) : type(scalar_type::i64), d(static_cast<double>(v)), i(v) {}
+  scalar_val(std::int32_t v) : type(scalar_type::i32), d(v), i(v) {}
+
+  template <typename T>
+  T as() const {
+    if constexpr (std::is_floating_point_v<T>)
+      return static_cast<T>(d);
+    else
+      return static_cast<T>(type == scalar_type::f64 || type == scalar_type::f32
+                                ? static_cast<std::int64_t>(d)
+                                : i);
+  }
+};
+
+/// Physical element order of a matrix within an I/O partition.
+enum class matrix_layout : int { col_major = 0, row_major = 1 };
+
+std::string shape_str(std::size_t nrow, std::size_t ncol);
+
+}  // namespace flashr

@@ -1,0 +1,854 @@
+#include "core/exec.h"
+
+#include <algorithm>
+#include <bit>
+#include <condition_variable>
+#include <cstring>
+#include <future>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/error.h"
+#include "common/log.h"
+#include "core/kernels.h"
+#include "core/virtual_store.h"
+#include "matrix/em_store.h"
+#include "matrix/generated_store.h"
+#include "matrix/mem_store.h"
+#include "mem/numa.h"
+#include "parallel/scheduler.h"
+#include "parallel/thread_pool.h"
+
+namespace flashr::exec {
+
+namespace {
+
+/// Follow a store through its materialized result, if any.
+const matrix_store* resolve(const matrix_store* s) {
+  if (s->kind() == store_kind::virt) {
+    auto* v = static_cast<const virtual_store*>(s);
+    if (auto r = v->result()) {
+      // Results are physical; one level of indirection suffices.
+      return resolve(r.get());
+    }
+  }
+  return s;
+}
+
+matrix_store::ptr resolve_ptr(const matrix_store::ptr& s) {
+  if (s->kind() == store_kind::virt) {
+    auto* v = static_cast<virtual_store*>(s.get());
+    if (auto r = v->result()) return r;
+  }
+  return s;
+}
+
+/// Whether a (resolved) store still needs computing.
+bool is_pending(const matrix_store* s) {
+  return resolve(s)->kind() == store_kind::virt;
+}
+
+// ---------------------------------------------------------------------------
+// DAG collection
+// ---------------------------------------------------------------------------
+
+struct dag_info {
+  /// All pending virtual nodes, topologically ordered (children first).
+  std::vector<virtual_store*> order;
+  /// Consumer counts (edges from collected parents, +1 per output writer /
+  /// sink use) for every node appearing as an input or output of a chunk.
+  std::unordered_map<const matrix_store*, int> consumers;
+  /// Dense ids for every node touched during a chunk (leaves included), so
+  /// per-chunk evaluation state lives in flat arrays instead of hash maps.
+  /// Populated once at the end of collect(); read-only during the pass.
+  std::unordered_map<const matrix_store*, int> ids;
+  int num_ids = 0;
+
+  int id_of(const matrix_store* s) const {
+    auto it = ids.find(s);
+    FLASHR_ASSERT(it != ids.end(), "node without a chunk id");
+    return it->second;
+  }
+  /// Partition-aligned nodes whose data must be written out (targets and
+  /// set.cache'd intermediates).
+  std::vector<virtual_store*> tall_outputs;
+  /// Requested (as opposed to cache-flag-only) tall outputs: these honour
+  /// the caller's storage; cache-only nodes use their own cache_storage.
+  std::unordered_set<const virtual_store*> requested_talls;
+  /// Sink targets.
+  std::vector<virtual_store*> sinks;
+  /// The shared partition space of the DAG.
+  part_geom space{0, 1, 1};
+  bool space_set = false;
+  /// Distinct external-memory leaves (for prefetching).
+  std::vector<const em_readable*> em_leaves;
+  std::size_t max_ncol = 1;
+  bool has_cum = false;
+};
+
+void note_space(dag_info& dag, const matrix_store* s) {
+  if (!dag.space_set) {
+    dag.space = part_geom{s->nrow(), s->ncol(), s->geom().part_rows};
+    dag.space_set = true;
+  } else {
+    FLASHR_CHECK_SHAPE(
+        dag.space.nrow == s->nrow() &&
+            dag.space.part_rows == s->geom().part_rows,
+        "matrices in one DAG must share the partition dimension");
+  }
+  dag.max_ncol = std::max(dag.max_ncol, s->ncol());
+}
+
+void collect_node(dag_info& dag, const matrix_store::ptr& store,
+                  std::unordered_set<const matrix_store*>& visited);
+
+void collect_child(dag_info& dag, const matrix_store::ptr& child,
+                   std::unordered_set<const matrix_store*>& visited) {
+  const matrix_store* r = resolve(child.get());
+  ++dag.consumers[r];
+  if (r->kind() == store_kind::virt) {
+    collect_node(dag, child, visited);
+  } else {
+    // Leaf in the tall space.
+    note_space(dag, r);
+    if (r->kind() == store_kind::ext)
+      dag.em_leaves.push_back(static_cast<const em_readable*>(r));
+  }
+}
+
+void collect_node(dag_info& dag, const matrix_store::ptr& store,
+                  std::unordered_set<const matrix_store*>& visited) {
+  const matrix_store* r = resolve(store.get());
+  if (r->kind() != store_kind::virt) return;
+  if (!visited.insert(r).second) return;
+  auto* v = const_cast<virtual_store*>(static_cast<const virtual_store*>(r));
+  FLASHR_CHECK(!v->is_sink_node() || dag.consumers[r] == 0,
+               "internal: sink used as DAG input (materialize it first)");
+  for (const auto& child : v->children())
+    collect_child(dag, child, visited);
+  if (!v->is_sink_node()) note_space(dag, v);
+  if (v->op().kind == node_kind::cum_col) dag.has_cum = true;
+  dag.order.push_back(v);  // children pushed first -> topological
+}
+
+dag_info collect(const std::vector<matrix_store::ptr>& targets) {
+  dag_info dag;
+  std::unordered_set<const matrix_store*> visited;
+  std::unordered_set<const virtual_store*> outputs_seen;
+  for (const auto& t : targets) {
+    if (!t || !is_pending(t.get())) continue;
+    collect_node(dag, t, visited);
+  }
+  // Classify outputs: requested targets plus cache-flagged intermediates.
+  auto add_output = [&](virtual_store* v) {
+    if (!outputs_seen.insert(v).second) return;
+    if (v->is_sink_node()) {
+      dag.sinks.push_back(v);
+    } else {
+      dag.tall_outputs.push_back(v);
+      ++dag.consumers[v];  // the output writer consumes the node's chunks
+    }
+  };
+  for (const auto& t : targets) {
+    if (!t || !is_pending(t.get())) continue;
+    auto* v = static_cast<virtual_store*>(
+        const_cast<matrix_store*>(resolve(t.get())));
+    add_output(v);
+    if (!v->is_sink_node()) dag.requested_talls.insert(v);
+  }
+  for (virtual_store* v : dag.order)
+    if (v->cache_flag() && !v->has_result()) add_output(v);
+  // Deduplicate EM leaves.
+  std::sort(dag.em_leaves.begin(), dag.em_leaves.end());
+  dag.em_leaves.erase(
+      std::unique(dag.em_leaves.begin(), dag.em_leaves.end()),
+      dag.em_leaves.end());
+  // Assign dense node ids: every node that can appear in per-chunk state is
+  // a key of `consumers` (children and counted outputs).
+  for (const auto& [node, count] : dag.consumers) {
+    (void)count;
+    dag.ids.emplace(node, dag.num_ids++);
+  }
+  if (!dag.space_set && !dag.order.empty())
+    throw_error("cannot infer the partition space of an empty DAG");
+  return dag;
+}
+
+// ---------------------------------------------------------------------------
+// Sink accumulation state
+// ---------------------------------------------------------------------------
+
+struct sink_desc {
+  virtual_store* node = nullptr;
+  std::size_t out_rows = 0;
+  std::size_t out_cols = 0;
+  scalar_type out_type = scalar_type::f64;
+  agg_id merge_op = agg_id::sum;
+};
+
+sink_desc describe_sink(virtual_store* v) {
+  sink_desc d;
+  d.node = v;
+  const genop& op = v->op();
+  const matrix_store* a = resolve(v->children().at(0).get());
+  switch (op.kind) {
+    case node_kind::s_agg_full:
+      d.out_rows = 1;
+      d.out_cols = 1;
+      d.out_type = a->type();
+      d.merge_op = op.a;
+      break;
+    case node_kind::s_agg_col:
+      d.out_rows = 1;
+      d.out_cols = a->ncol();
+      d.out_type = a->type();
+      d.merge_op = op.a;
+      break;
+    case node_kind::s_tmm: {
+      const matrix_store* b = resolve(v->children().at(1).get());
+      d.out_rows = a->ncol();
+      d.out_cols = b->ncol();
+      d.out_type = a->type();
+      d.merge_op = op.a;
+      break;
+    }
+    case node_kind::s_groupby_row:
+      d.out_rows = op.num_groups;
+      d.out_cols = a->ncol();
+      d.out_type = a->type();
+      d.merge_op = op.a;
+      break;
+    case node_kind::s_count_groups:
+      d.out_rows = op.num_groups;
+      d.out_cols = 1;
+      d.out_type = scalar_type::i64;
+      d.merge_op = agg_id::sum;
+      break;
+    default:
+      FLASHR_ASSERT(false, "not a sink");
+  }
+  return d;
+}
+
+// ---------------------------------------------------------------------------
+// Cumulative-op carry chains (§3.3, operation class j)
+// ---------------------------------------------------------------------------
+
+/// One chain per cum_col node: the per-column running value at the end of
+/// every partition, published in partition order. Workers block until the
+/// carry of partition p-1 is available; sequential dynamic dispatch
+/// guarantees some worker owns it, so the wait is bounded.
+struct cum_chain {
+  std::vector<std::vector<char>> carries;  // per partition, cols * elem_size
+  std::vector<char> ready;                 // guarded by mutex
+  std::mutex mutex;
+  std::condition_variable cv;
+
+  void init(std::size_t num_parts, std::size_t bytes) {
+    carries.assign(num_parts, std::vector<char>(bytes));
+    ready.assign(num_parts, 0);
+  }
+  void publish(std::size_t p, const char* data, std::size_t bytes) {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      std::memcpy(carries[p].data(), data, bytes);
+      ready[p] = 1;
+    }
+    cv.notify_all();
+  }
+  void wait_for(std::size_t p, char* out, std::size_t bytes) {
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [&] { return ready[p] != 0; });
+    std::memcpy(out, carries[p].data(), bytes);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// The fused pass
+// ---------------------------------------------------------------------------
+
+struct pass_config {
+  storage st = storage::in_mem;
+  std::size_t chunk_rows = 0;  // 0 = whole partition (mem_fuse)
+};
+
+/// Per-chunk evaluation state for one node. Entries live in a flat array
+/// indexed by the node's dense id; `gen` marks which chunk the entry belongs
+/// to, so the array never needs clearing between chunks.
+struct chunk_buf {
+  kern::view v;
+  pool_buffer owned;
+  int remaining = 0;
+  std::uint64_t gen = 0;
+};
+
+class pass_runner {
+ public:
+  pass_runner(dag_info& dag, pass_config cfg) : dag_(dag), cfg_(cfg) {
+    allocate_outputs();
+    init_cum_chains();
+  }
+
+  void run();
+
+ private:
+  void allocate_outputs();
+  void init_cum_chains();
+  void worker(int thread_idx);
+  void merge_sinks();
+
+  struct thread_ctx {
+    int thread_idx = 0;
+    std::vector<chunk_buf> chunk;   // indexed by dag node id
+    std::uint64_t gen = 0;          // current chunk generation
+    int live_owned = 0;             // owned buffers not yet recycled
+    /// Per-sink partial accumulators.
+    std::vector<std::vector<char>> sink_acc;
+    /// Per-cum-node running carry for the current partition.
+    std::unordered_map<const virtual_store*, std::vector<char>> cum_carry;
+    bool cum_has_carry = false;
+    /// Current EM read buffers: (leaf, part) -> buffer.
+    std::unordered_map<const em_readable*, pool_buffer> em_bufs;
+    /// Staging buffers for EM outputs of the current partition.
+    std::unordered_map<const virtual_store*, pool_buffer> out_stage;
+    /// Current chunk geometry.
+    std::size_t part = 0;
+    std::size_t part_row0 = 0;     // global row of partition start
+    std::size_t part_rows = 0;     // rows in this partition
+    std::size_t chunk_row0 = 0;    // chunk start, relative to partition
+    std::size_t chunk_rows = 0;
+  };
+
+  void process_partition(thread_ctx& ctx);
+  void process_chunk(thread_ctx& ctx);
+  chunk_buf& ensure(thread_ctx& ctx, const matrix_store::ptr& child);
+  void unref(thread_ctx& ctx, const matrix_store::ptr& child);
+  kern::view leaf_view(thread_ctx& ctx, const matrix_store* leaf);
+  void eval_virtual(thread_ctx& ctx, virtual_store* v, chunk_buf& out);
+
+  dag_info& dag_;
+  pass_config cfg_;
+  /// Output stores, parallel to dag_.tall_outputs.
+  std::vector<matrix_store::ptr> out_stores_;
+  std::vector<sink_desc> sinks_;
+  std::unordered_map<const virtual_store*, cum_chain> cum_chains_;
+  /// Collected per-thread sink partials, merged in thread order.
+  std::vector<std::vector<std::vector<char>>> all_sink_acc_;
+  std::mutex acc_mutex_;
+  /// Shared NUMA-aware dispatcher (only when conf().numa_nodes > 1).
+  std::optional<numa_scheduler> numa_sched_;
+};
+
+void pass_runner::allocate_outputs() {
+  for (virtual_store* v : dag_.tall_outputs) {
+    const part_geom& g = v->geom();
+    const storage st =
+        dag_.requested_talls.count(v) ? cfg_.st : v->cache_storage();
+    if (st == storage::ext_mem)
+      out_stores_.push_back(
+          em_store::create(g.nrow, g.ncol, v->type(), g.part_rows));
+    else
+      out_stores_.push_back(
+          mem_store::create(g.nrow, g.ncol, v->type(), g.part_rows));
+  }
+  for (virtual_store* v : dag_.sinks) sinks_.push_back(describe_sink(v));
+  all_sink_acc_.resize(static_cast<std::size_t>(thread_pool::global().size()));
+}
+
+void pass_runner::init_cum_chains() {
+  if (!dag_.has_cum) return;
+  for (virtual_store* v : dag_.order) {
+    if (v->op().kind != node_kind::cum_col) continue;
+    cum_chains_[v].init(dag_.space.num_parts(),
+                        v->ncol() * type_size(v->type()));
+  }
+}
+
+std::size_t chunk_rows_for(std::size_t max_ncol, std::size_t part_rows) {
+  return pcache_rows(max_ncol, part_rows);
+}
+
+void pass_runner::run() {
+  const std::size_t num_parts = dag_.space.num_parts();
+  thread_pool& pool = thread_pool::global();
+  part_scheduler sched(num_parts, pool.size(), conf().dispatch_batch);
+  // Cumulative ops need strictly increasing partition dispatch (a worker
+  // draining only its node's queue could deadlock on a carry owned by an
+  // undrained queue), so they keep the sequential scheduler.
+  const bool numa_dispatch = conf().numa_nodes > 1 && !dag_.has_cum;
+  if (numa_dispatch) numa_sched_.emplace(num_parts, conf().numa_nodes);
+
+  pool.run_all([&](int thread_idx) {
+    thread_ctx ctx;
+    ctx.thread_idx = thread_idx;
+    ctx.chunk.resize(static_cast<std::size_t>(dag_.num_ids));
+    // Sink partials start at the aggregation identity.
+    ctx.sink_acc.reserve(sinks_.size());
+    for (const sink_desc& s : sinks_) {
+      std::vector<char> buf(s.out_rows * s.out_cols * type_size(s.out_type));
+      if (s.node->op().kind == node_kind::s_count_groups)
+        std::memset(buf.data(), 0, buf.size());
+      else
+        kern::agg_identity(s.out_type, s.merge_op, buf.data(),
+                           s.out_rows * s.out_cols);
+      ctx.sink_acc.push_back(std::move(buf));
+    }
+
+    // NUMA-aware dispatch: with more than one (simulated) node, workers
+    // drain their home node's partition queue before stealing (§3.3).
+    if (numa_dispatch) {
+      const int home = thread_idx % conf().numa_nodes;
+      std::size_t p = 0;
+      while (numa_sched_->fetch(home, p)) {
+        for (const em_readable* leaf : dag_.em_leaves) {
+          pool_buffer buf = buffer_pool::global().get(
+              leaf->geom().part_bytes(p, leaf->type()));
+          leaf->read_part_async(p, buf.data()).get();
+          ctx.em_bufs[leaf] = std::move(buf);
+        }
+        numa_tracker::global().record_access(p, home, conf().numa_nodes);
+        ctx.part = p;
+        ctx.part_row0 = dag_.space.part_row_begin(p);
+        ctx.part_rows = dag_.space.rows_in_part(p);
+        process_partition(ctx);
+        ctx.em_bufs.clear();
+      }
+      std::lock_guard<std::mutex> lock(acc_mutex_);
+      all_sink_acc_[static_cast<std::size_t>(thread_idx)] =
+          std::move(ctx.sink_acc);
+      return;
+    }
+
+    std::size_t begin = 0, end = 0;
+    while (sched.fetch(begin, end)) {
+      // Prefetch: one asynchronous read per EM leaf covering the batch's
+      // partitions (issued per partition; SAFS merges contiguity).
+      std::vector<std::pair<std::size_t,
+                            std::unordered_map<const em_readable*,
+                                               std::pair<pool_buffer,
+                                                         std::future<void>>>>>
+          prefetch;
+      auto& pool_mem = buffer_pool::global();
+      for (std::size_t p = begin; p < end; ++p) {
+        std::unordered_map<const em_readable*,
+                           std::pair<pool_buffer, std::future<void>>>
+            reads;
+        for (const em_readable* leaf : dag_.em_leaves) {
+          pool_buffer buf =
+              pool_mem.get(leaf->geom().part_bytes(p, leaf->type()));
+          auto fut = leaf->read_part_async(p, buf.data());
+          reads.emplace(leaf,
+                        std::make_pair(std::move(buf), std::move(fut)));
+        }
+        prefetch.emplace_back(p, std::move(reads));
+      }
+      for (auto& [p, reads] : prefetch) {
+        // Wait for this partition's data.
+        for (auto& [leaf, br] : reads) {
+          br.second.get();
+          ctx.em_bufs[leaf] = std::move(br.first);
+        }
+        numa_tracker::global().record_access(
+            p, ctx.thread_idx % conf().numa_nodes, conf().numa_nodes);
+        ctx.part = p;
+        ctx.part_row0 = dag_.space.part_row_begin(p);
+        ctx.part_rows = dag_.space.rows_in_part(p);
+        process_partition(ctx);
+        ctx.em_bufs.clear();
+      }
+    }
+
+    std::lock_guard<std::mutex> lock(acc_mutex_);
+    all_sink_acc_[static_cast<std::size_t>(thread_idx)] =
+        std::move(ctx.sink_acc);
+  });
+
+  // Assign tall output stores to their nodes.
+  for (std::size_t i = 0; i < dag_.tall_outputs.size(); ++i)
+    dag_.tall_outputs[i]->set_result(out_stores_[i]);
+  merge_sinks();
+  // Cheap no-op when no output went to SSDs.
+  em_store::drain_writes();
+}
+
+void pass_runner::process_partition(thread_ctx& ctx) {
+  // Fetch incoming cumulative carries before the first chunk.
+  ctx.cum_has_carry = false;
+  if (dag_.has_cum) {
+    for (auto& [node, chain] : cum_chains_) {
+      auto& carry = ctx.cum_carry[node];
+      carry.resize(node->ncol() * type_size(node->type()));
+      if (ctx.part > 0)
+        chain.wait_for(ctx.part - 1, carry.data(), carry.size());
+    }
+    ctx.cum_has_carry = ctx.part > 0;
+  }
+
+  // Staging buffers for outputs that land on SSDs.
+  for (std::size_t i = 0; i < dag_.tall_outputs.size(); ++i) {
+    virtual_store* v = dag_.tall_outputs[i];
+    if (out_stores_[i]->kind() == store_kind::ext)
+      ctx.out_stage[v] =
+          buffer_pool::global().get(v->geom().part_bytes(ctx.part, v->type()));
+  }
+
+  const std::size_t step =
+      cfg_.chunk_rows == 0 ? ctx.part_rows : cfg_.chunk_rows;
+  for (std::size_t r = 0; r < ctx.part_rows; r += step) {
+    ctx.chunk_row0 = r;
+    ctx.chunk_rows = std::min(step, ctx.part_rows - r);
+    process_chunk(ctx);
+    ctx.cum_has_carry = true;  // after the first chunk, carries are live
+  }
+
+  // Flush outputs.
+  for (std::size_t i = 0; i < dag_.tall_outputs.size(); ++i) {
+    virtual_store* v = dag_.tall_outputs[i];
+    if (out_stores_[i]->kind() == store_kind::ext) {
+      auto it = ctx.out_stage.find(v);
+      static_cast<em_store*>(out_stores_[i].get())
+          ->write_part_async(ctx.part, std::move(it->second));
+      ctx.out_stage.erase(it);
+    }
+  }
+
+  // Publish cumulative carries for the next partition.
+  for (auto& [node, chain] : cum_chains_) {
+    const auto& carry = ctx.cum_carry[node];
+    chain.publish(ctx.part, carry.data(), carry.size());
+  }
+}
+
+kern::view pass_runner::leaf_view(thread_ctx& ctx, const matrix_store* leaf) {
+  switch (leaf->kind()) {
+    case store_kind::mem: {
+      auto* m = static_cast<const mem_store*>(leaf);
+      const std::size_t stride = m->part_stride(ctx.part);
+      return kern::view{
+          m->part_data(ctx.part) + ctx.chunk_row0 * leaf->elem_size(),
+          stride};
+    }
+    case store_kind::ext: {
+      auto* e = static_cast<const em_readable*>(leaf);
+      auto it = ctx.em_bufs.find(e);
+      FLASHR_ASSERT(it != ctx.em_bufs.end(), "EM partition not prefetched");
+      return kern::view{
+          it->second.data() + ctx.chunk_row0 * leaf->elem_size(),
+          ctx.part_rows};
+    }
+    default:
+      FLASHR_ASSERT(false, "not a leaf store");
+      return {};
+  }
+}
+
+chunk_buf& pass_runner::ensure(thread_ctx& ctx,
+                               const matrix_store::ptr& child) {
+  const matrix_store* key = resolve(child.get());
+  chunk_buf& cb = ctx.chunk[static_cast<std::size_t>(dag_.id_of(key))];
+  if (cb.gen == ctx.gen) return cb;
+
+  cb.gen = ctx.gen;
+  cb.owned.release();
+  auto cons = dag_.consumers.find(key);
+  cb.remaining = cons == dag_.consumers.end() ? 1 : cons->second;
+
+  switch (key->kind()) {
+    case store_kind::mem:
+    case store_kind::ext:
+      cb.v = leaf_view(ctx, key);
+      break;
+    case store_kind::generated: {
+      auto* g = static_cast<const generated_store*>(key);
+      cb.owned = buffer_pool::global().get(ctx.chunk_rows * g->ncol() *
+                                           g->elem_size());
+      ++ctx.live_owned;
+      g->generate(ctx.part_row0 + ctx.chunk_row0, ctx.chunk_rows,
+                  cb.owned.data(), ctx.chunk_rows);
+      cb.v = kern::view{cb.owned.data(), ctx.chunk_rows};
+      break;
+    }
+    case store_kind::virt: {
+      auto* v = const_cast<virtual_store*>(
+          static_cast<const virtual_store*>(key));
+      eval_virtual(ctx, v, cb);
+      break;
+    }
+  }
+  return cb;
+}
+
+void pass_runner::unref(thread_ctx& ctx, const matrix_store::ptr& child) {
+  const matrix_store* key = resolve(child.get());
+  chunk_buf& cb = ctx.chunk[static_cast<std::size_t>(dag_.id_of(key))];
+  FLASHR_ASSERT(cb.gen == ctx.gen && cb.remaining > 0,
+                "unref of missing chunk");
+  if (--cb.remaining <= 0 && cb.owned.valid()) {
+    // Buffer returns to the pool (LIFO) so the very next allocation —
+    // typically the consumer's output — reuses cache-hot memory (§3.5.1).
+    cb.owned.release();
+    --ctx.live_owned;
+  }
+}
+
+void pass_runner::eval_virtual(thread_ctx& ctx, virtual_store* v,
+                               chunk_buf& out) {
+  const genop& op = v->op();
+  const auto& ch = v->children();
+  const std::size_t rows = ctx.chunk_rows;
+  const std::size_t cols = v->ncol();
+
+  // Gather child views first (depth-first traversal).
+  std::vector<kern::view> in;
+  in.reserve(ch.size());
+  for (const auto& c : ch) in.push_back(ensure(ctx, c).v);
+
+  out.owned = buffer_pool::global().get(rows * cols * v->elem_size());
+  ++ctx.live_owned;
+  char* o = out.owned.data();
+  const std::size_t ostride = rows;
+  const scalar_type ct = resolve(ch[0].get())->type();
+
+  switch (op.kind) {
+    case node_kind::sapply:
+      kern::sapply(ct, op.u, in[0], rows, cols, o, ostride);
+      break;
+    case node_kind::map2: {
+      const bool bcast =
+          resolve(ch[1].get())->ncol() == 1 && cols > 1;
+      kern::map2(ct, op.b, in[0], in[1], bcast, rows, cols, o, ostride);
+      break;
+    }
+    case node_kind::map_scalar:
+      kern::map_scalar(ct, op.b, in[0], op.scalar, op.scalar_left, rows, cols,
+                       o, ostride);
+      break;
+    case node_kind::sweep_rowvec:
+      kern::sweep_rowvec(ct, op.b, in[0], op.small.data(), rows, cols, o,
+                         ostride);
+      break;
+    case node_kind::inner_prod:
+      kern::inner_prod(ct, op.b, op.a, in[0], rows,
+                       resolve(ch[0].get())->ncol(), op.small, o, ostride);
+      break;
+    case node_kind::agg_row:
+      kern::agg_row(ct, op.a, op.return_index, in[0], rows,
+                    resolve(ch[0].get())->ncol(), o);
+      break;
+    case node_kind::cum_col: {
+      auto& carry = ctx.cum_carry[v];
+      kern::cum_col(ct, op.b, in[0], rows, cols, o, ostride, carry.data(),
+                    ctx.cum_has_carry);
+      break;
+    }
+    case node_kind::cum_row:
+      kern::cum_row(ct, op.b, in[0], rows, cols, o, ostride);
+      break;
+    case node_kind::cast_type:
+      kern::cast(ct, op.to_type, in[0], rows, cols, o, ostride);
+      break;
+    case node_kind::select_cols: {
+      for (std::size_t j = 0; j < op.cols.size(); ++j) {
+        kern::view col{in[0].data + op.cols[j] * in[0].stride * v->elem_size(),
+                       in[0].stride};
+        kern::copy(ct, col, rows, 1, o + j * ostride * v->elem_size(),
+                   ostride);
+      }
+      break;
+    }
+    case node_kind::groupby_col:
+      kern::groupby_col(ct, op.a, in[0], rows,
+                        resolve(ch[0].get())->ncol(), op.cols.data(),
+                        op.num_groups, o, ostride);
+      break;
+    case node_kind::cbind2: {
+      std::size_t at = 0;
+      for (std::size_t c = 0; c < ch.size(); ++c) {
+        const std::size_t w = resolve(ch[c].get())->ncol();
+        kern::copy(resolve(ch[c].get())->type(), in[c], rows, w,
+                   o + at * ostride * v->elem_size(), ostride);
+        at += w;
+      }
+      break;
+    }
+    default:
+      FLASHR_ASSERT(false, "sink evaluated as aligned node");
+  }
+
+  out.v = kern::view{o, ostride};
+  for (const auto& c : ch) unref(ctx, c);
+}
+
+void pass_runner::process_chunk(thread_ctx& ctx) {
+  ++ctx.gen;
+  // Tall outputs: evaluate and copy the chunk into the partition store.
+  for (std::size_t i = 0; i < dag_.tall_outputs.size(); ++i) {
+    virtual_store* v = dag_.tall_outputs[i];
+    chunk_buf& cb = ensure(ctx, v->shared_from_this());
+    const std::size_t esz = v->elem_size();
+    if (out_stores_[i]->kind() == store_kind::ext) {
+      char* dst = ctx.out_stage[v].data() + ctx.chunk_row0 * esz;
+      kern::copy(v->type(), cb.v, ctx.chunk_rows, v->ncol(), dst,
+                 ctx.part_rows);
+    } else {
+      auto* m = static_cast<mem_store*>(out_stores_[i].get());
+      char* dst = m->part_data(ctx.part) + ctx.chunk_row0 * esz;
+      kern::copy(v->type(), cb.v, ctx.chunk_rows, v->ncol(), dst,
+                 m->part_stride(ctx.part));
+    }
+    unref(ctx, v->shared_from_this());
+  }
+
+  // Sinks: accumulate into this thread's partials.
+  for (std::size_t s = 0; s < sinks_.size(); ++s) {
+    virtual_store* v = sinks_[s].node;
+    const genop& op = v->op();
+    const auto& ch = v->children();
+    char* acc = ctx.sink_acc[s].data();
+    const scalar_type ct = resolve(ch[0].get())->type();
+    switch (op.kind) {
+      case node_kind::s_agg_full: {
+        chunk_buf& a = ensure(ctx, ch[0]);
+        kern::agg_full_acc(ct, op.a, a.v, ctx.chunk_rows,
+                           resolve(ch[0].get())->ncol(), acc);
+        unref(ctx, ch[0]);
+        break;
+      }
+      case node_kind::s_agg_col: {
+        chunk_buf& a = ensure(ctx, ch[0]);
+        kern::agg_col_acc(ct, op.a, a.v, ctx.chunk_rows,
+                          resolve(ch[0].get())->ncol(), acc);
+        unref(ctx, ch[0]);
+        break;
+      }
+      case node_kind::s_tmm: {
+        chunk_buf& a = ensure(ctx, ch[0]);
+        chunk_buf& b = ensure(ctx, ch[1]);
+        kern::tmm_acc(ct, op.b, op.a, a.v, b.v, ctx.chunk_rows,
+                      resolve(ch[0].get())->ncol(),
+                      resolve(ch[1].get())->ncol(), acc);
+        unref(ctx, ch[0]);
+        unref(ctx, ch[1]);
+        break;
+      }
+      case node_kind::s_groupby_row: {
+        chunk_buf& a = ensure(ctx, ch[0]);
+        chunk_buf& lab = ensure(ctx, ch[1]);
+        kern::groupby_row_acc(ct, op.a, a.v, lab.v, ctx.chunk_rows,
+                              resolve(ch[0].get())->ncol(), op.num_groups,
+                              acc);
+        unref(ctx, ch[0]);
+        unref(ctx, ch[1]);
+        break;
+      }
+      case node_kind::s_count_groups: {
+        chunk_buf& lab = ensure(ctx, ch[0]);
+        kern::count_groups_acc(lab.v, ctx.chunk_rows, op.num_groups,
+                               reinterpret_cast<std::int64_t*>(acc));
+        unref(ctx, ch[0]);
+        break;
+      }
+      default:
+        FLASHR_ASSERT(false, "aligned node in sink list");
+    }
+  }
+
+  // Every owned buffer must have been recycled by its last consumer.
+  FLASHR_ASSERT(ctx.live_owned == 0,
+                "leaked owned chunk buffer (refcount bug)");
+}
+
+void pass_runner::merge_sinks() {
+  for (std::size_t s = 0; s < sinks_.size(); ++s) {
+    const sink_desc& d = sinks_[s];
+    const std::size_t n = d.out_rows * d.out_cols;
+    std::vector<char> total;
+    bool first = true;
+    // Merge in thread order for determinism at a fixed thread count.
+    for (auto& per_thread : all_sink_acc_) {
+      if (per_thread.empty()) continue;
+      if (first) {
+        total = per_thread[s];
+        first = false;
+      } else if (d.node->op().kind == node_kind::s_count_groups) {
+        auto* a = reinterpret_cast<std::int64_t*>(total.data());
+        auto* b = reinterpret_cast<const std::int64_t*>(per_thread[s].data());
+        for (std::size_t i = 0; i < n; ++i) a[i] += b[i];
+      } else {
+        kern::agg_merge(d.out_type, d.merge_op, total.data(),
+                        per_thread[s].data(), n);
+      }
+    }
+    FLASHR_ASSERT(!first, "no sink partials produced");
+    // Sinks always land in memory (§3.5).
+    auto out = mem_store::create(d.out_rows, d.out_cols, d.out_type);
+    FLASHR_ASSERT(out->num_parts() == 1, "sink result must fit a partition");
+    kern::copy(d.out_type, kern::view{total.data(), d.out_rows}, d.out_rows,
+               d.out_cols, out->part_data(0), out->part_stride(0));
+    d.node->set_result(out);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Mode selection
+// ---------------------------------------------------------------------------
+
+void run_fused(dag_info& dag, storage st, bool cache_fuse) {
+  if (dag.order.empty()) return;
+  pass_config cfg;
+  cfg.st = st;
+  cfg.chunk_rows =
+      cache_fuse ? chunk_rows_for(dag.max_ncol, dag.space.part_rows) : 0;
+  pass_runner runner(dag, cfg);
+  runner.run();
+}
+
+/// "Base" execution: one full pass per operation. When the DAG's data lives
+/// on SSDs, intermediates are materialized on SSDs too — that is the paper's
+/// base ("materializing every matrix operation separately causes SSDs to be
+/// the main bottleneck"); only requested targets honour the caller's
+/// storage. Sinks always land in memory regardless.
+void run_eager(dag_info& dag, storage st,
+               const std::vector<matrix_store::ptr>& targets) {
+  const storage intermediate_st =
+      dag.em_leaves.empty() ? st : storage::ext_mem;
+  std::unordered_set<const matrix_store*> requested;
+  for (const auto& t : targets)
+    if (t) requested.insert(resolve(t.get()));
+  for (virtual_store* v : dag.order) {
+    if (v->has_result()) continue;
+    std::vector<matrix_store::ptr> single{v->shared_from_this()};
+    dag_info sub = collect(single);
+    run_fused(sub, requested.count(v) ? st : intermediate_st, false);
+  }
+}
+
+}  // namespace
+
+std::size_t pcache_rows(std::size_t max_ncol, std::size_t part_rows) {
+  const std::size_t bytes_per_row = std::max<std::size_t>(max_ncol, 1) * 8;
+  std::size_t rows = conf().pcache_bytes / bytes_per_row;
+  rows = std::max<std::size_t>(rows, 16);
+  rows = std::bit_floor(rows);
+  return std::min(rows, part_rows);
+}
+
+void materialize(const std::vector<matrix_store::ptr>& targets, storage st) {
+  dag_info dag = collect(targets);
+  if (dag.order.empty()) return;
+  switch (conf().mode) {
+    case exec_mode::eager:
+      run_eager(dag, st, targets);
+      break;
+    case exec_mode::mem_fuse:
+      run_fused(dag, st, false);
+      break;
+    case exec_mode::cache_fuse:
+      run_fused(dag, st, true);
+      break;
+  }
+}
+
+}  // namespace flashr::exec

@@ -1,0 +1,37 @@
+// DAG materialization (§3.5).
+//
+// Given a set of requested virtual matrices, the executor gathers the DAG of
+// un-materialized nodes beneath them and evaluates everything in a single
+// parallel pass over the shared partition space (plus nodes flagged with
+// set.cache). Three execution modes reproduce the ablation of §4.6:
+//
+//  * exec_mode::eager      — every node gets its own full pass ("base").
+//  * exec_mode::mem_fuse   — one pass over leaf data; intermediates
+//                            materialize whole I/O partitions in RAM.
+//  * exec_mode::cache_fuse — I/O partitions are split into Pcache partitions
+//                            evaluated depth-first with buffer recycling, so
+//                            intermediates live in the CPU cache.
+//
+// Partition-aligned outputs are written to `st` (RAM or SSD); sink outputs
+// (aggregates, groupbys, generalized t(A)%*%B) are accumulated per thread
+// and merged, always landing in memory (§3.5: only sink matrices are kept by
+// default, giving the small memory footprint of Table 6).
+#pragma once
+
+#include <vector>
+
+#include "common/config.h"
+#include "matrix/matrix_store.h"
+
+namespace flashr::exec {
+
+/// Materialize every virtual store in `targets` (non-virtual entries are
+/// ignored; already-materialized nodes are skipped). On return, each target
+/// virtual_store has its result() set.
+void materialize(const std::vector<matrix_store::ptr>& targets, storage st);
+
+/// Rows per Pcache chunk for a DAG whose widest matrix has `max_ncol`
+/// columns (exposed for tests).
+std::size_t pcache_rows(std::size_t max_ncol, std::size_t part_rows);
+
+}  // namespace flashr::exec

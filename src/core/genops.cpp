@@ -1,0 +1,96 @@
+#include "core/genops.h"
+
+namespace flashr {
+
+const char* uop_name(uop_id op) {
+  switch (op) {
+    case uop_id::neg: return "neg";
+    case uop_id::abs_v: return "abs";
+    case uop_id::sqrt_v: return "sqrt";
+    case uop_id::exp_v: return "exp";
+    case uop_id::log_v: return "log";
+    case uop_id::log1p_v: return "log1p";
+    case uop_id::sigmoid: return "sigmoid";
+    case uop_id::square: return "square";
+    case uop_id::inv: return "inv";
+    case uop_id::floor_v: return "floor";
+    case uop_id::ceil_v: return "ceil";
+    case uop_id::sign: return "sign";
+    case uop_id::not_v: return "not";
+  }
+  return "?";
+}
+
+const char* bop_name(bop_id op) {
+  switch (op) {
+    case bop_id::add: return "+";
+    case bop_id::sub: return "-";
+    case bop_id::mul: return "*";
+    case bop_id::div: return "/";
+    case bop_id::mod: return "%%";
+    case bop_id::pow_v: return "^";
+    case bop_id::min_v: return "pmin";
+    case bop_id::max_v: return "pmax";
+    case bop_id::eq: return "==";
+    case bop_id::ne: return "!=";
+    case bop_id::lt: return "<";
+    case bop_id::le: return "<=";
+    case bop_id::gt: return ">";
+    case bop_id::ge: return ">=";
+    case bop_id::and_v: return "&";
+    case bop_id::or_v: return "|";
+    case bop_id::sqdiff: return "sqdiff";
+  }
+  return "?";
+}
+
+const char* agg_name(agg_id op) {
+  switch (op) {
+    case agg_id::sum: return "sum";
+    case agg_id::prod: return "prod";
+    case agg_id::min_v: return "min";
+    case agg_id::max_v: return "max";
+    case agg_id::count_nonzero: return "count";
+    case agg_id::any_v: return "any";
+    case agg_id::all_v: return "all";
+  }
+  return "?";
+}
+
+const char* node_kind_name(node_kind k) {
+  switch (k) {
+    case node_kind::sapply: return "sapply";
+    case node_kind::map2: return "mapply";
+    case node_kind::map_scalar: return "mapply.scalar";
+    case node_kind::sweep_rowvec: return "sweep";
+    case node_kind::inner_prod: return "inner.prod";
+    case node_kind::agg_row: return "agg.row";
+    case node_kind::cum_col: return "cum.col";
+    case node_kind::cum_row: return "cum.row";
+    case node_kind::cast_type: return "cast";
+    case node_kind::select_cols: return "[,cols]";
+    case node_kind::cbind2: return "cbind";
+    case node_kind::groupby_col: return "groupby.col";
+    case node_kind::s_agg_full: return "agg";
+    case node_kind::s_agg_col: return "agg.col";
+    case node_kind::s_tmm: return "t(A)%*%B";
+    case node_kind::s_groupby_row: return "groupby.row";
+    case node_kind::s_count_groups: return "table";
+  }
+  return "?";
+}
+
+bool is_sink(node_kind k) {
+  switch (k) {
+    case node_kind::s_agg_full:
+    case node_kind::s_agg_col:
+    case node_kind::s_tmm:
+    case node_kind::s_groupby_row:
+    case node_kind::s_count_groups:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace flashr

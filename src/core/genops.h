@@ -1,0 +1,135 @@
+// Generalized operations (GenOps, Table 1 of the paper) and their element
+// functions.
+//
+// GenOps take matrices plus element functions and yield new (virtual)
+// matrices. The element functions are predefined — the paper's implementation
+// makes the same choice ("all of these functions for GenOps in the current
+// implementation are predefined") — and identified by small enums so kernels
+// can be instantiated once per (op, type) pair with the dispatch hoisted out
+// of the element loops.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "blas/smat.h"
+#include "common/types.h"
+
+namespace flashr {
+
+/// Unary element functions (sapply).
+enum class uop_id : int {
+  neg,
+  abs_v,
+  sqrt_v,
+  exp_v,
+  log_v,
+  log1p_v,
+  sigmoid,   ///< 1 / (1 + exp(-x)) — used by logistic regression
+  square,
+  inv,       ///< 1 / x
+  floor_v,
+  ceil_v,
+  sign,
+  not_v,     ///< x == 0 ? 1 : 0
+};
+
+/// Binary element functions (mapply, inner.prod f1, sweep).
+enum class bop_id : int {
+  add,
+  sub,
+  mul,
+  div,
+  mod,
+  pow_v,
+  min_v,
+  max_v,
+  eq,
+  ne,
+  lt,
+  le,
+  gt,
+  ge,
+  and_v,
+  or_v,
+  sqdiff,  ///< (a - b)^2 — the "euclidean" function of the k-means example
+};
+
+/// Aggregation functions (agg, agg.row/col, groupby, inner.prod f2, cum).
+enum class agg_id : int {
+  sum,
+  prod,
+  min_v,
+  max_v,
+  count_nonzero,
+  any_v,
+  all_v,
+};
+
+const char* uop_name(uop_id op);
+const char* bop_name(bop_id op);
+const char* agg_name(agg_id op);
+
+/// Kinds of DAG nodes. The first group outputs matrices with the same
+/// partition dimension as the inputs (materialized partition-by-partition);
+/// the "sink" group outputs small matrices aggregated over all partitions
+/// (§3.4: "sink matrices ... tend to be small and, once materialized, store
+/// results in memory").
+enum class node_kind : int {
+  // Partition-aligned operations.
+  sapply,       ///< C_ij = f(A_ij)
+  map2,         ///< C_ij = f(A_ij, B_ij); B may be n×1, broadcast over cols
+  map_scalar,   ///< C_ij = f(A_ij, c) or f(c, A_ij)
+  sweep_rowvec, ///< C_ij = f(A_ij, v_j), v a row vector of length ncol
+  inner_prod,   ///< C = inner.prod(A, B): t = f1(A_ik, B_kj); C_ij = f2-acc
+  agg_row,      ///< C_i = f-acc over row i (value, or arg index)
+  cum_col,      ///< C_ij = f(A_ij, C_{i-1,j}) — down the partition dimension
+  cum_row,      ///< C_ij = f(A_ij, C_{i,j-1}) — within each row
+  cast_type,    ///< element type conversion
+  select_cols,  ///< column subset view
+  cbind2,       ///< concatenate columns of partition-aligned inputs
+  groupby_col,  ///< C_{i,k} = f-acc over columns j with col_labels[j] == k
+                ///< (Table 1 groupby.col: splits columns into groups and
+                ///< applies agg.row to each group; partition-aligned)
+  // Sink operations.
+  s_agg_full,     ///< scalar aggregate over all elements
+  s_agg_col,      ///< 1×ncol aggregate over every column
+  s_tmm,          ///< generalized t(A) %*% B with (f1, f2) — p×k sink
+  s_groupby_row,  ///< groupby.row(A, labels, f): k×ncol sink
+  s_count_groups, ///< histogram of an integer label vector: k×1 sink
+};
+
+const char* node_kind_name(node_kind k);
+
+bool is_sink(node_kind k);
+
+/// Full description of one GenOp application; the payload of a virtual
+/// matrix node. Which fields are meaningful depends on `kind`.
+struct genop {
+  node_kind kind;
+  uop_id u = uop_id::neg;
+  bop_id b = bop_id::add;
+  agg_id a = agg_id::sum;
+  /// Scalar operand of map_scalar.
+  scalar_val scalar;
+  /// True if the scalar is the *left* argument: f(c, A_ij).
+  bool scalar_left = false;
+  /// Small dense operand: the p×k right-hand side of inner_prod / s_tmm's
+  /// std small case, or the length-ncol vector of sweep_rowvec. Stored in
+  /// double; cast to the node type inside kernels.
+  smat small;
+  /// agg_row: return the (0-based) column index of the min/max instead of
+  /// its value (which.min / which.max).
+  bool return_index = false;
+  /// s_groupby_row / s_count_groups / groupby_col: number of groups
+  /// (labels in [0, k)).
+  std::size_t num_groups = 0;
+  /// select_cols: chosen column indices; groupby_col: per-column group
+  /// labels (length = input ncol).
+  std::vector<std::size_t> cols;
+  /// cast_type: destination type.
+  scalar_type to_type = scalar_type::f64;
+};
+
+}  // namespace flashr

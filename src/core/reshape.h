@@ -1,0 +1,52 @@
+// Reshaping and value-space operations from Table 2/3 that fall outside the
+// partition-aligned GenOps:
+//
+//  * rbind  — concatenate matrices by rows (Table 3). Row concatenation
+//    changes the partition mapping, so this is a materializing copy (the
+//    paper treats large modifications the same way, citing TileDB fragments
+//    as future work).
+//  * unique / table — output sizes depend on the data, so FlashR
+//    materializes them implicitly (§3.4, case iv). Implemented as a
+//    partition-streaming scan with host-side sets/maps.
+//  * replace_cols — the `[ ] <-` column write: returns a virtual matrix that
+//    constructs the modified matrix on the fly (Table 3: "writing to a
+//    matrix outputs a virtual matrix"), built from cbind + column selection
+//    so no new kernels are involved.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "core/dense_matrix.h"
+
+namespace flashr {
+
+/// Concatenate by rows. All inputs must share ncol; the result is a new
+/// physical matrix in `st`.
+dense_matrix rbind(const std::vector<dense_matrix>& mats,
+                   storage st = storage::in_mem);
+
+/// Sorted distinct values of a matrix (R unique()). Streams partitions;
+/// memory grows with the number of DISTINCT values only.
+std::vector<double> unique_values(const dense_matrix& m);
+
+/// Value histogram (R table()): sorted (value, count) pairs.
+std::map<double, std::size_t> table_values(const dense_matrix& m);
+
+/// Table 1's groupby(A, f): split ELEMENTS by value and aggregate each
+/// group; returns value -> aggregate. The output size depends on the data,
+/// so (like unique/table, §3.4 case iv) it materializes implicitly via a
+/// streaming scan. Supported ops: sum, count_nonzero, min_v, max_v.
+std::map<double, double> groupby_values(const dense_matrix& m, agg_id op);
+
+/// A[, cols] <- B: matrix equal to `a` with `cols[i]` replaced by column i
+/// of `b`. Lazy (a cbind + column-permutation view).
+dense_matrix replace_cols(const dense_matrix& a,
+                          const std::vector<std::size_t>& cols,
+                          const dense_matrix& b);
+
+/// First `nrow` rows of a matrix as a new physical matrix (head()).
+dense_matrix head_rows(const dense_matrix& a, std::size_t nrow,
+                       storage st = storage::in_mem);
+
+}  // namespace flashr

@@ -1,0 +1,11 @@
+#include "core/virtual_store.h"
+
+namespace flashr {
+
+virtual_store::ptr virtual_store::make(part_geom geom, scalar_type type,
+                                       genop op,
+                                       std::vector<matrix_store::ptr> children) {
+  return ptr(new virtual_store(geom, type, std::move(op), std::move(children)));
+}
+
+}  // namespace flashr

@@ -1,0 +1,73 @@
+// Virtual matrices: the nodes of the lazy-evaluation DAG (§3.4).
+//
+// Every GenOp returns a virtual matrix that records the operation and its
+// inputs instead of data. A DAG is simply the graph of virtual stores
+// reachable from a set of requested outputs; materialization (core/exec.h)
+// fills each requested node's `result()` with a physical store, after which
+// the node behaves as a leaf in later DAGs. The set.cache flag (Table 3)
+// forces an intermediate node to keep its result too, the engine's analogue
+// of caching an RDD.
+#pragma once
+
+#include <atomic>
+#include <mutex>
+
+#include "common/config.h"
+#include "core/genops.h"
+#include "matrix/matrix_store.h"
+
+namespace flashr {
+
+class virtual_store final : public matrix_store {
+ public:
+  using ptr = std::shared_ptr<virtual_store>;
+
+  static ptr make(part_geom geom, scalar_type type, genop op,
+                  std::vector<matrix_store::ptr> children);
+
+  store_kind kind() const override { return store_kind::virt; }
+
+  const genop& op() const { return op_; }
+  const std::vector<matrix_store::ptr>& children() const { return children_; }
+  bool is_sink_node() const { return is_sink(op_.kind); }
+
+  /// Materialized result, or nullptr. Set once by the executor; thereafter
+  /// the node is transparent (reads forward to the result).
+  matrix_store::ptr result() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return result_;
+  }
+  void set_result(matrix_store::ptr r) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    result_ = std::move(r);
+  }
+  bool has_result() const { return result() != nullptr; }
+
+  /// set.cache: ask the executor to keep this node's data when a DAG
+  /// containing it is materialized, even if it is not a requested output.
+  /// Cached data lands in `st` ("cache data in memory or on SSDs", §3.5).
+  void set_cache_flag(bool v, storage st = storage::in_mem) {
+    cache_flag_.store(v);
+    cache_storage_.store(static_cast<int>(st));
+  }
+  bool cache_flag() const { return cache_flag_.load(); }
+  storage cache_storage() const {
+    return static_cast<storage>(cache_storage_.load());
+  }
+
+ private:
+  virtual_store(part_geom geom, scalar_type type, genop op,
+                std::vector<matrix_store::ptr> children)
+      : matrix_store(geom, type),
+        op_(std::move(op)),
+        children_(std::move(children)) {}
+
+  genop op_;
+  std::vector<matrix_store::ptr> children_;
+  mutable std::mutex mutex_;
+  matrix_store::ptr result_;
+  std::atomic<bool> cache_flag_{false};
+  std::atomic<int> cache_storage_{static_cast<int>(storage::in_mem)};
+};
+
+}  // namespace flashr

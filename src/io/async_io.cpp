@@ -1,0 +1,122 @@
+#include "io/async_io.h"
+
+#include "common/config.h"
+#include "common/error.h"
+
+namespace flashr {
+
+async_io::async_io(int num_threads) {
+  if (num_threads < 1) num_threads = 1;
+  threads_.reserve(static_cast<std::size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i)
+    threads_.emplace_back([this] { io_loop(); });
+}
+
+async_io::~async_io() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+std::future<void> async_io::submit_read(std::shared_ptr<const safs_file> file,
+                                        std::size_t offset, std::size_t len,
+                                        char* buf) {
+  request req;
+  req.rfile = std::move(file);
+  req.offset = offset;
+  req.len = len;
+  req.rbuf = buf;
+  req.is_write = false;
+  std::future<void> fut = req.done.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(req));
+  }
+  cv_.notify_one();
+  return fut;
+}
+
+void async_io::submit_write(std::shared_ptr<safs_file> file,
+                            std::size_t offset, std::size_t len,
+                            pool_buffer buf) {
+  request req;
+  req.wfile = std::move(file);
+  req.offset = offset;
+  req.len = len;
+  req.wbuf = std::move(buf);
+  req.is_write = true;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++pending_writes_;
+    queue_.push_back(std::move(req));
+  }
+  cv_.notify_one();
+}
+
+void async_io::drain_writes() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_drained_.wait(lock, [&] { return pending_writes_ == 0; });
+  if (write_error_) {
+    auto err = write_error_;
+    write_error_ = nullptr;
+    std::rethrow_exception(err);
+  }
+}
+
+void async_io::io_loop() {
+  for (;;) {
+    request req;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      req = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    io_throttle::global().acquire(req.len);
+    auto& stats = io_stats::global();
+    if (req.is_write) {
+      try {
+        req.wfile->write(req.offset, req.len, req.wbuf.data());
+        stats.write_ops.fetch_add(1, std::memory_order_relaxed);
+        stats.write_bytes.fetch_add(req.len, std::memory_order_relaxed);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!write_error_) write_error_ = std::current_exception();
+      }
+      req.wbuf.release();
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--pending_writes_ == 0) cv_drained_.notify_all();
+    } else {
+      try {
+        req.rfile->read(req.offset, req.len, req.rbuf);
+        stats.read_ops.fetch_add(1, std::memory_order_relaxed);
+        stats.read_bytes.fetch_add(req.len, std::memory_order_relaxed);
+        req.done.set_value();
+      } catch (...) {
+        req.done.set_exception(std::current_exception());
+      }
+    }
+  }
+}
+
+async_io& async_io::global() {
+  static std::mutex mutex;
+  static std::unique_ptr<async_io> service;
+  std::lock_guard<std::mutex> lock(mutex);
+  static int built_threads = -1;
+  const int want = conf().io_threads;
+  if (!service || built_threads != want) {
+    service = std::make_unique<async_io>(want);
+    built_threads = want;
+  }
+  return *service;
+}
+
+}  // namespace flashr

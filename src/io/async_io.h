@@ -1,0 +1,77 @@
+// Asynchronous I/O service (§3.2.1, §3.3).
+//
+// FlashR reads I/O partitions asynchronously: the scheduler hands a worker a
+// batch of contiguous partitions, the worker issues one asynchronous read for
+// the batch and computes on partitions as they arrive; writes of materialized
+// partitions are likewise issued asynchronously so compute never stalls on
+// the SSDs. We implement this with a small pool of dedicated I/O threads
+// draining a FIFO of requests against safs_files. Reads complete a future the
+// compute thread waits on; writes carry their buffer's ownership and are
+// tracked so a pass can drain them before finishing.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "io/safs.h"
+#include "mem/buffer_pool.h"
+
+namespace flashr {
+
+class async_io {
+ public:
+  explicit async_io(int num_threads);
+  ~async_io();
+  async_io(const async_io&) = delete;
+  async_io& operator=(const async_io&) = delete;
+
+  /// Read [offset, offset+len) of `file` into `buf` (caller keeps ownership
+  /// and must keep it alive until the future resolves). The future rethrows
+  /// any I/O error.
+  std::future<void> submit_read(std::shared_ptr<const safs_file> file,
+                                std::size_t offset, std::size_t len,
+                                char* buf);
+
+  /// Write [offset, offset+len) of `file` from `buf`. Ownership of `buf`
+  /// moves to the request; the buffer returns to its pool when the write
+  /// completes. Errors are deferred and rethrown by the next drain().
+  void submit_write(std::shared_ptr<safs_file> file, std::size_t offset,
+                    std::size_t len, pool_buffer buf);
+
+  /// Wait until all submitted writes have completed; rethrows the first
+  /// deferred write error if any.
+  void drain_writes();
+
+  /// Service sized to conf().io_threads.
+  static async_io& global();
+
+ private:
+  struct request {
+    std::shared_ptr<const safs_file> rfile;
+    std::shared_ptr<safs_file> wfile;
+    std::size_t offset = 0;
+    std::size_t len = 0;
+    char* rbuf = nullptr;
+    pool_buffer wbuf;
+    std::promise<void> done;
+    bool is_write = false;
+  };
+
+  void io_loop();
+
+  std::vector<std::thread> threads_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable cv_drained_;
+  std::deque<request> queue_;
+  int pending_writes_ = 0;
+  std::exception_ptr write_error_;
+  bool stop_ = false;
+};
+
+}  // namespace flashr

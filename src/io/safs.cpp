@@ -1,0 +1,163 @@
+#include "io/safs.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <thread>
+
+#include "common/align.h"
+#include "common/config.h"
+#include "common/error.h"
+#include "common/log.h"
+#include "common/rng.h"
+
+namespace flashr {
+
+io_stats& io_stats::global() {
+  static io_stats stats;
+  return stats;
+}
+
+std::shared_ptr<safs_file> safs_file::create(const std::string& name,
+                                             std::size_t bytes,
+                                             stripe_placement placement) {
+  return std::shared_ptr<safs_file>(new safs_file(name, bytes, placement));
+}
+
+safs_file::safs_file(std::string name, std::size_t bytes,
+                     stripe_placement placement)
+    : name_(std::move(name)),
+      size_(bytes),
+      unit_(conf().stripe_unit),
+      placement_(placement) {
+  const int stripes = conf().stripes;
+  const std::size_t num_units = (bytes + unit_ - 1) / unit_;
+
+  // Build the unit -> (file, slot) map. Hash placement follows the paper:
+  // a hash spreads units over devices so partial-column access still uses
+  // the whole array. Slots are dense per file so backing files stay compact.
+  unit_file_.resize(num_units);
+  unit_slot_.resize(num_units);
+  std::vector<std::uint64_t> next_slot(static_cast<std::size_t>(stripes), 0);
+  for (std::size_t u = 0; u < num_units; ++u) {
+    const std::uint32_t f =
+        placement_ == stripe_placement::hash
+            ? static_cast<std::uint32_t>(mix64(u) %
+                                         static_cast<std::uint64_t>(stripes))
+            : static_cast<std::uint32_t>(u % static_cast<std::size_t>(stripes));
+    unit_file_[u] = f;
+    unit_slot_[u] = next_slot[f]++;
+  }
+
+  fds_.reserve(static_cast<std::size_t>(stripes));
+  paths_.reserve(static_cast<std::size_t>(stripes));
+  int open_flags = O_RDWR | O_CREAT | O_TRUNC;
+  bool direct = conf().direct_io;
+  for (int s = 0; s < stripes; ++s) {
+    std::string path =
+        conf().em_dir + "/" + name_ + ".stripe" + std::to_string(s);
+    int fd = -1;
+    if (direct) {
+      fd = ::open(path.c_str(), open_flags | O_DIRECT, 0644);
+      if (fd < 0) {
+        // Filesystem refuses O_DIRECT (tmpfs, overlayfs): fall back for all
+        // stripes and remember so we do not retry per file.
+        direct = false;
+        FLASHR_WARN("O_DIRECT unavailable for %s; using buffered I/O",
+                    path.c_str());
+      }
+    }
+    if (fd < 0) fd = ::open(path.c_str(), open_flags, 0644);
+    if (fd < 0) throw_io_error("cannot create SAFS stripe file " + path);
+    fds_.push_back(fd);
+    paths_.push_back(std::move(path));
+  }
+}
+
+safs_file::~safs_file() {
+  for (int fd : fds_) ::close(fd);
+  for (const auto& path : paths_) ::unlink(path.c_str());
+}
+
+std::vector<safs_file::segment> safs_file::map_range(std::size_t offset,
+                                                     std::size_t len) const {
+  FLASHR_ASSERT(offset + len <= ((size_ + unit_ - 1) / unit_) * unit_,
+                "SAFS access out of range: " + name_);
+  std::vector<segment> segs;
+  std::size_t pos = offset;
+  const std::size_t end = offset + len;
+  while (pos < end) {
+    const std::size_t u = pos / unit_;
+    const std::size_t in_unit = pos % unit_;
+    const std::size_t take = std::min(end - pos, unit_ - in_unit);
+    segs.push_back(segment{static_cast<int>(unit_file_[u]),
+                           unit_slot_[u] * unit_ + in_unit, take});
+    pos += take;
+  }
+  return segs;
+}
+
+void safs_file::read(std::size_t offset, std::size_t len, char* buf) const {
+  std::size_t done = 0;
+  for (const segment& seg : map_range(offset, len)) {
+    std::size_t got = 0;
+    while (got < seg.len) {
+      const ssize_t n =
+          ::pread(fds_[static_cast<std::size_t>(seg.file)], buf + done + got,
+                  seg.len - got, static_cast<off_t>(seg.file_off + got));
+      if (n < 0) throw_io_error("pread failed on " + paths_[static_cast<std::size_t>(seg.file)]);
+      if (n == 0) {
+        // Reading a hole past what has been written: zero-fill. EM stores
+        // only read partitions they wrote, but padding in the last partition
+        // may be untouched.
+        std::fill(buf + done + got, buf + done + seg.len, 0);
+        break;
+      }
+      got += static_cast<std::size_t>(n);
+    }
+    done += seg.len;
+  }
+}
+
+void safs_file::write(std::size_t offset, std::size_t len, const char* buf) {
+  std::size_t done = 0;
+  for (const segment& seg : map_range(offset, len)) {
+    std::size_t put = 0;
+    while (put < seg.len) {
+      const ssize_t n =
+          ::pwrite(fds_[static_cast<std::size_t>(seg.file)], buf + done + put,
+                   seg.len - put, static_cast<off_t>(seg.file_off + put));
+      if (n <= 0) throw_io_error("pwrite failed on " + paths_[static_cast<std::size_t>(seg.file)]);
+      put += static_cast<std::size_t>(n);
+    }
+    done += seg.len;
+  }
+}
+
+void io_throttle::acquire(std::size_t bytes) {
+  const double mbps = conf().io_throttle_mbps;
+  if (mbps <= 0.0 || bytes == 0) return;
+  const auto now = std::chrono::steady_clock::now().time_since_epoch();
+  const std::int64_t now_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(now).count();
+  const std::int64_t cost_ns = static_cast<std::int64_t>(
+      static_cast<double>(bytes) / (mbps * 1e6) * 1e9);
+  // Reserve a slot on the shared timeline, then sleep until it arrives.
+  std::int64_t prev = next_free_ns_.load(std::memory_order_relaxed);
+  std::int64_t start;
+  do {
+    start = std::max(prev, now_ns);
+  } while (!next_free_ns_.compare_exchange_weak(prev, start + cost_ns,
+                                                std::memory_order_relaxed));
+  const std::int64_t wake_ns = start + cost_ns;
+  if (wake_ns > now_ns)
+    std::this_thread::sleep_for(std::chrono::nanoseconds(wake_ns - now_ns));
+}
+
+io_throttle& io_throttle::global() {
+  static io_throttle throttle;
+  return throttle;
+}
+
+}  // namespace flashr

@@ -1,0 +1,143 @@
+#include "matrix/block_matrix.h"
+
+#include <numeric>
+
+#include "common/error.h"
+
+namespace flashr {
+
+block_matrix::block_matrix(const dense_matrix& wide) {
+  FLASHR_CHECK(wide.valid() && !wide.is_transposed(),
+               "block_matrix: need a non-transposed matrix");
+  const std::size_t p = wide.ncol();
+  for (std::size_t c0 = 0; c0 < p; c0 += kBlockCols) {
+    const std::size_t cols = std::min(kBlockCols, p - c0);
+    std::vector<std::size_t> idx(cols);
+    std::iota(idx.begin(), idx.end(), c0);
+    blocks_.push_back(select_cols(wide, idx));
+  }
+}
+
+block_matrix::block_matrix(std::vector<dense_matrix> blocks)
+    : blocks_(std::move(blocks)) {
+  FLASHR_CHECK(!blocks_.empty(), "block_matrix: no blocks");
+  for (const auto& b : blocks_) {
+    FLASHR_CHECK_SHAPE(b.nrow() == blocks_[0].nrow(),
+                       "block_matrix: blocks must share nrow");
+    FLASHR_CHECK_SHAPE(b.ncol() <= kBlockCols,
+                       "block_matrix: block too wide");
+  }
+}
+
+block_matrix block_matrix::rnorm(std::size_t nrow, std::size_t ncol,
+                                 double mu, double sd, std::uint64_t seed) {
+  std::vector<dense_matrix> blocks;
+  for (std::size_t c0 = 0; c0 < ncol; c0 += kBlockCols) {
+    const std::size_t cols = std::min(kBlockCols, ncol - c0);
+    blocks.push_back(dense_matrix::rnorm(nrow, cols, mu, sd, seed ^ c0));
+  }
+  return block_matrix(std::move(blocks));
+}
+
+std::size_t block_matrix::nrow() const {
+  return blocks_.empty() ? 0 : blocks_[0].nrow();
+}
+
+std::size_t block_matrix::ncol() const {
+  std::size_t p = 0;
+  for (const auto& b : blocks_) p += b.ncol();
+  return p;
+}
+
+block_matrix block_matrix::map(uop_id op) const {
+  std::vector<dense_matrix> out;
+  out.reserve(blocks_.size());
+  for (const auto& b : blocks_) out.push_back(sapply(b, op));
+  return block_matrix(std::move(out));
+}
+
+block_matrix block_matrix::map2(const block_matrix& o, bop_id op) const {
+  FLASHR_CHECK_SHAPE(num_blocks() == o.num_blocks(),
+                     "block_matrix: block structure mismatch");
+  std::vector<dense_matrix> out;
+  out.reserve(blocks_.size());
+  for (std::size_t i = 0; i < blocks_.size(); ++i)
+    out.push_back(mapply2(blocks_[i], o.blocks_[i], op));
+  return block_matrix(std::move(out));
+}
+
+block_matrix block_matrix::operator*(double c) const {
+  std::vector<dense_matrix> out;
+  out.reserve(blocks_.size());
+  for (const auto& b : blocks_) out.push_back(b * c);
+  return block_matrix(std::move(out));
+}
+
+smat block_matrix::col_sums() const {
+  std::vector<dense_matrix> sinks;
+  sinks.reserve(blocks_.size());
+  for (const auto& b : blocks_) sinks.push_back(flashr::col_sums(b));
+  materialize_all(sinks);  // one pass
+  smat out(1, ncol());
+  std::size_t at = 0;
+  for (const auto& s : sinks) {
+    smat h = s.to_smat();
+    for (std::size_t j = 0; j < h.ncol(); ++j) out(0, at++) = h(0, j);
+  }
+  return out;
+}
+
+smat block_matrix::crossprod() const {
+  const std::size_t nb = blocks_.size();
+  // Upper-triangular grid of per-block-pair sinks, one fused pass.
+  std::vector<std::vector<dense_matrix>> grid(nb);
+  std::vector<dense_matrix> targets;
+  for (std::size_t i = 0; i < nb; ++i) {
+    grid[i].resize(nb);
+    for (std::size_t j = i; j < nb; ++j) {
+      grid[i][j] = flashr::crossprod(blocks_[i], blocks_[j]);
+      targets.push_back(grid[i][j]);
+    }
+  }
+  materialize_all(targets);
+  smat out(ncol(), ncol());
+  std::size_t row0 = 0;
+  for (std::size_t i = 0; i < nb; ++i) {
+    std::size_t col0 = row0;
+    for (std::size_t j = i; j < nb; ++j) {
+      smat h = grid[i][j].to_smat();
+      for (std::size_t a = 0; a < h.nrow(); ++a)
+        for (std::size_t b = 0; b < h.ncol(); ++b) {
+          out(row0 + a, col0 + b) = h(a, b);
+          out(col0 + b, row0 + a) = h(a, b);
+        }
+      col0 += h.ncol();
+    }
+    row0 += blocks_[i].ncol();
+  }
+  return out;
+}
+
+dense_matrix block_matrix::matmul(const smat& b) const {
+  FLASHR_CHECK_SHAPE(b.nrow() == ncol(), "block matmul: shape mismatch");
+  dense_matrix acc;
+  std::size_t row0 = 0;
+  for (const auto& blk : blocks_) {
+    smat slice(blk.ncol(), b.ncol());
+    for (std::size_t j = 0; j < b.ncol(); ++j)
+      for (std::size_t i = 0; i < blk.ncol(); ++i)
+        slice(i, j) = b(row0 + i, j);
+    dense_matrix part = inner_prod(blk, slice, bop_id::mul, agg_id::sum);
+    acc = acc.valid() ? acc + part : part;
+    row0 += blk.ncol();
+  }
+  return acc;
+}
+
+void block_matrix::materialize(storage st) const {
+  materialize_all(blocks_, st);
+}
+
+dense_matrix block_matrix::to_dense() const { return cbind(blocks_); }
+
+}  // namespace flashr

@@ -1,0 +1,70 @@
+// Block matrices (§3.2.2): "FlashR stores a tall matrix as a block matrix
+// comprised of TAS blocks with 32 columns each... We decompose a matrix
+// operation on a block matrix into operations on individual TAS matrices to
+// take advantage of the optimizations on TAS matrices and reduce data
+// movement. Coupled with the I/O partitioning on TAS matrices, this strategy
+// enables 2D-partitioning on a dense matrix."
+//
+// block_matrix is a thin decomposition layer over dense_matrix: a wide tall
+// matrix is held as a list of <=32-column TAS blocks, and each operation
+// maps onto per-block dense operations whose virtual nodes share one DAG —
+// so a crossprod of a 512-column block matrix becomes a 16x16 grid of
+// t(B_i) %*% B_j sinks, all materialized in a single pass over the data.
+#pragma once
+
+#include <vector>
+
+#include "core/dense_matrix.h"
+
+namespace flashr {
+
+class block_matrix {
+ public:
+  static constexpr std::size_t kBlockCols = 32;
+
+  block_matrix() = default;
+  /// Split an existing tall matrix into 32-column blocks (zero copy: blocks
+  /// are select_cols views that materialize lazily).
+  explicit block_matrix(const dense_matrix& wide);
+  /// Wrap pre-made blocks (all partition-aligned, <= 32 cols each).
+  explicit block_matrix(std::vector<dense_matrix> blocks);
+
+  static block_matrix rnorm(std::size_t nrow, std::size_t ncol, double mu,
+                            double sd, std::uint64_t seed);
+
+  std::size_t nrow() const;
+  std::size_t ncol() const;
+  std::size_t num_blocks() const { return blocks_.size(); }
+  const dense_matrix& block(std::size_t i) const { return blocks_[i]; }
+
+  /// Element-wise unary over every block.
+  block_matrix map(uop_id op) const;
+  /// Element-wise binary with a conforming block matrix.
+  block_matrix map2(const block_matrix& o, bop_id op) const;
+  block_matrix operator+(const block_matrix& o) const {
+    return map2(o, bop_id::add);
+  }
+  block_matrix operator*(double c) const;
+
+  /// colSums across all blocks — one pass, one sink per block.
+  smat col_sums() const;
+
+  /// t(this) %*% this: assembles the full p x p Gramian from per-block-pair
+  /// sinks, all fused into ONE pass over the data.
+  smat crossprod() const;
+
+  /// this %*% B with a small p x k right-hand side: per-block partial
+  /// products summed into a single tall result.
+  dense_matrix matmul(const smat& b) const;
+
+  /// Materialize all blocks to the given storage in one pass.
+  void materialize(storage st) const;
+
+  /// Reassemble into a single wide dense matrix (cbind).
+  dense_matrix to_dense() const;
+
+ private:
+  std::vector<dense_matrix> blocks_;
+};
+
+}  // namespace flashr

@@ -1,0 +1,46 @@
+// Synthetic stand-ins for the paper's evaluation datasets (Table 5).
+//
+// The paper benchmarks on Criteo (4.3 B x 40 click-prediction points, binary
+// labels) and PageGraph-32ev (3.5 B x 32: singular vectors of a web-graph
+// adjacency matrix). Neither fits this container, and Criteo is proprietary
+// raw data; these generators produce matrices with the same column counts and
+// the statistical features that matter for the benchmarked algorithms:
+//
+//  * criteo_like: 13 heavy-tailed "counter" features (exp-normal), 26
+//    small-cardinality integer "categorical hash" features, and a label
+//    planted from a logistic model over the features — so logistic
+//    regression and Naive Bayes have real signal to recover.
+//  * pagegraph_like: 32 correlated Gaussian columns with a power-law
+//    variance decay, mimicking spectral-embedding coordinates — so k-means
+//    and GMM produce meaningful clusters. A `clusters` option plants an
+//    actual mixture for accuracy checks.
+//
+// All generators are lazy (built from generated leaves + GenOps): drawing a
+// 10M-row dataset costs nothing until a DAG pulls it, and pushing it to SSDs
+// is a single conv_store call.
+#pragma once
+
+#include <cstdint>
+
+#include "core/dense_matrix.h"
+
+namespace flashr {
+
+struct labeled_data {
+  dense_matrix X;  ///< n x p features
+  dense_matrix y;  ///< n x 1 labels (0/1 for criteo_like)
+};
+
+/// Criteo-like click-through data: n x 40 (39 features + the label column
+/// separately). The label is Bernoulli(sigmoid(X w* + b*)) for a fixed
+/// planted w*, so learning curves behave like real CTR data.
+labeled_data criteo_like(std::size_t n, std::uint64_t seed = 1);
+
+/// PageGraph-32ev-like spectral embedding: n x 32 with decaying column
+/// scales. If `clusters` > 0, rows are drawn from that many Gaussian blobs
+/// (labels returned in `y`); otherwise a single correlated Gaussian and `y`
+/// is invalid.
+labeled_data pagegraph_like(std::size_t n, std::size_t clusters = 0,
+                            std::uint64_t seed = 2);
+
+}  // namespace flashr

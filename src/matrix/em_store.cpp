@@ -1,0 +1,87 @@
+#include "matrix/em_store.h"
+
+#include <atomic>
+#include <cstring>
+
+#include "common/config.h"
+#include "common/error.h"
+#include "io/async_io.h"
+
+namespace flashr {
+
+namespace {
+std::string next_em_name() {
+  static std::atomic<std::uint64_t> counter{0};
+  return "fm" + std::to_string(counter.fetch_add(1));
+}
+}  // namespace
+
+em_store::em_store(part_geom geom, scalar_type type,
+                   std::shared_ptr<safs_file> file)
+    : em_readable(geom, type), file_(std::move(file)) {}
+
+em_store::ptr em_store::create(std::size_t nrow, std::size_t ncol,
+                               scalar_type type, std::size_t part_rows) {
+  if (part_rows == 0) part_rows = conf().io_part_rows;
+  FLASHR_CHECK(ncol > 0, "matrix must have at least one column");
+  part_geom geom{nrow, ncol, part_rows};
+  const std::size_t bytes = geom.num_parts() * geom.full_part_bytes(type);
+  auto file = safs_file::create(next_em_name(), bytes);
+  return ptr(new em_store(geom, type, std::move(file)));
+}
+
+std::future<void> em_store::read_part_async(std::size_t pidx,
+                                            char* buf) const {
+  return async_io::global().submit_read(file_, part_offset(pidx),
+                                        geom_.part_bytes(pidx, type_), buf);
+}
+
+em_col_view::ptr em_col_view::create(std::shared_ptr<const em_store> base,
+                                     std::vector<std::size_t> cols) {
+  FLASHR_CHECK(!cols.empty(), "column view of nothing");
+  for (std::size_t c : cols)
+    FLASHR_CHECK_SHAPE(c < base->ncol(), "column view: index out of range");
+  part_geom geom{base->nrow(), cols.size(), base->geom().part_rows};
+  return ptr(new em_col_view(geom, std::move(base), std::move(cols)));
+}
+
+std::future<void> em_col_view::read_part_async(std::size_t pidx,
+                                               char* buf) const {
+  // One asynchronous read per selected column: within a partition, columns
+  // are contiguous file ranges at stride rows_in_part.
+  const std::size_t rows = geom_.rows_in_part(pidx);
+  const std::size_t col_bytes = rows * elem_size();
+  const std::size_t base_off = base_->part_offset(pidx);
+  const std::size_t base_rows = base_->geom().rows_in_part(pidx);
+  auto futures = std::make_shared<std::vector<std::future<void>>>();
+  futures->reserve(cols_.size());
+  for (std::size_t j = 0; j < cols_.size(); ++j)
+    futures->push_back(async_io::global().submit_read(
+        base_->file(), base_off + cols_[j] * base_rows * elem_size(),
+        col_bytes, buf + j * col_bytes));
+  // Deferred completion: the waiter's get() drains the per-column reads.
+  return std::async(std::launch::deferred, [futures] {
+    for (auto& f : *futures) f.get();
+  });
+}
+
+void em_store::write_part_async(std::size_t pidx, pool_buffer buf) {
+  FLASHR_ASSERT(buf.size() >= geom_.part_bytes(pidx, type_),
+                "write buffer too small");
+  async_io::global().submit_write(file_, part_offset(pidx),
+                                  geom_.part_bytes(pidx, type_),
+                                  std::move(buf));
+}
+
+void em_store::write_part(std::size_t pidx, const char* buf) {
+  const std::size_t len = geom_.part_bytes(pidx, type_);
+  io_throttle::global().acquire(len);
+  file_->write(part_offset(pidx), len, buf);
+  auto& stats = io_stats::global();
+  stats.write_ops.fetch_add(1, std::memory_order_relaxed);
+  stats.write_bytes.fetch_add(len, std::memory_order_relaxed);
+}
+
+void em_store::drain_writes() { async_io::global().drain_writes(); }
+
+}  // namespace flashr

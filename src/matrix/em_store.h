@@ -1,0 +1,104 @@
+// External-memory tall matrix storage: one SAFS file per matrix (§3.2.1).
+//
+// Partition p occupies the file range [p * full_part_bytes, ...): full-size
+// slots keep every partition at a computable, 4 KiB-aligned offset (the last
+// partition's slot is padded). Within the slot, data is packed column-major
+// with stride = rows in the partition, identical to mem_store, so a read
+// buffer can be consumed by the same kernels.
+#pragma once
+
+#include <future>
+
+#include "io/safs.h"
+#include "mem/buffer_pool.h"
+#include "matrix/matrix_store.h"
+
+namespace flashr {
+
+/// Anything the executor can stream from the SSDs partition by partition:
+/// a whole EM matrix, or a column view of one. Reads always deliver packed
+/// col-major data with stride = rows in the partition.
+class em_readable : public matrix_store {
+ public:
+  using matrix_store::matrix_store;
+
+  /// Asynchronously read partition `pidx` into `buf` (which must hold
+  /// geom().part_bytes(pidx, type())). The future resolves when data is
+  /// ready and rethrows I/O errors.
+  virtual std::future<void> read_part_async(std::size_t pidx,
+                                            char* buf) const = 0;
+
+  /// Synchronous partition read (tests, import, host gathers).
+  void read_part(std::size_t pidx, char* buf) const {
+    read_part_async(pidx, buf).get();
+  }
+};
+
+class em_store final : public em_readable {
+ public:
+  using ptr = std::shared_ptr<em_store>;
+
+  /// Create an (uninitialized) EM matrix backed by a fresh SAFS file.
+  static ptr create(std::size_t nrow, std::size_t ncol, scalar_type type,
+                    std::size_t part_rows = 0);
+
+  store_kind kind() const override { return store_kind::ext; }
+
+  std::future<void> read_part_async(std::size_t pidx,
+                                    char* buf) const override;
+
+  /// Asynchronously write partition `pidx`, taking ownership of `buf`.
+  void write_part_async(std::size_t pidx, pool_buffer buf);
+
+  /// Synchronous partition write.
+  void write_part(std::size_t pidx, const char* buf);
+
+  /// Wait for all outstanding writes to this (and any other) EM store.
+  static void drain_writes();
+
+  const std::shared_ptr<safs_file>& file() const { return file_; }
+
+ private:
+  friend class em_col_view;
+  em_store(part_geom geom, scalar_type type, std::shared_ptr<safs_file> file);
+
+  std::size_t part_offset(std::size_t pidx) const {
+    return pidx * geom_.full_part_bytes(type_);
+  }
+
+  std::shared_ptr<safs_file> file_;
+};
+
+/// A column subset of an EM matrix, readable as a leaf: partition reads
+/// fetch ONLY the selected columns (each column of a partition is a
+/// contiguous file range, and SAFS's hash striping spreads those ranges over
+/// the whole "SSD array" — the paper's §3.2.1 rationale). Column selection
+/// on SSD-resident data thus reduces I/O proportionally instead of reading
+/// whole partitions and discarding columns.
+class em_col_view final : public em_readable {
+ public:
+  using ptr = std::shared_ptr<em_col_view>;
+
+  static ptr create(std::shared_ptr<const em_store> base,
+                    std::vector<std::size_t> cols);
+
+  store_kind kind() const override { return store_kind::ext; }
+
+  std::future<void> read_part_async(std::size_t pidx,
+                                    char* buf) const override;
+
+  const std::vector<std::size_t>& cols() const { return cols_; }
+  const std::shared_ptr<const em_store>& base() const { return base_; }
+
+ private:
+  em_col_view(part_geom geom, std::shared_ptr<const em_store> base,
+              std::vector<std::size_t> cols)
+      : em_readable(geom, base->type()),
+        base_(std::move(base)),
+        cols_(std::move(cols)) {}
+
+  std::shared_ptr<const em_store> base_;
+  std::vector<std::size_t> cols_;
+};
+
+}  // namespace flashr

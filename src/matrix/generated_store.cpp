@@ -1,0 +1,75 @@
+#include "matrix/generated_store.h"
+
+#include "common/config.h"
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace flashr {
+
+generated_store::generated_store(part_geom geom, scalar_type type,
+                                 gen_kind kind, double param0, double param1,
+                                 std::uint64_t seed)
+    : matrix_store(geom, type),
+      gen_(kind),
+      param0_(param0),
+      param1_(param1),
+      seed_(seed) {}
+
+generated_store::ptr generated_store::create(std::size_t nrow,
+                                             std::size_t ncol,
+                                             scalar_type type, gen_kind kind,
+                                             double param0, double param1,
+                                             std::uint64_t seed,
+                                             std::size_t part_rows) {
+  if (part_rows == 0) part_rows = conf().io_part_rows;
+  FLASHR_CHECK(ncol > 0, "matrix must have at least one column");
+  part_geom geom{nrow, ncol, part_rows};
+  return ptr(
+      new generated_store(geom, type, kind, param0, param1, seed));
+}
+
+void generated_store::generate(std::size_t row_begin, std::size_t nrows,
+                               char* out, std::size_t out_stride) const {
+  FLASHR_ASSERT(row_begin + nrows <= nrow(), "generate out of range");
+  dispatch_type(type_, [&]<typename T>() {
+    T* o = reinterpret_cast<T*>(out);
+    for (std::size_t j = 0; j < ncol(); ++j) {
+      T* col = o + j * out_stride;
+      // The RNG counter is the element's global index so values do not
+      // depend on how the matrix is chunked.
+      const std::uint64_t col_base =
+          static_cast<std::uint64_t>(j) * static_cast<std::uint64_t>(nrow());
+      switch (gen_) {
+        case gen_kind::uniform:
+          for (std::size_t i = 0; i < nrows; ++i)
+            col[i] = static_cast<T>(
+                param0_ + (param1_ - param0_) *
+                              counter_uniform(seed_, col_base + row_begin + i));
+          break;
+        case gen_kind::normal:
+          for (std::size_t i = 0; i < nrows; ++i)
+            col[i] = static_cast<T>(
+                param0_ +
+                param1_ * counter_normal(seed_, col_base + row_begin + i));
+          break;
+        case gen_kind::constant:
+          for (std::size_t i = 0; i < nrows; ++i)
+            col[i] = static_cast<T>(param0_);
+          break;
+        case gen_kind::seq_row:
+          for (std::size_t i = 0; i < nrows; ++i)
+            col[i] = static_cast<T>(row_begin + i);
+          break;
+        case gen_kind::bernoulli:
+          for (std::size_t i = 0; i < nrows; ++i)
+            col[i] = static_cast<T>(
+                counter_uniform(seed_, col_base + row_begin + i) < param0_
+                    ? 1
+                    : 0);
+          break;
+      }
+    }
+  });
+}
+
+}  // namespace flashr

@@ -1,0 +1,52 @@
+// Generated matrix leaves (Table 3: runif.matrix, rnorm.matrix, plus
+// constants and sequences).
+//
+// A generated matrix stores nothing: any sub-range of any partition is
+// computed on demand from the element's global (row, col) index and a seed,
+// using the counter-based RNG in common/rng.h. This makes random matrices
+// free to store, reproducible regardless of partitioning, thread count or
+// execution mode, and cheap to fuse — exactly how FlashR materializes
+// rnorm.matrix inside a DAG without an extra pass.
+#pragma once
+
+#include <functional>
+
+#include "matrix/matrix_store.h"
+
+namespace flashr {
+
+enum class gen_kind : int {
+  uniform,   ///< uniform in [lo, hi)
+  normal,    ///< Normal(mu=param0, sd=param1)
+  constant,  ///< all elements = param0
+  seq_row,   ///< element (i, j) = i (global row index)
+  bernoulli  ///< 1 with probability param0, else 0
+};
+
+class generated_store final : public matrix_store {
+ public:
+  using ptr = std::shared_ptr<generated_store>;
+
+  static ptr create(std::size_t nrow, std::size_t ncol, scalar_type type,
+                    gen_kind kind, double param0, double param1,
+                    std::uint64_t seed, std::size_t part_rows = 0);
+
+  store_kind kind() const override { return store_kind::generated; }
+  gen_kind generator() const { return gen_; }
+
+  /// Fill `out` (col-major, column stride `out_stride` elements) with rows
+  /// [row_begin, row_begin + nrows) of all columns.
+  void generate(std::size_t row_begin, std::size_t nrows, char* out,
+                std::size_t out_stride) const;
+
+ private:
+  generated_store(part_geom geom, scalar_type type, gen_kind kind,
+                  double param0, double param1, std::uint64_t seed);
+
+  gen_kind gen_;
+  double param0_;
+  double param1_;
+  std::uint64_t seed_;
+};
+
+}  // namespace flashr

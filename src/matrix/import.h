@@ -1,0 +1,44 @@
+// Data import/export (Table 3: load.dense reads a dense matrix from text
+// files) and persistence of external-memory matrices.
+//
+// Text import streams the file partition by partition, so a CSV larger than
+// memory loads directly onto the SSD store. Binary save/load make an EM
+// matrix durable across processes: the matrix data already lives in a SAFS
+// file; save() writes a small metadata header next to a stable copy of the
+// stripes and load() reattaches it.
+#pragma once
+
+#include <string>
+
+#include "core/dense_matrix.h"
+
+namespace flashr {
+
+struct load_options {
+  char delimiter = ',';
+  bool header = false;          ///< skip the first line
+  storage st = storage::in_mem; ///< where the loaded matrix lives
+  scalar_type type = scalar_type::f64;
+};
+
+/// load.dense: parse a delimited text file of numeric rows into a tall
+/// matrix. Rows must all have the same number of fields. Streams the input:
+/// memory use is one I/O partition regardless of file size.
+dense_matrix load_dense(const std::string& path,
+                        const load_options& opts = {});
+
+/// Write a matrix as delimited text (one row per line).
+void save_dense_text(const dense_matrix& m, const std::string& path,
+                     char delimiter = ',');
+
+/// Persist a matrix into `dir` as <name>.meta + <name>.data (binary,
+/// partition-packed). Works for any storage; the matrix is materialized
+/// first.
+void save_matrix(const dense_matrix& m, const std::string& dir,
+                 const std::string& name);
+
+/// Reattach a matrix saved with save_matrix. `st` chooses where it lands.
+dense_matrix load_matrix(const std::string& dir, const std::string& name,
+                         storage st = storage::in_mem);
+
+}  // namespace flashr

@@ -1,0 +1,49 @@
+// Abstract base of all matrix storage.
+//
+// Concrete leaves: mem_store (RAM, chunked per partition), em_store (SAFS
+// file on the simulated SSD array), generated_store (elements computed on
+// demand from a counter-based RNG or pattern). The DAG adds virtual_store
+// (core/virtual_store.h), which represents un-materialized computation.
+//
+// Data layout contract: within each I/O partition, elements are column-major
+// with column stride equal to the number of rows in that partition. All
+// views handed to kernels carry their stride explicitly.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "common/types.h"
+#include "matrix/partition.h"
+
+namespace flashr {
+
+enum class store_kind : int { mem = 0, ext = 1, generated = 2, virt = 3 };
+
+class matrix_store : public std::enable_shared_from_this<matrix_store> {
+ public:
+  using ptr = std::shared_ptr<matrix_store>;
+  using const_ptr = std::shared_ptr<const matrix_store>;
+
+  matrix_store(part_geom geom, scalar_type type)
+      : geom_(geom), type_(type) {}
+  virtual ~matrix_store() = default;
+  matrix_store(const matrix_store&) = delete;
+  matrix_store& operator=(const matrix_store&) = delete;
+
+  std::size_t nrow() const { return geom_.nrow; }
+  std::size_t ncol() const { return geom_.ncol; }
+  scalar_type type() const { return type_; }
+  std::size_t elem_size() const { return type_size(type_); }
+  const part_geom& geom() const { return geom_; }
+  std::size_t num_parts() const { return geom_.num_parts(); }
+
+  virtual store_kind kind() const = 0;
+  bool is_virtual() const { return kind() == store_kind::virt; }
+
+ protected:
+  part_geom geom_;
+  scalar_type type_;
+};
+
+}  // namespace flashr

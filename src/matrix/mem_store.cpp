@@ -1,0 +1,54 @@
+#include "matrix/mem_store.h"
+
+#include <cstring>
+
+#include "common/config.h"
+#include "common/error.h"
+
+namespace flashr {
+
+mem_store::mem_store(part_geom geom, scalar_type type)
+    : matrix_store(geom, type) {
+  parts_.reserve(geom_.num_parts());
+  auto& pool = buffer_pool::global();
+  for (std::size_t p = 0; p < geom_.num_parts(); ++p)
+    parts_.push_back(pool.get(geom_.part_bytes(p, type_)));
+}
+
+mem_store::ptr mem_store::create(std::size_t nrow, std::size_t ncol,
+                                 scalar_type type, std::size_t part_rows) {
+  if (part_rows == 0) part_rows = conf().io_part_rows;
+  FLASHR_CHECK(ncol > 0, "matrix must have at least one column");
+  part_geom geom{nrow, ncol, part_rows};
+  return ptr(new mem_store(geom, type));
+}
+
+double mem_store::get_d(std::size_t row, std::size_t col) const {
+  FLASHR_ASSERT(row < nrow() && col < ncol(), "element out of range");
+  const std::size_t pidx = row / geom_.part_rows;
+  const std::size_t r = row - pidx * geom_.part_rows;
+  const std::size_t stride = part_stride(pidx);
+  const char* base = part_data(pidx);
+  return dispatch_type(type_, [&]<typename T>() {
+    return static_cast<double>(
+        reinterpret_cast<const T*>(base)[col * stride + r]);
+  });
+}
+
+void mem_store::set_d(std::size_t row, std::size_t col, double v) {
+  FLASHR_ASSERT(row < nrow() && col < ncol(), "element out of range");
+  const std::size_t pidx = row / geom_.part_rows;
+  const std::size_t r = row - pidx * geom_.part_rows;
+  const std::size_t stride = part_stride(pidx);
+  char* base = part_data(pidx);
+  dispatch_type(type_, [&]<typename T>() {
+    reinterpret_cast<T*>(base)[col * stride + r] = static_cast<T>(v);
+  });
+}
+
+void mem_store::fill_zero() {
+  for (std::size_t p = 0; p < num_parts(); ++p)
+    std::memset(part_data(p), 0, geom_.part_bytes(p, type_));
+}
+
+}  // namespace flashr

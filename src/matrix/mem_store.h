@@ -1,0 +1,50 @@
+// In-memory tall matrix storage.
+//
+// Each I/O partition owns one buffer from the shared buffer pool (§3.2.1:
+// fixed-size chunks recycled among all in-memory matrices). Within a
+// partition, data is column-major with stride = rows in that partition.
+#pragma once
+
+#include <vector>
+
+#include "mem/buffer_pool.h"
+#include "matrix/matrix_store.h"
+
+namespace flashr {
+
+class mem_store final : public matrix_store {
+ public:
+  using ptr = std::shared_ptr<mem_store>;
+
+  /// Allocate an uninitialized in-memory matrix.
+  static ptr create(std::size_t nrow, std::size_t ncol, scalar_type type,
+                    std::size_t part_rows = 0 /* 0 = conf default */);
+
+  store_kind kind() const override { return store_kind::mem; }
+
+  char* part_data(std::size_t pidx) {
+    return parts_[pidx].data();
+  }
+  const char* part_data(std::size_t pidx) const {
+    return parts_[pidx].data();
+  }
+
+  /// Column stride (in elements) within partition `pidx`.
+  std::size_t part_stride(std::size_t pidx) const {
+    return geom_.rows_in_part(pidx);
+  }
+
+  /// Element accessors for tests, small-matrix glue and debugging. Row/col
+  /// are global (partition resolved internally); value converted via double.
+  double get_d(std::size_t row, std::size_t col) const;
+  void set_d(std::size_t row, std::size_t col, double v);
+
+  void fill_zero();
+
+ private:
+  mem_store(part_geom geom, scalar_type type);
+
+  std::vector<pool_buffer> parts_;
+};
+
+}  // namespace flashr

@@ -1,0 +1,50 @@
+// Partition geometry shared by every tall matrix (§3.2.1).
+//
+// A tall-and-skinny matrix is physically split along its long dimension into
+// I/O partitions of a power-of-two number of rows. Every matrix in a DAG
+// shares the same partition row count, so partition i of a virtual matrix
+// depends only on partitions i of its parents — the property that lets the
+// executor materialize partitions independently.
+#pragma once
+
+#include <cstddef>
+
+#include "common/error.h"
+#include "common/types.h"
+
+namespace flashr {
+
+struct part_geom {
+  std::size_t nrow = 0;
+  std::size_t ncol = 0;
+  std::size_t part_rows = 1;  ///< rows per I/O partition (power of two)
+
+  std::size_t num_parts() const {
+    return nrow == 0 ? 0 : (nrow + part_rows - 1) / part_rows;
+  }
+
+  /// Rows in partition `pidx` (the last partition may be short).
+  std::size_t rows_in_part(std::size_t pidx) const {
+    FLASHR_ASSERT(pidx < num_parts(), "partition index out of range");
+    const std::size_t begin = pidx * part_rows;
+    return std::min(part_rows, nrow - begin);
+  }
+
+  std::size_t part_row_begin(std::size_t pidx) const {
+    return pidx * part_rows;
+  }
+
+  /// Bytes of one *full* partition of this matrix (used for EM file slots so
+  /// every partition lives at a computable, aligned offset).
+  std::size_t full_part_bytes(scalar_type t) const {
+    return part_rows * ncol * type_size(t);
+  }
+
+  /// Bytes actually occupied by partition `pidx` (packed, col-major with
+  /// column stride = rows_in_part(pidx)).
+  std::size_t part_bytes(std::size_t pidx, scalar_type t) const {
+    return rows_in_part(pidx) * ncol * type_size(t);
+  }
+};
+
+}  // namespace flashr

@@ -1,0 +1,94 @@
+#include "mem/buffer_pool.h"
+
+#include <bit>
+#include <cstdlib>
+
+#include "common/error.h"
+
+namespace flashr {
+
+pool_buffer& pool_buffer::operator=(pool_buffer&& o) noexcept {
+  if (this != &o) {
+    release();
+    pool_ = o.pool_;
+    data_ = o.data_;
+    size_ = o.size_;
+    class_ = o.class_;
+    o.pool_ = nullptr;
+    o.data_ = nullptr;
+    o.size_ = 0;
+    o.class_ = -1;
+  }
+  return *this;
+}
+
+void pool_buffer::release() noexcept {
+  if (data_ != nullptr && pool_ != nullptr)
+    pool_->put(data_, size_, class_);
+  pool_ = nullptr;
+  data_ = nullptr;
+  size_ = 0;
+  class_ = -1;
+}
+
+buffer_pool::~buffer_pool() { trim(); }
+
+int buffer_pool::class_of(std::size_t bytes) {
+  if (bytes < (std::size_t{1} << kMinClassLog2)) return 0;
+  const int log2 = std::bit_width(bytes - 1);
+  FLASHR_ASSERT(log2 <= kMaxClassLog2, "buffer request too large");
+  return log2 - kMinClassLog2;
+}
+
+pool_buffer buffer_pool::get(std::size_t bytes) {
+  const int cls = class_of(bytes);
+  const std::size_t class_bytes = std::size_t{1} << (cls + kMinClassLog2);
+  char* data = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& list = free_lists_[cls];
+    if (!list.empty()) {
+      data = list.back();
+      list.pop_back();
+    }
+  }
+  if (data == nullptr) {
+    // aligned_alloc_bytes rounds up to the alignment; class sizes are already
+    // multiples of kBufferAlign for all classes >= 4 KiB.
+    data = aligned_alloc_bytes(class_bytes).release();
+  }
+  const std::size_t out = outstanding_.fetch_add(class_bytes) + class_bytes;
+  std::size_t peak = peak_.load(std::memory_order_relaxed);
+  while (out > peak &&
+         !peak_.compare_exchange_weak(peak, out, std::memory_order_relaxed)) {
+  }
+  return pool_buffer(this, data, class_bytes, cls);
+}
+
+void buffer_pool::put(char* data, std::size_t size, int cls) noexcept {
+  outstanding_.fetch_sub(size);
+  std::lock_guard<std::mutex> lock(mutex_);
+  free_lists_[cls].push_back(data);
+}
+
+void buffer_pool::trim() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& list : free_lists_) {
+    for (char* p : list) std::free(p);
+    list.clear();
+  }
+}
+
+std::size_t buffer_pool::cached_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& list : free_lists_) n += list.size();
+  return n;
+}
+
+buffer_pool& buffer_pool::global() {
+  static buffer_pool pool;
+  return pool;
+}
+
+}  // namespace flashr

@@ -1,0 +1,97 @@
+// Recycled, size-classed memory buffers.
+//
+// FlashR (§3.2.1) stores in-memory matrices in fixed-size chunks shared among
+// all matrices so memory can be recycled cheaply, and (§3.5.1) recycles the
+// buffers of Pcache partitions so the output of the next operation is written
+// into memory that is already in CPU cache. Both behaviours are provided by
+// this pool: allocations are rounded to power-of-two size classes, freed
+// buffers go on per-class free lists, and a later allocation of the same
+// class reuses the most recently freed buffer (LIFO, for cache warmth).
+//
+// The pool also tracks current and peak outstanding bytes, which backs the
+// "peak memory" column of Table 6.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#include "common/align.h"
+
+namespace flashr {
+
+class buffer_pool;
+
+/// RAII handle for a pooled buffer. Movable, not copyable; returns the
+/// buffer to its pool on destruction.
+class pool_buffer {
+ public:
+  pool_buffer() = default;
+  pool_buffer(pool_buffer&& o) noexcept { *this = std::move(o); }
+  pool_buffer& operator=(pool_buffer&& o) noexcept;
+  pool_buffer(const pool_buffer&) = delete;
+  pool_buffer& operator=(const pool_buffer&) = delete;
+  ~pool_buffer() { release(); }
+
+  char* data() const noexcept { return data_; }
+  std::size_t size() const noexcept { return size_; }
+  bool valid() const noexcept { return data_ != nullptr; }
+
+  /// Return the buffer to the pool now.
+  void release() noexcept;
+
+ private:
+  friend class buffer_pool;
+  pool_buffer(buffer_pool* pool, char* data, std::size_t size, int cls)
+      : pool_(pool), data_(data), size_(size), class_(cls) {}
+
+  buffer_pool* pool_ = nullptr;
+  char* data_ = nullptr;
+  std::size_t size_ = 0;
+  int class_ = -1;
+};
+
+class buffer_pool {
+ public:
+  buffer_pool() = default;
+  ~buffer_pool();
+  buffer_pool(const buffer_pool&) = delete;
+  buffer_pool& operator=(const buffer_pool&) = delete;
+
+  /// Get a buffer of at least `bytes` bytes (rounded to the size class).
+  pool_buffer get(std::size_t bytes);
+
+  /// Bytes currently handed out (not on free lists).
+  std::size_t outstanding_bytes() const { return outstanding_.load(); }
+
+  /// High-water mark of outstanding bytes since construction or the last
+  /// reset_peak().
+  std::size_t peak_bytes() const { return peak_.load(); }
+
+  void reset_peak() { peak_.store(outstanding_.load()); }
+
+  /// Free all cached (idle) buffers back to the OS.
+  void trim();
+
+  /// Number of buffers currently cached on free lists (for tests).
+  std::size_t cached_count() const;
+
+  /// Process-wide pool shared by the engine.
+  static buffer_pool& global();
+
+ private:
+  friend class pool_buffer;
+  void put(char* data, std::size_t size, int cls) noexcept;
+
+  static constexpr int kMinClassLog2 = 9;   // 512 B
+  static constexpr int kMaxClassLog2 = 31;  // 2 GiB
+  static int class_of(std::size_t bytes);
+
+  mutable std::mutex mutex_;
+  std::vector<char*> free_lists_[kMaxClassLog2 - kMinClassLog2 + 1];
+  std::atomic<std::size_t> outstanding_{0};
+  std::atomic<std::size_t> peak_{0};
+};
+
+}  // namespace flashr

@@ -1,0 +1,10 @@
+#include "mem/numa.h"
+
+namespace flashr {
+
+numa_tracker& numa_tracker::global() {
+  static numa_tracker tracker;
+  return tracker;
+}
+
+}  // namespace flashr

@@ -1,0 +1,54 @@
+// Simulated NUMA placement accounting.
+//
+// The paper's machine has four sockets; FlashR assigns partition i of every
+// matrix to the same NUMA node so a thread bound to that node never touches
+// remote memory (§3.3). The evaluation container is a single-node VM, so we
+// cannot bind real memory — instead we model the policy: partitions map to
+// nodes round-robin, worker threads have a home node, and the executor
+// reports how many partition accesses were node-local. Tests assert the
+// engine's placement keeps locality at 100% when threads follow the
+// partition→node mapping, and benchmarks can report the counter.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+
+namespace flashr {
+
+class numa_tracker {
+ public:
+  /// Node that partition `pidx` (of any matrix) lives on.
+  static int node_of_partition(std::size_t pidx, int num_nodes) {
+    return num_nodes <= 1 ? 0 : static_cast<int>(pidx % num_nodes);
+  }
+
+  /// Record an access to partition `pidx` from a thread homed on
+  /// `thread_node`.
+  void record_access(std::size_t pidx, int thread_node, int num_nodes) {
+    if (node_of_partition(pidx, num_nodes) == thread_node)
+      local_.fetch_add(1, std::memory_order_relaxed);
+    else
+      remote_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::size_t local_accesses() const { return local_.load(); }
+  std::size_t remote_accesses() const { return remote_.load(); }
+
+  double locality() const {
+    const std::size_t l = local_accesses(), r = remote_accesses();
+    return l + r == 0 ? 1.0 : static_cast<double>(l) / static_cast<double>(l + r);
+  }
+
+  void reset() {
+    local_.store(0);
+    remote_.store(0);
+  }
+
+  static numa_tracker& global();
+
+ private:
+  std::atomic<std::size_t> local_{0};
+  std::atomic<std::size_t> remote_{0};
+};
+
+}  // namespace flashr

@@ -1,0 +1,86 @@
+#include "ml/kmeans.h"
+
+#include <set>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace flashr::ml {
+
+namespace {
+
+/// Distances to centers: n x k matrix of squared Euclidean distances.
+dense_matrix distances(const dense_matrix& X, const smat& centers) {
+  // inner.prod(X, t(C), "euclidean", "+") from Figure 3.
+  return inner_prod(X, centers.t(), bop_id::sqdiff, agg_id::sum);
+}
+
+smat seed_centers(const dense_matrix& X, std::size_t k, std::uint64_t seed) {
+  // Distinct random rows.
+  rng64 rng(seed);
+  std::set<std::size_t> picked;
+  while (picked.size() < k) picked.insert(rng.next_below(X.nrow()));
+  return gather_rows(X, std::vector<std::size_t>(picked.begin(), picked.end()));
+}
+
+}  // namespace
+
+dense_matrix kmeans_assign(const dense_matrix& X, const smat& centers) {
+  return which_min_row(distances(X, centers));
+}
+
+kmeans_result kmeans(const dense_matrix& X, std::size_t k,
+                     const kmeans_options& opts) {
+  FLASHR_CHECK(k >= 1 && k <= X.nrow(), "kmeans: bad k");
+  const std::size_t p = X.ncol();
+
+  kmeans_result res;
+  res.centers = seed_centers(X, k, opts.seed);
+
+  dense_matrix old_I;
+  for (int iter = 0; iter < opts.max_iters; ++iter) {
+    dense_matrix D = distances(X, res.centers);
+    dense_matrix I = which_min_row(D);
+    // Figure 3: save assignments during computation.
+    if (opts.cache_assignments) I.set_cache(true);
+    dense_matrix cnt = count_groups(I, k);
+    dense_matrix sums = groupby_row(X, I, k, agg_id::sum);
+    dense_matrix wcss = sum(agg_row(D, agg_id::min_v));
+
+    std::vector<dense_matrix> targets{cnt, sums, wcss};
+    dense_matrix moves;
+    if (old_I.valid()) {
+      moves = sum(ne(I, old_I));
+      targets.push_back(moves);
+    }
+    materialize_all(targets);  // ONE pass over X per iteration
+
+    const smat counts = cnt.to_smat();
+    const smat csums = sums.to_smat();
+    for (std::size_t c = 0; c < k; ++c) {
+      const double nc = counts(c, 0);
+      if (nc > 0)
+        for (std::size_t j = 0; j < p; ++j)
+          res.centers(c, j) = csums(c, j) / nc;
+      // Empty cluster: keep the previous center (a common, deterministic
+      // fallback).
+    }
+    res.wcss = wcss.scalar();
+    ++res.iterations;
+
+    if (old_I.valid()) {
+      const auto moved = static_cast<std::size_t>(moves.scalar());
+      res.moves_history.push_back(moved);
+      if (moved <= opts.move_tol) {
+        res.converged = true;
+        res.assignments = I;
+        break;
+      }
+    }
+    old_I = I;  // materialized via set.cache; reused next iteration
+    res.assignments = I;
+  }
+  return res;
+}
+
+}  // namespace flashr::ml

@@ -1,0 +1,44 @@
+// k-means (Lloyd's algorithm), implemented exactly as the paper's Figure 3:
+// per iteration one DAG computes the squared Euclidean distances via
+// inner.prod(X, t(C), sqdiff, +), the assignments via agg.row(which.min)
+// (cached with set.cache for the next iteration's convergence test), the
+// per-cluster counts via table(), the per-cluster sums via groupby.row, and
+// the number of moved points — all materialized in a single pass over X.
+// Converges when no point moves.
+#pragma once
+
+#include <vector>
+
+#include "blas/smat.h"
+#include "core/dense_matrix.h"
+
+namespace flashr::ml {
+
+struct kmeans_options {
+  int max_iters = 100;
+  std::uint64_t seed = 1;
+  /// Stop when at most this many points change cluster (paper: 0).
+  std::size_t move_tol = 0;
+  /// set.cache the assignment vector as Figure 3 does. Disabling it makes
+  /// the next iteration's convergence test recompute old assignments from
+  /// the previous centers (an extra distance computation per iteration) —
+  /// the ablation bench measures exactly this cost.
+  bool cache_assignments = true;
+};
+
+struct kmeans_result {
+  smat centers;               ///< k x p
+  dense_matrix assignments;   ///< n x 1 int64, materialized
+  std::vector<std::size_t> moves_history;
+  int iterations = 0;
+  bool converged = false;
+  double wcss = 0.0;          ///< within-cluster sum of squares (final)
+};
+
+kmeans_result kmeans(const dense_matrix& X, std::size_t k,
+                     const kmeans_options& opts = {});
+
+/// One assignment pass with fixed centers (used by tests and prediction).
+dense_matrix kmeans_assign(const dense_matrix& X, const smat& centers);
+
+}  // namespace flashr::ml

@@ -1,0 +1,125 @@
+#include "ml/lbfgs.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+namespace flashr::ml {
+
+namespace {
+
+double dot(const std::vector<double>& a, const std::vector<double>& b) {
+  double s = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double inf_norm(const std::vector<double>& a) {
+  double m = 0;
+  for (double v : a) m = std::max(m, std::abs(v));
+  return m;
+}
+
+}  // namespace
+
+lbfgs_result lbfgs_minimize(objective_fn f, std::vector<double> x0,
+                            const lbfgs_options& opts) {
+  const std::size_t n = x0.size();
+  lbfgs_result res;
+  res.x = std::move(x0);
+
+  std::vector<double> g(n), g_new(n), x_new(n), direction(n);
+  double loss = f(res.x, g);
+  res.loss_history.push_back(loss);
+
+  // (s, y, rho) history for the two-loop recursion.
+  std::deque<std::vector<double>> s_hist, y_hist;
+  std::deque<double> rho_hist;
+
+  for (int iter = 0; iter < opts.max_iters; ++iter) {
+    if (inf_norm(g) < opts.grad_tol) {
+      res.converged = true;
+      break;
+    }
+
+    // Two-loop recursion: direction = -H g.
+    direction = g;
+    std::vector<double> alpha(s_hist.size());
+    for (std::size_t i = s_hist.size(); i-- > 0;) {
+      alpha[i] = rho_hist[i] * dot(s_hist[i], direction);
+      for (std::size_t j = 0; j < n; ++j)
+        direction[j] -= alpha[i] * y_hist[i][j];
+    }
+    if (!s_hist.empty()) {
+      const double gamma = dot(s_hist.back(), y_hist.back()) /
+                           std::max(dot(y_hist.back(), y_hist.back()), 1e-300);
+      for (double& d : direction) d *= gamma;
+    }
+    for (std::size_t i = 0; i < s_hist.size(); ++i) {
+      const double beta = rho_hist[i] * dot(y_hist[i], direction);
+      for (std::size_t j = 0; j < n; ++j)
+        direction[j] += (alpha[i] - beta) * s_hist[i][j];
+    }
+    for (double& d : direction) d = -d;
+
+    double dir_deriv = dot(g, direction);
+    if (dir_deriv >= 0) {
+      // Not a descent direction (stale curvature) — restart with steepest
+      // descent.
+      for (std::size_t j = 0; j < n; ++j) direction[j] = -g[j];
+      dir_deriv = -dot(g, g);
+      s_hist.clear();
+      y_hist.clear();
+      rho_hist.clear();
+    }
+
+    // Backtracking Armijo line search.
+    double step = 1.0;
+    double new_loss = loss;
+    bool accepted = false;
+    for (int ls = 0; ls < opts.max_line_steps; ++ls) {
+      for (std::size_t j = 0; j < n; ++j)
+        x_new[j] = res.x[j] + step * direction[j];
+      new_loss = f(x_new, g_new);
+      if (std::isfinite(new_loss) &&
+          new_loss <= loss + opts.armijo_c * step * dir_deriv) {
+        accepted = true;
+        break;
+      }
+      step *= opts.backtrack;
+    }
+    if (!accepted) break;  // line search failed: give up at current point
+
+    // Update curvature history.
+    std::vector<double> s(n), y(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      s[j] = x_new[j] - res.x[j];
+      y[j] = g_new[j] - g[j];
+    }
+    const double sy = dot(s, y);
+    if (sy > 1e-12) {
+      s_hist.push_back(std::move(s));
+      y_hist.push_back(std::move(y));
+      rho_hist.push_back(1.0 / sy);
+      if (static_cast<int>(s_hist.size()) > opts.history) {
+        s_hist.pop_front();
+        y_hist.pop_front();
+        rho_hist.pop_front();
+      }
+    }
+
+    res.x = x_new;
+    g = g_new;
+    const double prev = loss;
+    loss = new_loss;
+    res.loss_history.push_back(loss);
+    ++res.iterations;
+    if (std::abs(prev - loss) < opts.loss_tol) {
+      res.converged = true;
+      break;
+    }
+  }
+  return res;
+}
+
+}  // namespace flashr::ml

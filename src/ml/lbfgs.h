@@ -1,0 +1,36 @@
+// Limited-memory BFGS (Liu & Nocedal [16]), the optimizer the paper uses for
+// logistic regression. Operates on small host parameter vectors; the
+// objective callback is where the big data lives (one DAG execution per
+// loss/gradient evaluation).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace flashr::ml {
+
+struct lbfgs_options {
+  int max_iters = 100;
+  int history = 8;          ///< stored (s, y) pairs
+  double grad_tol = 1e-6;   ///< stop when ||g||_inf < grad_tol
+  double loss_tol = 1e-9;   ///< stop when |loss_{i-1} - loss_i| < loss_tol
+  double armijo_c = 1e-4;   ///< sufficient-decrease constant
+  double backtrack = 0.5;   ///< step shrink factor
+  int max_line_steps = 30;
+};
+
+struct lbfgs_result {
+  std::vector<double> x;
+  std::vector<double> loss_history;  ///< loss per accepted iterate
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Objective: fills `grad` (same length as x) and returns the loss.
+using objective_fn =
+    std::function<double(const std::vector<double>& x, std::vector<double>& grad)>;
+
+lbfgs_result lbfgs_minimize(objective_fn f, std::vector<double> x0,
+                            const lbfgs_options& opts = lbfgs_options());
+
+}  // namespace flashr::ml

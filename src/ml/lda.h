@@ -1,0 +1,41 @@
+// Linear discriminant analysis (§4.1): "a linear classifier that assumes the
+// normal distribution with a different mean for each class but sharing the
+// same covariance matrix among classes. We use the implementation in the
+// MASS package with some trivial modifications."
+//
+// Training is ONE pass over X: crossprod(X), groupby.row(X, y, +) and
+// table(y) are sinks of one DAG; the pooled within-class covariance follows
+// from W = (t(X)X - sum_c N_c mu_c mu_c^T) / (n - k) on the host. The model
+// keeps both the classic discriminant functions (for prediction) and the
+// MASS-style discriminant axes (scaling), obtained by whitening the
+// between-class covariance.
+#pragma once
+
+#include <vector>
+
+#include "blas/smat.h"
+#include "core/dense_matrix.h"
+
+namespace flashr::ml {
+
+struct lda_model {
+  std::size_t num_classes = 0;
+  smat means;                  ///< k x p class means
+  smat pooled_cov;             ///< p x p shared covariance W
+  std::vector<double> priors;  ///< length k
+  smat coef;                   ///< p x k: W^{-1} t(means)
+  smat intercept;              ///< 1 x k: -0.5 mu W^{-1} mu + log prior
+  smat scaling;                ///< p x (k-1) discriminant axes (MASS lda$scaling)
+};
+
+lda_model lda_train(const dense_matrix& X, const dense_matrix& y,
+                    std::size_t num_classes);
+
+/// Predicted class per row (n x 1 int64): argmax of the linear discriminant
+/// functions. One tall-by-small product — lazy.
+dense_matrix lda_predict(const dense_matrix& X, const lda_model& model);
+
+/// Project onto the discriminant axes (n x (k-1)). Lazy.
+dense_matrix lda_transform(const dense_matrix& X, const lda_model& model);
+
+}  // namespace flashr::ml

@@ -1,0 +1,45 @@
+// Linear least squares / ridge regression via the normal equations — the
+// classic "R one-liner" workload (solve(crossprod(X), crossprod(X, y))) that
+// FlashR executes in one pass over the data: the Gramian and t(X) %*% y are
+// sinks of a single DAG, and the p x p solve happens on the host.
+#pragma once
+
+#include "blas/smat.h"
+#include "core/dense_matrix.h"
+
+namespace flashr::ml {
+
+struct linreg_options {
+  double l2 = 0.0;          ///< ridge penalty (0 = OLS)
+  bool add_intercept = true;
+};
+
+struct linreg_model {
+  smat w;  ///< (p [+1]) x 1 coefficients, intercept last
+  bool has_intercept = false;
+  double r2 = 0.0;  ///< in-sample coefficient of determination
+};
+
+linreg_model linear_regression(const dense_matrix& X, const dense_matrix& y,
+                               const linreg_options& opts = {});
+
+/// Predicted response per row. Lazy.
+dense_matrix linreg_predict(const dense_matrix& X, const linreg_model& m);
+
+// ---- Thin SVD ----------------------------------------------------------------
+
+struct svd_result {
+  std::vector<double> d;  ///< singular values, descending
+  smat v;                 ///< p x ncomp right singular vectors
+  /// U is returned lazily by svd_u(): U = X V diag(1/d).
+};
+
+/// Thin SVD of a tall matrix via the eigendecomposition of its Gramian
+/// (one pass over X + host eigensolve) — the same route the paper's PCA
+/// takes.
+svd_result svd(const dense_matrix& X, std::size_t ncomp = 0);
+
+/// Left singular vectors as a lazy tall matrix.
+dense_matrix svd_u(const dense_matrix& X, const svd_result& s);
+
+}  // namespace flashr::ml

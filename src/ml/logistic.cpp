@@ -1,0 +1,83 @@
+#include "ml/logistic.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "ml/lbfgs.h"
+
+namespace flashr::ml {
+
+namespace {
+
+dense_matrix with_intercept(const dense_matrix& X, bool add) {
+  if (!add) return X;
+  return cbind({X, dense_matrix::constant(X.nrow(), 1, 1.0)});
+}
+
+}  // namespace
+
+logistic_model logistic_regression(const dense_matrix& X,
+                                   const dense_matrix& y,
+                                   const logistic_options& opts) {
+  FLASHR_CHECK_SHAPE(y.ncol() == 1 && y.nrow() == X.nrow(),
+                     "logistic: y must be n x 1");
+  const dense_matrix Xi = with_intercept(X, opts.add_intercept);
+  const dense_matrix yf = y.cast(scalar_type::f64);
+  const std::size_t p = Xi.ncol();
+  const double n = static_cast<double>(Xi.nrow());
+
+  auto objective = [&](const std::vector<double>& wv,
+                       std::vector<double>& grad) -> double {
+    smat w(p, 1);
+    std::copy(wv.begin(), wv.end(), w.data());
+    dense_matrix m = matmul(Xi, dense_matrix::from_smat(w));  // n x 1 logits
+    dense_matrix prob = sigmoid(m);
+    // Numerically stable log-loss: log(1 + exp(-|m|)) + max(m, 0) - y*m.
+    dense_matrix loss_terms =
+        log1p(exp(-abs(m))) + pmax(m, 0.0) - yf * m;
+    dense_matrix loss_sink = sum(loss_terms);
+    dense_matrix grad_sink = crossprod(Xi, prob - yf);  // p x 1
+    materialize_all({loss_sink, grad_sink});  // ONE pass over X
+
+    smat g = grad_sink.to_smat();
+    double loss = loss_sink.scalar() / n;
+    for (std::size_t j = 0; j < p; ++j) {
+      grad[j] = g(j, 0) / n;
+      if (opts.l2 > 0 && (!opts.add_intercept || j + 1 < p)) {
+        grad[j] += opts.l2 * wv[j];
+        loss += 0.5 * opts.l2 * wv[j] * wv[j];
+      }
+    }
+    return loss;
+  };
+
+  lbfgs_options lopts;
+  lopts.max_iters = opts.max_iters;
+  lopts.loss_tol = opts.loss_tol;
+  lbfgs_result r =
+      lbfgs_minimize(objective, std::vector<double>(p, 0.0), lopts);
+
+  logistic_model model;
+  model.w = smat(p, 1);
+  std::copy(r.x.begin(), r.x.end(), model.w.data());
+  model.has_intercept = opts.add_intercept;
+  model.loss_history = std::move(r.loss_history);
+  model.iterations = r.iterations;
+  model.converged = r.converged;
+  return model;
+}
+
+dense_matrix logistic_predict_prob(const dense_matrix& X,
+                                   const logistic_model& model) {
+  const dense_matrix Xi = with_intercept(X, model.has_intercept);
+  FLASHR_CHECK_SHAPE(Xi.ncol() == model.w.nrow(),
+                     "logistic_predict: dimension mismatch");
+  return sigmoid(matmul(Xi, dense_matrix::from_smat(model.w)));
+}
+
+dense_matrix logistic_predict(const dense_matrix& X,
+                              const logistic_model& model) {
+  return mapply2(logistic_predict_prob(X, model), 0.5, bop_id::ge);
+}
+
+}  // namespace flashr::ml

@@ -1,0 +1,19 @@
+// mvrnorm (§4.1): samples from a multivariate normal distribution, following
+// the R MASS implementation — an eigendecomposition of the covariance matrix
+// and an affine transform of standard normal draws:
+//   X = mu + Z V diag(sqrt(lambda)) V^T
+// The Z draws are a generated leaf (zero storage) and the transform is a
+// tall-by-small product, so producing an n x p sample is one fused pass.
+#pragma once
+
+#include "blas/smat.h"
+#include "core/dense_matrix.h"
+
+namespace flashr::ml {
+
+/// Draw n samples from N(mu, sigma). mu is 1 x p (or p x 1), sigma p x p
+/// symmetric positive semi-definite. Lazy.
+dense_matrix mvrnorm(std::size_t n, const smat& mu, const smat& sigma,
+                     std::uint64_t seed = 1);
+
+}  // namespace flashr::ml

@@ -1,0 +1,78 @@
+#include "ml/naive_bayes.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.h"
+
+namespace flashr::ml {
+
+naive_bayes_model naive_bayes_train(const dense_matrix& X,
+                                    const dense_matrix& y,
+                                    std::size_t num_classes) {
+  const std::size_t p = X.ncol();
+  const double n = static_cast<double>(X.nrow());
+
+  dense_matrix cnt = count_groups(y, num_classes);
+  dense_matrix s1 = groupby_row(X, y, num_classes, agg_id::sum);
+  dense_matrix s2 = groupby_row(square(X), y, num_classes, agg_id::sum);
+  materialize_all({cnt, s1, s2});  // single pass over X
+
+  smat counts = cnt.to_smat();
+  smat sums = s1.to_smat();
+  smat sqsums = s2.to_smat();
+
+  naive_bayes_model m;
+  m.num_classes = num_classes;
+  m.means = smat(num_classes, p);
+  m.vars = smat(num_classes, p);
+  m.priors.resize(num_classes);
+  for (std::size_t k = 0; k < num_classes; ++k) {
+    const double nk = std::max(counts(k, 0), 1.0);
+    m.priors[k] = counts(k, 0) / n;
+    for (std::size_t j = 0; j < p; ++j) {
+      const double mu = sums(k, j) / nk;
+      m.means(k, j) = mu;
+      // Variance floor keeps degenerate features from exploding the
+      // log-likelihood (sklearn applies the same trick).
+      m.vars(k, j) = std::max(sqsums(k, j) / nk - mu * mu, 1e-9);
+    }
+  }
+  return m;
+}
+
+dense_matrix naive_bayes_predict(const dense_matrix& X,
+                                 const naive_bayes_model& model) {
+  const std::size_t p = X.ncol();
+  const std::size_t k = model.num_classes;
+  FLASHR_CHECK_SHAPE(model.means.ncol() == p, "naive_bayes: p mismatch");
+
+  // log P(x | class c) + log prior = -0.5 sum_j [ (x_j - mu)^2 / var
+  //   + log(2 pi var) ] + log prior
+  // = x^2 . a_c + x . b_c + const_c  with a = -1/(2 var), b = mu / var.
+  smat A(p, k), B(p, k), C(1, k);
+  for (std::size_t c = 0; c < k; ++c) {
+    double cons = std::log(std::max(model.priors[c], 1e-300));
+    for (std::size_t j = 0; j < p; ++j) {
+      const double var = model.vars(c, j);
+      const double mu = model.means(c, j);
+      A(j, c) = -0.5 / var;
+      B(j, c) = mu / var;
+      cons += -0.5 * (mu * mu / var + std::log(2.0 * std::numbers::pi * var));
+    }
+    C(0, c) = cons;
+  }
+  dense_matrix scores =
+      sweep_cols(inner_prod(square(X), A, bop_id::mul, agg_id::sum) +
+                     inner_prod(X, B, bop_id::mul, agg_id::sum),
+                 C, bop_id::add);
+  return which_max_row(scores);
+}
+
+double accuracy(const dense_matrix& pred, const dense_matrix& y) {
+  FLASHR_CHECK_SHAPE(pred.nrow() == y.nrow(), "accuracy: length mismatch");
+  dense_matrix hits = eq(pred.cast(scalar_type::f64), y.cast(scalar_type::f64));
+  return sum(hits).scalar() / static_cast<double>(y.nrow());
+}
+
+}  // namespace flashr::ml

@@ -1,0 +1,36 @@
+// Gaussian Naive Bayes (§4.1: "a classifier that applies Bayes' theorem with
+// the naive assumption of independence between every pair of features. Our
+// implementation assumes data follows the normal distribution").
+//
+// Training is one pass: per-class counts, feature sums and feature
+// sums-of-squares are three sinks of one DAG (groupby.row on X and on X^2).
+// Prediction is one pass: the per-class Gaussian log-likelihoods expand into
+// two tall-by-small products plus a constant row.
+#pragma once
+
+#include <vector>
+
+#include "blas/smat.h"
+#include "core/dense_matrix.h"
+
+namespace flashr::ml {
+
+struct naive_bayes_model {
+  std::size_t num_classes = 0;
+  smat means;                  ///< k x p
+  smat vars;                   ///< k x p (variance floor applied)
+  std::vector<double> priors;  ///< length k
+};
+
+naive_bayes_model naive_bayes_train(const dense_matrix& X,
+                                    const dense_matrix& y,
+                                    std::size_t num_classes);
+
+/// Predicted class per row (n x 1, int64). Lazy.
+dense_matrix naive_bayes_predict(const dense_matrix& X,
+                                 const naive_bayes_model& model);
+
+/// Fraction of rows where pred == y (one pass).
+double accuracy(const dense_matrix& pred, const dense_matrix& y);
+
+}  // namespace flashr::ml

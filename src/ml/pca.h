@@ -1,0 +1,27 @@
+// Principal component analysis (§4.1): eigendecomposition of the Gramian of
+// the centered data, computed in one pass plus a small host eigensolve —
+// exactly the paper's formulation ("we implement PCA by computing eigenvalues
+// on the Gramian matrix A^T A of the input matrix A").
+#pragma once
+
+#include <vector>
+
+#include "blas/smat.h"
+#include "core/dense_matrix.h"
+
+namespace flashr::ml {
+
+struct pca_result {
+  std::vector<double> eigenvalues;  ///< descending, length ncomp
+  smat rotation;                    ///< p x ncomp eigenvector columns
+  smat center;                      ///< 1 x p column means
+};
+
+/// Fit PCA. ncomp = 0 keeps all p components. One pass over X.
+pca_result pca(const dense_matrix& X, std::size_t ncomp = 0);
+
+/// Project data onto the principal components: (X - center) %*% rotation.
+/// Lazy: the result joins the caller's DAG.
+dense_matrix pca_transform(const dense_matrix& X, const pca_result& fit);
+
+}  // namespace flashr::ml

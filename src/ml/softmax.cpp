@@ -1,0 +1,100 @@
+#include "ml/softmax.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "ml/lbfgs.h"
+
+namespace flashr::ml {
+
+namespace {
+
+dense_matrix with_intercept(const dense_matrix& X, bool add) {
+  if (!add) return X;
+  return cbind({X, dense_matrix::constant(X.nrow(), 1, 1.0)});
+}
+
+/// Row-wise softmax probabilities of a lazy score matrix (numerically
+/// stable: shift by the row max).
+dense_matrix softmax_rows(const dense_matrix& scores) {
+  dense_matrix m = agg_row(scores, agg_id::max_v);  // n x 1
+  dense_matrix e = exp(scores - m);                 // col-broadcast
+  return e / row_sums(e);
+}
+
+}  // namespace
+
+softmax_model softmax_regression(const dense_matrix& X, const dense_matrix& y,
+                                 std::size_t num_classes,
+                                 const softmax_options& opts) {
+  FLASHR_CHECK(num_classes >= 2, "softmax: need at least two classes");
+  FLASHR_CHECK_SHAPE(y.ncol() == 1 && y.nrow() == X.nrow(),
+                     "softmax: y must be n x 1");
+  const dense_matrix Xi = with_intercept(X, opts.add_intercept);
+  const dense_matrix yf = y.cast(scalar_type::f64);
+  const std::size_t p = Xi.ncol();
+  const std::size_t k = num_classes;
+  const double n = static_cast<double>(Xi.nrow());
+
+  // One-hot indicator of y, built lazily once and reused every iteration.
+  std::vector<dense_matrix> ind;
+  ind.reserve(k);
+  for (std::size_t c = 0; c < k; ++c)
+    ind.push_back(mapply2(yf, static_cast<double>(c), bop_id::eq));
+  dense_matrix onehot = cbind(ind);
+  onehot.set_cache(true);  // avoid rebuilding the indicators every pass
+
+  auto objective = [&](const std::vector<double>& wv,
+                       std::vector<double>& grad) -> double {
+    smat w(p, k);
+    std::copy(wv.begin(), wv.end(), w.data());
+    dense_matrix scores = matmul(Xi, dense_matrix::from_smat(w));  // n x k
+    dense_matrix m = agg_row(scores, agg_id::max_v);
+    dense_matrix e = exp(scores - m);
+    dense_matrix z = row_sums(e);            // n x 1
+    dense_matrix prob = e / z;               // n x k
+    // loss = sum(log z + m - score_y) / n; score_y via the one-hot mask.
+    dense_matrix score_y = row_sums(scores * onehot);
+    dense_matrix loss_sink = sum(log(z) + m - score_y);
+    dense_matrix grad_sink = crossprod(Xi, prob - onehot);  // p x k
+    materialize_all({loss_sink, grad_sink});  // ONE pass over X
+
+    smat g = grad_sink.to_smat();
+    double loss = loss_sink.scalar() / n;
+    for (std::size_t c = 0; c < k; ++c)
+      for (std::size_t j = 0; j < p; ++j) {
+        const std::size_t idx = c * p + j;
+        grad[idx] = g(j, c) / n;
+        if (opts.l2 > 0 && (!opts.add_intercept || j + 1 < p)) {
+          grad[idx] += opts.l2 * wv[idx];
+          loss += 0.5 * opts.l2 * wv[idx] * wv[idx];
+        }
+      }
+    return loss;
+  };
+
+  lbfgs_options lopts;
+  lopts.max_iters = opts.max_iters;
+  lopts.loss_tol = opts.loss_tol;
+  lbfgs_result r =
+      lbfgs_minimize(objective, std::vector<double>(p * k, 0.0), lopts);
+
+  softmax_model model;
+  model.w = smat(p, k);
+  std::copy(r.x.begin(), r.x.end(), model.w.data());
+  model.num_classes = k;
+  model.has_intercept = opts.add_intercept;
+  model.loss_history = std::move(r.loss_history);
+  model.iterations = r.iterations;
+  model.converged = r.converged;
+  return model;
+}
+
+dense_matrix softmax_predict(const dense_matrix& X, const softmax_model& m) {
+  const dense_matrix Xi = with_intercept(X, m.has_intercept);
+  FLASHR_CHECK_SHAPE(Xi.ncol() == m.w.nrow(),
+                     "softmax_predict: dimension mismatch");
+  return which_max_row(matmul(Xi, dense_matrix::from_smat(m.w)));
+}
+
+}  // namespace flashr::ml

@@ -1,0 +1,116 @@
+#include "ml/stats.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace flashr::ml {
+
+moments compute_moments(const dense_matrix& X) {
+  dense_matrix s = col_sums(X);
+  dense_matrix g = crossprod(X);
+  materialize_all({s, g});
+  moments m;
+  m.n = X.nrow();
+  m.col_sums = s.to_smat();
+  m.gram = g.to_smat();
+  return m;
+}
+
+smat covariance_from(const moments& m) {
+  const std::size_t p = m.gram.nrow();
+  FLASHR_CHECK(m.n >= 2, "covariance needs at least two rows");
+  smat cov(p, p);
+  const double n = static_cast<double>(m.n);
+  for (std::size_t j = 0; j < p; ++j)
+    for (std::size_t i = 0; i < p; ++i)
+      cov(i, j) = (m.gram(i, j) - m.col_sums(0, i) * m.col_sums(0, j) / n) /
+                  (n - 1.0);
+  return cov;
+}
+
+smat means_from(const moments& m) {
+  smat mu(1, m.col_sums.ncol());
+  for (std::size_t j = 0; j < mu.ncol(); ++j)
+    mu(0, j) = m.col_sums(0, j) / static_cast<double>(m.n);
+  return mu;
+}
+
+smat sds_from(const moments& m) {
+  smat cov = covariance_from(m);
+  smat sd(1, cov.ncol());
+  for (std::size_t j = 0; j < cov.ncol(); ++j)
+    sd(0, j) = std::sqrt(std::max(cov(j, j), 0.0));
+  return sd;
+}
+
+namespace {
+
+smat correlation_from(const moments& m) {
+  smat cov = covariance_from(m);
+  smat sd = sds_from(m);
+  const std::size_t p = cov.nrow();
+  smat cor(p, p);
+  for (std::size_t j = 0; j < p; ++j)
+    for (std::size_t i = 0; i < p; ++i) {
+      const double denom = sd(0, i) * sd(0, j);
+      cor(i, j) = denom > 0 ? cov(i, j) / denom : (i == j ? 1.0 : 0.0);
+    }
+  return cor;
+}
+
+}  // namespace
+
+smat correlation(const dense_matrix& X) {
+  return correlation_from(compute_moments(X));
+}
+
+moments compute_moments(const block_matrix& X) {
+  // One pass: every block's colSums sink and every block-pair Gramian sink
+  // belong to the same DAG (block_matrix::crossprod / col_sums each call
+  // materialize_all; here we fuse BOTH into one by collecting all targets).
+  const std::size_t nb = X.num_blocks();
+  std::vector<dense_matrix> sums;
+  std::vector<std::vector<dense_matrix>> grid(nb);
+  std::vector<dense_matrix> targets;
+  for (std::size_t i = 0; i < nb; ++i) {
+    sums.push_back(flashr::col_sums(X.block(i)));
+    targets.push_back(sums.back());
+    grid[i].resize(nb);
+    for (std::size_t j = i; j < nb; ++j) {
+      grid[i][j] = flashr::crossprod(X.block(i), X.block(j));
+      targets.push_back(grid[i][j]);
+    }
+  }
+  materialize_all(targets);
+
+  moments m;
+  m.n = X.nrow();
+  const std::size_t p = X.ncol();
+  m.col_sums = smat(1, p);
+  m.gram = smat(p, p);
+  std::size_t at = 0;
+  std::vector<std::size_t> offs(nb);
+  for (std::size_t i = 0; i < nb; ++i) {
+    offs[i] = at;
+    smat h = sums[i].to_smat();
+    for (std::size_t j = 0; j < h.ncol(); ++j) m.col_sums(0, at + j) = h(0, j);
+    at += X.block(i).ncol();
+  }
+  for (std::size_t i = 0; i < nb; ++i)
+    for (std::size_t j = i; j < nb; ++j) {
+      smat h = grid[i][j].to_smat();
+      for (std::size_t a = 0; a < h.nrow(); ++a)
+        for (std::size_t b = 0; b < h.ncol(); ++b) {
+          m.gram(offs[i] + a, offs[j] + b) = h(a, b);
+          m.gram(offs[j] + b, offs[i] + a) = h(a, b);
+        }
+    }
+  return m;
+}
+
+smat correlation(const block_matrix& X) {
+  return correlation_from(compute_moments(X));
+}
+
+}  // namespace flashr::ml

@@ -1,0 +1,37 @@
+// Statistics algorithms of §4.1: pairwise Pearson correlation and the
+// covariance machinery shared with PCA/LDA. Each train is a single pass over
+// the data: the Gramian and the column sums are sinks of one DAG.
+#pragma once
+
+#include "blas/smat.h"
+#include "core/dense_matrix.h"
+#include "matrix/block_matrix.h"
+
+namespace flashr::ml {
+
+struct moments {
+  std::size_t n = 0;
+  smat col_sums;  ///< 1 x p
+  smat gram;      ///< p x p, t(X) %*% X
+};
+
+/// One pass: colSums(X) and crossprod(X) materialized together.
+moments compute_moments(const dense_matrix& X);
+
+/// Sample covariance matrix from one-pass moments (divides by n-1).
+smat covariance_from(const moments& m);
+
+/// Pairwise Pearson correlation (R's cor(X)): one pass over X.
+smat correlation(const dense_matrix& X);
+
+/// Column means / standard deviations from moments.
+smat means_from(const moments& m);
+smat sds_from(const moments& m);
+
+/// Wide-data path (§3.2.2): the same one-pass moments/correlation over a
+/// block matrix — the per-block Gramian grid and per-block column sums all
+/// fuse into a single pass, keeping Pcache chunks cache-sized at any p.
+moments compute_moments(const block_matrix& X);
+smat correlation(const block_matrix& X);
+
+}  // namespace flashr::ml

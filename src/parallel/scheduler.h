@@ -1,0 +1,131 @@
+// Global sequential dynamic task scheduler (§3.3).
+//
+// FlashR dispatches I/O partitions to threads *sequentially* (partition ids
+// strictly increase across dispatches — this maximizes contiguity on SSDs so
+// reads coalesce and writes merge) and *dynamically* (threads pull the next
+// batch when idle — this load-balances). A dispatch initially hands a thread
+// several contiguous partitions so they can be read in one asynchronous I/O;
+// as the pass nears the end, dispatches shrink to single partitions so the
+// tail is balanced.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+namespace flashr {
+
+class part_scheduler {
+ public:
+  /// Schedule partitions [0, num_parts) with `num_threads` consumers.
+  /// `initial_batch` partitions are handed out per dispatch while plenty of
+  /// work remains.
+  part_scheduler(std::size_t num_parts, int num_threads, int initial_batch)
+      : num_parts_(num_parts),
+        num_threads_(num_threads < 1 ? 1 : num_threads),
+        initial_batch_(initial_batch < 1 ? 1 : initial_batch) {}
+
+  /// Fetch the next contiguous range of partitions. Returns false when the
+  /// pass is complete.
+  bool fetch(std::size_t& begin, std::size_t& end) {
+    for (;;) {
+      std::size_t cur = next_.load(std::memory_order_relaxed);
+      if (cur >= num_parts_) return false;
+      const std::size_t remaining = num_parts_ - cur;
+      // Shrink to single-partition dispatches for the last
+      // num_threads * initial_batch partitions (tail balancing).
+      std::size_t batch =
+          remaining > static_cast<std::size_t>(num_threads_) *
+                          static_cast<std::size_t>(initial_batch_)
+              ? static_cast<std::size_t>(initial_batch_)
+              : 1;
+      if (batch > remaining) batch = remaining;
+      if (next_.compare_exchange_weak(cur, cur + batch,
+                                      std::memory_order_relaxed)) {
+        begin = cur;
+        end = cur + batch;
+        return true;
+      }
+    }
+  }
+
+  std::size_t num_parts() const { return num_parts_; }
+
+ private:
+  const std::size_t num_parts_;
+  const int num_threads_;
+  const int initial_batch_;
+  std::atomic<std::size_t> next_{0};
+};
+
+/// NUMA-aware variant (§3.3: "FlashR assigns partitions i of all matrices to
+/// the same NUMA node to reduce remote memory access"): partitions are split
+/// into per-node sequential queues (partition i belongs to node i % nodes);
+/// a worker drains its home node's queue first and only then steals from
+/// other nodes, so accesses stay node-local until the tail of the pass.
+class numa_scheduler {
+ public:
+  numa_scheduler(std::size_t num_parts, int num_nodes)
+      : num_parts_(num_parts),
+        num_nodes_(num_nodes < 1 ? 1 : num_nodes),
+        next_(static_cast<std::size_t>(num_nodes_)) {
+    for (auto& n : next_) n.store(0);
+  }
+
+  /// Fetch the next partition for a worker homed on `home_node`. Returns
+  /// false when all queues are drained. `*stolen` reports whether the
+  /// partition came from a remote node.
+  bool fetch(int home_node, std::size_t& part, bool* stolen = nullptr) {
+    for (int probe = 0; probe < num_nodes_; ++probe) {
+      const int node = (home_node + probe) % num_nodes_;
+      // Node-local partition sequence: node, node + N, node + 2N, ...
+      auto& cursor = next_[static_cast<std::size_t>(node)];
+      for (;;) {
+        std::size_t c = cursor.load(std::memory_order_relaxed);
+        const std::size_t p =
+            c * static_cast<std::size_t>(num_nodes_) +
+            static_cast<std::size_t>(node);
+        if (p >= num_parts_) break;
+        if (cursor.compare_exchange_weak(c, c + 1,
+                                         std::memory_order_relaxed)) {
+          part = p;
+          if (stolen != nullptr) *stolen = probe != 0;
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
+ private:
+  const std::size_t num_parts_;
+  const int num_nodes_;
+  std::vector<std::atomic<std::size_t>> next_;
+};
+
+/// Static alternative used by the scheduling ablation benchmark: partition i
+/// goes to thread i % num_threads, no dynamic balancing, dispatches are not
+/// sequential across threads.
+class static_scheduler {
+ public:
+  static_scheduler(std::size_t num_parts, int num_threads)
+      : num_parts_(num_parts), num_threads_(num_threads < 1 ? 1 : num_threads) {}
+
+  /// Next partition for `thread_idx`, or false when that thread's stripe is
+  /// exhausted. `cursor` is the thread-local iteration state, starting at 0.
+  bool fetch(int thread_idx, std::size_t& cursor, std::size_t& part) const {
+    const std::size_t idx =
+        cursor * static_cast<std::size_t>(num_threads_) +
+        static_cast<std::size_t>(thread_idx);
+    if (idx >= num_parts_) return false;
+    part = idx;
+    ++cursor;
+    return true;
+  }
+
+ private:
+  const std::size_t num_parts_;
+  const int num_threads_;
+};
+
+}  // namespace flashr

@@ -1,0 +1,89 @@
+#include "parallel/thread_pool.h"
+
+#include <memory>
+#include <mutex>
+
+#include "common/config.h"
+#include "common/error.h"
+
+namespace flashr {
+
+thread_pool::thread_pool(int num_threads)
+    : num_threads_(num_threads < 1 ? 1 : num_threads) {
+  threads_.reserve(static_cast<std::size_t>(num_threads_ - 1));
+  for (int i = 1; i < num_threads_; ++i)
+    threads_.emplace_back([this, i] { worker_loop(i); });
+}
+
+thread_pool::~thread_pool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void thread_pool::worker_loop(int idx) {
+  std::uint64_t seen_seq = 0;
+  for (;;) {
+    const std::function<void(int)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_start_.wait(lock, [&] { return stop_ || job_seq_ != seen_seq; });
+      if (stop_) return;
+      seen_seq = job_seq_;
+      job = job_;
+    }
+    try {
+      (*job)(idx);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--remaining_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+void thread_pool::run_all(const std::function<void(int)>& fn) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    FLASHR_ASSERT(job_ == nullptr, "thread_pool::run_all is not reentrant");
+    job_ = &fn;
+    remaining_ = num_threads_ - 1;
+    first_error_ = nullptr;
+    ++job_seq_;
+  }
+  cv_start_.notify_all();
+  // The caller is worker 0.
+  try {
+    fn(0);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!first_error_) first_error_ = std::current_exception();
+  }
+  std::exception_ptr err;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_done_.wait(lock, [&] { return remaining_ == 0; });
+    job_ = nullptr;
+    err = first_error_;
+    first_error_ = nullptr;
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+thread_pool& thread_pool::global() {
+  static std::mutex mutex;
+  static std::unique_ptr<thread_pool> pool;
+  std::lock_guard<std::mutex> lock(mutex);
+  const int want = conf().num_threads;
+  if (!pool || pool->size() != want)
+    pool = std::make_unique<thread_pool>(want);
+  return *pool;
+}
+
+}  // namespace flashr

@@ -1,0 +1,54 @@
+// A fixed-size pool of worker threads used for every parallel pass the engine
+// makes. Workers are long-lived (created once per configuration) and execute
+// "jobs": a job runs the same callable on every worker, passing the worker
+// index; the submitting thread participates as worker 0 so a pool of size 1
+// degenerates to serial execution with no synchronization overhead.
+#pragma once
+
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace flashr {
+
+class thread_pool {
+ public:
+  /// Create a pool that runs jobs on `num_threads` workers total (the
+  /// calling thread counts as one of them, so `num_threads - 1` threads are
+  /// spawned).
+  explicit thread_pool(int num_threads);
+  ~thread_pool();
+  thread_pool(const thread_pool&) = delete;
+  thread_pool& operator=(const thread_pool&) = delete;
+
+  int size() const { return num_threads_; }
+
+  /// Run fn(worker_index) on all workers and wait for completion. If any
+  /// worker throws, the first exception is rethrown on the caller after all
+  /// workers finish. Not reentrant.
+  void run_all(const std::function<void(int)>& fn);
+
+  /// Pool sized to conf().num_threads. Rebuilt if the configured thread
+  /// count changes between calls (tests sweep thread counts).
+  static thread_pool& global();
+
+ private:
+  void worker_loop(int idx);
+
+  int num_threads_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mutex_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  const std::function<void(int)>* job_ = nullptr;
+  std::uint64_t job_seq_ = 0;
+  int remaining_ = 0;
+  bool stop_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace flashr

@@ -1,0 +1,110 @@
+#include "sparse/csr.h"
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "parallel/scheduler.h"
+#include "parallel/thread_pool.h"
+
+namespace flashr::sparse {
+
+csr_matrix csr_matrix::from_triplets(
+    std::size_t nrow, std::size_t ncol,
+    std::vector<std::tuple<std::size_t, std::size_t, double>> triplets) {
+  std::sort(triplets.begin(), triplets.end());
+  csr_matrix m;
+  m.nrow_ = nrow;
+  m.ncol_ = ncol;
+  m.row_ptr_.assign(nrow + 1, 0);
+  m.col_idx_.reserve(triplets.size());
+  m.values_.reserve(triplets.size());
+  std::size_t prev_r = 0, prev_c = 0;
+  bool first = true;
+  for (const auto& [r, c, v] : triplets) {
+    FLASHR_CHECK(r < nrow && c < ncol, "triplet out of range");
+    if (!first && r == prev_r && c == prev_c) {
+      m.values_.back() += v;  // merge duplicates
+      continue;
+    }
+    first = false;
+    prev_r = r;
+    prev_c = c;
+    m.row_ptr_[r + 1]++;
+    m.col_idx_.push_back(static_cast<std::uint32_t>(c));
+    m.values_.push_back(v);
+  }
+  for (std::size_t i = 0; i < nrow; ++i) m.row_ptr_[i + 1] += m.row_ptr_[i];
+  return m;
+}
+
+csr_matrix csr_matrix::random_graph(std::size_t nvert, double avg_degree,
+                                    std::uint64_t seed) {
+  std::vector<std::tuple<std::size_t, std::size_t, double>> trips;
+  trips.reserve(static_cast<std::size_t>(static_cast<double>(nvert) *
+                                         avg_degree * 1.2));
+  rng64 rng(seed);
+  for (std::size_t v = 0; v < nvert; ++v) {
+    // Degree: 1 + heavy tail (80% light, 20% up to 4x the average).
+    const double u = rng.next_uniform();
+    const double mean = u < 0.8 ? avg_degree * 0.6 : avg_degree * 2.6;
+    const auto deg = static_cast<std::size_t>(
+        1 + rng.next_below(static_cast<std::uint64_t>(2 * mean + 1)));
+    for (std::size_t e = 0; e < deg; ++e) {
+      // Preferential-attachment-ish target: square the uniform to bias
+      // toward low vertex ids (the "hubs").
+      const double t = rng.next_uniform();
+      const auto target =
+          static_cast<std::size_t>(t * t * static_cast<double>(nvert));
+      trips.emplace_back(v, std::min(target, nvert - 1), 1.0);
+    }
+  }
+  return from_triplets(nvert, nvert, std::move(trips));
+}
+
+void csr_matrix::row_normalize() {
+  for (std::size_t i = 0; i < nrow_; ++i) {
+    double s = 0;
+    for (std::size_t e = row_ptr_[i]; e < row_ptr_[i + 1]; ++e)
+      s += values_[e];
+    if (s != 0)
+      for (std::size_t e = row_ptr_[i]; e < row_ptr_[i + 1]; ++e)
+        values_[e] /= s;
+  }
+}
+
+smat csr_matrix::spmm(const smat& d) const {
+  FLASHR_CHECK_SHAPE(d.nrow() == ncol_, "spmm: dimension mismatch");
+  const std::size_t k = d.ncol();
+  smat out(nrow_, k);
+  thread_pool& pool = thread_pool::global();
+  const std::size_t block = 4096;
+  const std::size_t nblocks = (nrow_ + block - 1) / block;
+  part_scheduler sched(nblocks, pool.size(), 1);
+  pool.run_all([&](int) {
+    std::size_t b, e;
+    while (sched.fetch(b, e))
+      for (std::size_t blk = b; blk < e; ++blk) {
+        const std::size_t r0 = blk * block;
+        const std::size_t r1 = std::min(r0 + block, nrow_);
+        for (std::size_t i = r0; i < r1; ++i)
+          for (std::size_t ei = row_ptr_[i]; ei < row_ptr_[i + 1]; ++ei) {
+            const std::size_t c = col_idx_[ei];
+            const double v = values_[ei];
+            for (std::size_t j = 0; j < k; ++j)
+              out(i, j) += v * d(c, j);
+          }
+      }
+  });
+  return out;
+}
+
+double csr_matrix::at(std::size_t i, std::size_t j) const {
+  for (std::size_t e = row_ptr_[i]; e < row_ptr_[i + 1]; ++e)
+    if (col_idx_[e] == j) return values_[e];
+  return 0.0;
+}
+
+}  // namespace flashr::sparse

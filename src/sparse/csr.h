@@ -1,0 +1,58 @@
+// Sparse matrices in compressed sparse row form.
+//
+// FlashR supports large sparse matrices by integrating semi-external-memory
+// sparse matrix multiplication [39] (§3): the sparse matrix streams from
+// SSDs while the dense vectors stay in memory. This header provides the
+// in-memory CSR representation and graph-style generators; sem_spmm.h adds
+// the external-memory streaming product.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "blas/smat.h"
+
+namespace flashr::sparse {
+
+class csr_matrix {
+ public:
+  csr_matrix() = default;
+
+  static csr_matrix from_triplets(
+      std::size_t nrow, std::size_t ncol,
+      std::vector<std::tuple<std::size_t, std::size_t, double>> triplets);
+
+  /// Random directed graph with out-degrees ~ 1 + Zipf-ish tail, mimicking
+  /// the web-graph adjacency structure of the PageGraph dataset. Weights 1.
+  static csr_matrix random_graph(std::size_t nvert, double avg_degree,
+                                 std::uint64_t seed);
+
+  /// Row-normalize in place (each nonzero row sums to 1) — the random-walk
+  /// transition matrix used by PageRank-style iterations.
+  void row_normalize();
+
+  std::size_t nrow() const { return nrow_; }
+  std::size_t ncol() const { return ncol_; }
+  std::size_t nnz() const { return col_idx_.size(); }
+
+  const std::vector<std::uint64_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<std::uint32_t>& col_idx() const { return col_idx_; }
+  const std::vector<double>& values() const { return values_; }
+
+  /// C = this %*% D with dense col-major D (ncol x k). Parallel over row
+  /// blocks. The in-memory reference for the semi-external version.
+  smat spmm(const smat& d) const;
+
+  double at(std::size_t i, std::size_t j) const;
+
+ private:
+  std::size_t nrow_ = 0;
+  std::size_t ncol_ = 0;
+  std::vector<std::uint64_t> row_ptr_;
+  std::vector<std::uint32_t> col_idx_;
+  std::vector<double> values_;
+
+  friend class em_csr;
+};
+
+}  // namespace flashr::sparse

@@ -1,0 +1,87 @@
+#include "sparse/spectral.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace flashr::sparse {
+
+void orthonormalize(smat& v) {
+  for (std::size_t j = 0; j < v.ncol(); ++j) {
+    for (std::size_t q = 0; q < j; ++q) {
+      double dot = 0;
+      for (std::size_t i = 0; i < v.nrow(); ++i) dot += v(i, q) * v(i, j);
+      for (std::size_t i = 0; i < v.nrow(); ++i) v(i, j) -= dot * v(i, q);
+    }
+    double norm = 0;
+    for (std::size_t i = 0; i < v.nrow(); ++i) norm += v(i, j) * v(i, j);
+    norm = std::sqrt(norm);
+    if (norm > 1e-300)
+      for (std::size_t i = 0; i < v.nrow(); ++i) v(i, j) /= norm;
+  }
+}
+
+namespace {
+
+smat random_subspace(std::size_t n, std::size_t k, std::uint64_t seed) {
+  smat v(n, k);
+  rng64 rng(seed);
+  for (std::size_t j = 0; j < k; ++j)
+    for (std::size_t i = 0; i < n; ++i) v(i, j) = rng.next_normal();
+  orthonormalize(v);
+  return v;
+}
+
+/// Max |<v_new, v_old>| deviation from identity — how much the subspace
+/// basis rotated this iteration (0 once converged up to column signs).
+double rotation(const smat& a, const smat& b) {
+  double worst = 0;
+  for (std::size_t j = 0; j < a.ncol(); ++j) {
+    double dot = 0;
+    for (std::size_t i = 0; i < a.nrow(); ++i) dot += a(i, j) * b(i, j);
+    worst = std::max(worst, std::abs(1.0 - std::abs(dot)));
+  }
+  return worst;
+}
+
+template <typename Multiply>
+spectral_result iterate(std::size_t n, const spectral_options& opts,
+                        Multiply&& mul) {
+  FLASHR_CHECK(opts.k >= 1 && opts.k <= n, "spectral: bad subspace size");
+  spectral_result res;
+  smat v = random_subspace(n, opts.k, opts.seed);
+  for (int it = 0; it < opts.iterations; ++it) {
+    smat next = mul(v);
+    orthonormalize(next);
+    ++res.iterations;
+    const double rot = rotation(next, v);
+    v = std::move(next);
+    if (opts.tol > 0 && rot < opts.tol) break;
+  }
+  // Rayleigh quotients per column.
+  smat av = mul(v);
+  res.eigenvalues.resize(opts.k);
+  for (std::size_t j = 0; j < opts.k; ++j) {
+    double q = 0;
+    for (std::size_t i = 0; i < n; ++i) q += v(i, j) * av(i, j);
+    res.eigenvalues[j] = q;
+  }
+  res.vectors = std::move(v);
+  return res;
+}
+
+}  // namespace
+
+spectral_result spectral_embed(const em_csr& a, const spectral_options& opts) {
+  FLASHR_CHECK_SHAPE(a.nrow() == a.ncol(), "spectral: matrix must be square");
+  return iterate(a.nrow(), opts, [&](const smat& v) { return a.spmm(v); });
+}
+
+spectral_result spectral_embed(const csr_matrix& a,
+                               const spectral_options& opts) {
+  FLASHR_CHECK_SHAPE(a.nrow() == a.ncol(), "spectral: matrix must be square");
+  return iterate(a.nrow(), opts, [&](const smat& v) { return a.spmm(v); });
+}
+
+}  // namespace flashr::sparse

@@ -1,0 +1,44 @@
+// Spectral embedding via semi-external-memory subspace iteration.
+//
+// This is the pipeline that produced the paper's PageGraph-32ev dataset
+// ("32 singular vectors that we computed on the largest connected component
+// of a Page graph" [33], using the semi-external sparse engine [39]): the
+// graph streams from the SSDs once per iteration while only the n x k
+// subspace lives in memory. Block power iteration with Gram-Schmidt
+// re-orthonormalization converges to the dominant invariant subspace; the
+// Rayleigh quotients approximate the top eigenvalues.
+#pragma once
+
+#include "blas/smat.h"
+#include "sparse/sem_spmm.h"
+
+namespace flashr::sparse {
+
+struct spectral_options {
+  std::size_t k = 8;          ///< subspace dimension (columns of V)
+  int iterations = 20;        ///< subspace-iteration count
+  std::uint64_t seed = 1;     ///< random initial subspace
+  double tol = 0.0;           ///< early stop when the subspace rotation per
+                              ///< iteration falls below tol (0 = run all)
+};
+
+struct spectral_result {
+  smat vectors;                    ///< n x k orthonormal basis
+  std::vector<double> eigenvalues; ///< Rayleigh quotients, by column
+  int iterations = 0;
+};
+
+/// Orthonormalize the columns of v in place (modified Gram-Schmidt).
+/// Exposed because callers (power methods, LDA whitening checks) reuse it.
+void orthonormalize(smat& v);
+
+/// Subspace iteration on a semi-external-memory sparse matrix: V <-
+/// orth(A V) repeated. One streaming pass over A per iteration.
+spectral_result spectral_embed(const em_csr& a,
+                               const spectral_options& opts = {});
+
+/// Same on an in-memory CSR (reference / small graphs).
+spectral_result spectral_embed(const csr_matrix& a,
+                               const spectral_options& opts = {});
+
+}  // namespace flashr::sparse

@@ -1,0 +1,210 @@
+// Tests for the BLAS substrate: GEMM variants against naive references,
+// Cholesky/solves/eigensolver against known identities, over random inputs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "blas/blas.h"
+#include "blas/smat.h"
+#include "common/rng.h"
+
+namespace flashr {
+namespace {
+
+smat random_mat(std::size_t m, std::size_t n, std::uint64_t seed) {
+  smat a(m, n);
+  rng64 rng(seed);
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t i = 0; i < m; ++i) a(i, j) = rng.next_normal();
+  return a;
+}
+
+smat naive_mm(const smat& a, const smat& b) {
+  smat c(a.nrow(), b.ncol());
+  for (std::size_t i = 0; i < a.nrow(); ++i)
+    for (std::size_t j = 0; j < b.ncol(); ++j) {
+      double s = 0;
+      for (std::size_t k = 0; k < a.ncol(); ++k) s += a(i, k) * b(k, j);
+      c(i, j) = s;
+    }
+  return c;
+}
+
+struct gemm_case {
+  std::size_t m, n, k;
+};
+
+class GemmTest : public ::testing::TestWithParam<gemm_case> {};
+
+TEST_P(GemmTest, NnMatchesNaive) {
+  const auto [m, n, k] = GetParam();
+  smat a = random_mat(m, k, 1), b = random_mat(k, n, 2);
+  smat c = a.mm(b);
+  EXPECT_LT(c.max_abs_diff(naive_mm(a, b)), 1e-9 * static_cast<double>(k + 1));
+}
+
+TEST_P(GemmTest, TnMatchesNaive) {
+  const auto [m, n, k] = GetParam();
+  smat a = random_mat(k, m, 3), b = random_mat(k, n, 4);
+  smat c = a.crossprod(b);
+  EXPECT_LT(c.max_abs_diff(naive_mm(a.t(), b)),
+            1e-9 * static_cast<double>(k + 1));
+}
+
+TEST_P(GemmTest, AccumulatesWithBeta) {
+  const auto [m, n, k] = GetParam();
+  smat a = random_mat(m, k, 5), b = random_mat(k, n, 6);
+  smat c = random_mat(m, n, 7);
+  smat expect = c + naive_mm(a, b) * 2.0;
+  blas::gemm_nn(m, n, k, 2.0, a.data(), m, b.data(), k, 1.0, c.data(), m);
+  EXPECT_LT(c.max_abs_diff(expect), 1e-9 * static_cast<double>(k + 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmTest,
+    ::testing::Values(gemm_case{1, 1, 1}, gemm_case{3, 5, 7},
+                      gemm_case{16, 16, 16}, gemm_case{33, 2, 65},
+                      gemm_case{257, 4, 31}, gemm_case{64, 64, 300},
+                      gemm_case{5, 260, 9}, gemm_case{300, 3, 300}));
+
+TEST(Gemv, MatchesNaive) {
+  smat a = random_mat(37, 11, 8);
+  std::vector<double> x(11), y(37, 0.5), expect(37);
+  rng64 rng(9);
+  for (auto& v : x) v = rng.next_normal();
+  for (std::size_t i = 0; i < 37; ++i) {
+    double s = 0.25 * y[i];
+    for (std::size_t j = 0; j < 11; ++j) s += 2.0 * a(i, j) * x[j];
+    expect[i] = s;
+  }
+  blas::gemv(37, 11, 2.0, a.data(), 37, x.data(), 0.25, y.data());
+  for (std::size_t i = 0; i < 37; ++i) EXPECT_NEAR(y[i], expect[i], 1e-10);
+}
+
+smat random_spd(std::size_t n, std::uint64_t seed) {
+  smat a = random_mat(n + 3, n, seed);
+  smat s = a.crossprod(a);  // A^T A is SPD (full rank w.h.p.)
+  for (std::size_t i = 0; i < n; ++i) s(i, i) += 0.5;
+  return s;
+}
+
+class SpdTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SpdTest, CholeskyReconstructs) {
+  const std::size_t n = GetParam();
+  smat s = random_spd(n, 10);
+  smat l = s;
+  ASSERT_TRUE(blas::cholesky(n, l.data(), n));
+  smat recon = l.mm(l.t());
+  EXPECT_LT(recon.max_abs_diff(s), 1e-8 * static_cast<double>(n + 1));
+}
+
+TEST_P(SpdTest, SpdInverse) {
+  const std::size_t n = GetParam();
+  smat s = random_spd(n, 11);
+  smat inv = s;
+  ASSERT_TRUE(blas::spd_inverse(n, inv.data(), n));
+  smat prod = s.mm(inv);
+  EXPECT_LT(prod.max_abs_diff(smat::identity(n)),
+            1e-6 * static_cast<double>(n + 1));
+}
+
+TEST_P(SpdTest, JacobiEigenReconstructs) {
+  const std::size_t n = GetParam();
+  smat s = random_spd(n, 12);
+  smat work = s;
+  std::vector<double> w(n);
+  smat v(n, n);
+  blas::jacobi_eigen(n, work.data(), n, w.data(), v.data(), n);
+  // Eigenvalues descending.
+  for (std::size_t i = 1; i < n; ++i) EXPECT_LE(w[i], w[i - 1] + 1e-12);
+  // V diag(w) V^T == S.
+  smat vd = v;
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t i = 0; i < n; ++i) vd(i, j) *= w[j];
+  smat recon = vd.mm(v.t());
+  EXPECT_LT(recon.max_abs_diff(s), 1e-7 * static_cast<double>(n + 1));
+  // V orthonormal.
+  smat vtv = v.crossprod(v);
+  EXPECT_LT(vtv.max_abs_diff(smat::identity(n)),
+            1e-8 * static_cast<double>(n + 1));
+}
+
+TEST_P(SpdTest, LuSolve) {
+  const std::size_t n = GetParam();
+  smat a = random_mat(n, n, 13);
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += 3.0;
+  smat x_true = random_mat(n, 2, 14);
+  smat b = a.mm(x_true);
+  smat a_work = a;
+  ASSERT_TRUE(blas::lu_solve(n, 2, a_work.data(), n, b.data(), n));
+  EXPECT_LT(b.max_abs_diff(x_true), 1e-7 * static_cast<double>(n + 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SpdTest,
+                         ::testing::Values(1, 2, 3, 8, 17, 40, 96));
+
+TEST(Cholesky, RejectsIndefinite) {
+  smat s = smat::from_rows(2, 2, {1.0, 2.0, 2.0, 1.0});  // eigenvalues 3, -1
+  EXPECT_FALSE(blas::cholesky(2, s.data(), 2));
+}
+
+TEST(LuSolve, RejectsSingular) {
+  smat s = smat::from_rows(2, 2, {1.0, 2.0, 2.0, 4.0});
+  smat b(2, 1, 1.0);
+  EXPECT_FALSE(blas::lu_solve(2, 1, s.data(), 2, b.data(), 2));
+}
+
+TEST(TriangularSolves, ForwardBackward) {
+  const std::size_t n = 6;
+  smat s = random_spd(n, 15);
+  smat l = s;
+  ASSERT_TRUE(blas::cholesky(n, l.data(), n));
+  std::vector<double> b(n);
+  rng64 rng(16);
+  for (auto& v : b) v = rng.next_normal();
+  std::vector<double> x = b;
+  blas::forward_subst(n, l.data(), n, x.data());
+  blas::backward_subst_t(n, l.data(), n, x.data());
+  // L L^T x == b means S x == b.
+  for (std::size_t i = 0; i < n; ++i) {
+    double got = 0;
+    for (std::size_t j = 0; j < n; ++j) got += s(i, j) * x[j];
+    EXPECT_NEAR(got, b[i], 1e-8);
+  }
+}
+
+TEST(CholeskyLogdet, MatchesEigenSum) {
+  const std::size_t n = 9;
+  smat s = random_spd(n, 17);
+  smat l = s;
+  ASSERT_TRUE(blas::cholesky(n, l.data(), n));
+  const double ld = blas::cholesky_logdet(n, l.data(), n);
+  smat work = s;
+  std::vector<double> w(n);
+  blas::jacobi_eigen(n, work.data(), n, w.data(), nullptr, 0);
+  double expect = 0;
+  for (double v : w) expect += std::log(v);
+  EXPECT_NEAR(ld, expect, 1e-8);
+}
+
+TEST(Smat, BasicOps) {
+  smat a = smat::from_rows(2, 3, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(a(0, 1), 2.0);
+  EXPECT_EQ(a(1, 2), 6.0);
+  smat at = a.t();
+  EXPECT_EQ(at.nrow(), 3u);
+  EXPECT_EQ(at(1, 0), 2.0);
+  smat sum = a + a;
+  EXPECT_EQ(sum(1, 1), 10.0);
+  smat diff = sum - a;
+  EXPECT_LT(diff.max_abs_diff(a), 1e-15);
+  smat r = a.row(1);
+  EXPECT_EQ(r(0, 0), 4.0);
+  smat c = a.col(2);
+  EXPECT_EQ(c(1, 0), 6.0);
+}
+
+}  // namespace
+}  // namespace flashr

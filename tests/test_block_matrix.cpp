@@ -1,0 +1,116 @@
+// Block matrix tests (§3.2.2): decomposition geometry and agreement with
+// the monolithic wide-matrix path for every operation.
+#include <gtest/gtest.h>
+
+#include "common/config.h"
+#include "core/dense_matrix.h"
+#include "io/safs.h"
+#include "matrix/block_matrix.h"
+#include "ml/stats.h"
+
+namespace flashr {
+namespace {
+
+class BlockMatrixTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    options o;
+    o.em_dir = "/tmp/flashr_test_em";
+    o.io_part_rows = 128;
+    o.num_threads = 2;
+    o.small_nrow_threshold = 64;  // keep the test matrices lazy/tall
+    init(o);
+  }
+};
+
+TEST_F(BlockMatrixTest, DecompositionGeometry) {
+  dense_matrix wide = dense_matrix::rnorm(1000, 70, 0, 1, 1);
+  block_matrix bm(wide);
+  EXPECT_EQ(bm.num_blocks(), 3u);  // 32 + 32 + 6
+  EXPECT_EQ(bm.block(0).ncol(), 32u);
+  EXPECT_EQ(bm.block(2).ncol(), 6u);
+  EXPECT_EQ(bm.nrow(), 1000u);
+  EXPECT_EQ(bm.ncol(), 70u);
+}
+
+TEST_F(BlockMatrixTest, ExactMultipleOfBlockSize) {
+  block_matrix bm = block_matrix::rnorm(500, 64, 0, 1, 2);
+  EXPECT_EQ(bm.num_blocks(), 2u);
+  EXPECT_EQ(bm.ncol(), 64u);
+}
+
+TEST_F(BlockMatrixTest, CrossprodMatchesMonolithic) {
+  dense_matrix wide = dense_matrix::rnorm(2000, 70, 0, 1, 3);
+  dense_matrix placed = conv_store(wide, storage::in_mem);
+  block_matrix bm(placed);
+  smat blocked = bm.crossprod();
+  smat mono = crossprod(placed).to_smat();
+  EXPECT_LT(blocked.max_abs_diff(mono), 1e-7);
+}
+
+TEST_F(BlockMatrixTest, CrossprodMatchesOnSsd) {
+  dense_matrix wide =
+      conv_store(dense_matrix::rnorm(1500, 40, 0, 1, 4), storage::ext_mem);
+  block_matrix bm(wide);
+  smat blocked = bm.crossprod();
+  smat mono = crossprod(wide).to_smat();
+  EXPECT_LT(blocked.max_abs_diff(mono), 1e-7);
+}
+
+TEST_F(BlockMatrixTest, CrossprodIsOnePass) {
+  dense_matrix wide =
+      conv_store(dense_matrix::rnorm(1024, 70, 0, 1, 5), storage::ext_mem);
+  block_matrix bm(wide);
+  io_stats::global().reset();
+  bm.crossprod();
+  // Exactly one pass over the data: every byte of the EM matrix is read
+  // once, despite 6 block-pair sinks (blocks are per-column EM views, so
+  // read *ops* count columns; the VOLUME is the one-pass invariant).
+  EXPECT_EQ(io_stats::global().read_bytes.load(),
+            1024u * 70u * sizeof(double));
+}
+
+TEST_F(BlockMatrixTest, ColSumsMatchesMonolithic) {
+  dense_matrix wide = conv_store(dense_matrix::runif(1200, 45, -1, 2, 6),
+                                 storage::in_mem);
+  block_matrix bm(wide);
+  smat blocked = bm.col_sums();
+  smat mono = col_sums(wide).to_smat();
+  EXPECT_LT(blocked.max_abs_diff(mono), 1e-8);
+}
+
+TEST_F(BlockMatrixTest, MatmulMatchesMonolithic) {
+  dense_matrix wide = conv_store(dense_matrix::rnorm(900, 50, 0, 1, 7),
+                                 storage::in_mem);
+  block_matrix bm(wide);
+  smat b(50, 3);
+  for (std::size_t j = 0; j < 3; ++j)
+    for (std::size_t i = 0; i < 50; ++i)
+      b(i, j) = 0.01 * static_cast<double>(i) - 0.1 * static_cast<double>(j);
+  smat blocked = bm.matmul(b).to_smat();
+  smat mono = matmul(wide, dense_matrix::from_smat(b)).to_smat();
+  EXPECT_LT(blocked.max_abs_diff(mono), 1e-8);
+}
+
+TEST_F(BlockMatrixTest, MapAndMap2) {
+  dense_matrix wide = conv_store(dense_matrix::rnorm(800, 40, 0, 1, 8),
+                                 storage::in_mem);
+  block_matrix bm(wide);
+  block_matrix sq = bm.map(uop_id::square);
+  block_matrix sum2 = sq.map2(sq, bop_id::add);
+  smat got = sum2.to_dense().to_smat();
+  smat h = wide.to_smat();
+  for (std::size_t i = 0; i < 50; ++i)
+    EXPECT_NEAR(got(i, 5), 2 * h(i, 5) * h(i, 5), 1e-12);
+}
+
+TEST_F(BlockMatrixTest, ScaleAndToDense) {
+  block_matrix bm = block_matrix::rnorm(600, 33, 1, 2, 9);
+  dense_matrix dense = (bm * 3.0).to_dense();
+  EXPECT_EQ(dense.ncol(), 33u);
+  smat mu = col_means(dense).to_smat();
+  EXPECT_NEAR(mu(0, 0), 3.0, 0.5);
+}
+
+}  // namespace
+}  // namespace flashr

@@ -1,0 +1,77 @@
+// Block-matrix statistics: moments/correlation over the 32-column block
+// decomposition must match the monolithic path exactly, and fuse into one
+// pass over the data.
+#include <gtest/gtest.h>
+
+#include "common/config.h"
+#include "core/dense_matrix.h"
+#include "io/safs.h"
+#include "matrix/block_matrix.h"
+#include "matrix/datasets.h"
+#include "ml/kmeans.h"
+#include "ml/stats.h"
+
+namespace flashr::ml {
+namespace {
+
+class BlockStatsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    options o;
+    o.em_dir = "/tmp/flashr_test_em";
+    o.io_part_rows = 128;
+    o.small_nrow_threshold = 32;
+    init(o);
+  }
+};
+
+TEST_F(BlockStatsTest, BlockMomentsMatchMonolithic) {
+  dense_matrix wide = conv_store(dense_matrix::rnorm(2000, 70, 1, 2, 3),
+                                 storage::in_mem);
+  block_matrix bm(wide);
+  moments mono = compute_moments(wide);
+  moments blocked = compute_moments(bm);
+  EXPECT_EQ(blocked.n, mono.n);
+  EXPECT_LT(blocked.col_sums.max_abs_diff(mono.col_sums), 1e-8);
+  EXPECT_LT(blocked.gram.max_abs_diff(mono.gram), 1e-6);
+}
+
+TEST_F(BlockStatsTest, BlockCorrelationMatchesMonolithic) {
+  dense_matrix wide = conv_store(dense_matrix::rnorm(1500, 48, 0, 1, 5),
+                                 storage::ext_mem);
+  block_matrix bm(wide);
+  smat mono = correlation(wide);
+  smat blocked = correlation(bm);
+  EXPECT_LT(blocked.max_abs_diff(mono), 1e-9);
+  for (std::size_t j = 0; j < 48; ++j)
+    EXPECT_NEAR(blocked(j, j), 1.0, 1e-12);
+}
+
+TEST_F(BlockStatsTest, BlockMomentsAreOnePass) {
+  dense_matrix wide = conv_store(dense_matrix::rnorm(128 * 6, 64, 0, 1, 7),
+                                 storage::ext_mem);
+  block_matrix bm(wide);
+  io_stats::global().reset();
+  compute_moments(bm);
+  // 2 blocks -> 3 Gramian sinks + 2 colSums sinks; each byte read once.
+  EXPECT_EQ(io_stats::global().read_bytes.load(),
+            128u * 6u * 64u * sizeof(double));
+}
+
+TEST_F(BlockStatsTest, KmeansWithoutCachingConvergesIdentically) {
+  labeled_data d = pagegraph_like(3000, 3, 9);
+  dense_matrix X = conv_store(d.X, storage::in_mem);
+  kmeans_options with_cache;
+  with_cache.max_iters = 15;
+  with_cache.seed = 4;
+  kmeans_options without = with_cache;
+  without.cache_assignments = false;
+  kmeans_result a = kmeans(X, 3, with_cache);
+  kmeans_result b = kmeans(X, 3, without);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.centers.max_abs_diff(b.centers), 0.0);
+  EXPECT_EQ(a.moves_history, b.moves_history);
+}
+
+}  // namespace
+}  // namespace flashr::ml

@@ -1,0 +1,128 @@
+// Tests for groupby.col, value-space groupby, and softmax regression.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/config.h"
+#include "common/rng.h"
+#include "core/dense_matrix.h"
+#include "core/reshape.h"
+#include "ml/naive_bayes.h"
+#include "ml/softmax.h"
+
+namespace flashr {
+namespace {
+
+class GroupbyColTest : public ::testing::TestWithParam<storage> {
+ protected:
+  void SetUp() override {
+    options o;
+    o.em_dir = "/tmp/flashr_test_em";
+    o.io_part_rows = 64;
+    o.small_nrow_threshold = 16;
+    init(o);
+  }
+  dense_matrix place(const dense_matrix& m) const {
+    return conv_store(m, GetParam());
+  }
+};
+
+TEST_P(GroupbyColTest, SumsColumnsByGroup) {
+  const std::size_t n = 500, p = 6;
+  smat h(n, p);
+  rng64 rng(1);
+  for (std::size_t j = 0; j < p; ++j)
+    for (std::size_t i = 0; i < n; ++i) h(i, j) = rng.next_normal();
+  dense_matrix m = place(dense_matrix::from_smat(h));
+  // Columns {0,2,4} -> group 0; {1,3,5} -> group 1.
+  smat got = groupby_col(m, {0, 1, 0, 1, 0, 1}, 2, agg_id::sum).to_smat();
+  ASSERT_EQ(got.ncol(), 2u);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(got(i, 0), h(i, 0) + h(i, 2) + h(i, 4), 1e-10);
+    EXPECT_NEAR(got(i, 1), h(i, 1) + h(i, 3) + h(i, 5), 1e-10);
+  }
+}
+
+TEST_P(GroupbyColTest, MaxAndFusesWithChain) {
+  const std::size_t n = 300;
+  dense_matrix m = place(dense_matrix::rnorm(n, 4, 0, 1, 2));
+  smat h = m.to_smat();
+  // groupby.col of the squared matrix, fused in one DAG.
+  smat got = groupby_col(square(m), {0, 0, 1, 1}, 2, agg_id::max_v).to_smat();
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(got(i, 0),
+                std::max(h(i, 0) * h(i, 0), h(i, 1) * h(i, 1)), 1e-10);
+    EXPECT_NEAR(got(i, 1),
+                std::max(h(i, 2) * h(i, 2), h(i, 3) * h(i, 3)), 1e-10);
+  }
+}
+
+TEST_P(GroupbyColTest, RejectsWrongLabelCount) {
+  dense_matrix m = place(dense_matrix::rnorm(100, 4, 0, 1, 3));
+  EXPECT_THROW(groupby_col(m, {0, 1}, 2, agg_id::sum), shape_error);
+}
+
+TEST_P(GroupbyColTest, GroupbyValuesSumAndCount) {
+  smat h(200, 1);
+  for (std::size_t i = 0; i < 200; ++i) h(i, 0) = static_cast<double>(i % 4);
+  dense_matrix m = place(dense_matrix::from_smat(h));
+  auto sums = groupby_values(m, agg_id::sum);
+  auto counts = groupby_values(m, agg_id::count_nonzero);
+  ASSERT_EQ(sums.size(), 4u);
+  for (std::size_t v = 0; v < 4; ++v) {
+    EXPECT_EQ(sums[static_cast<double>(v)], static_cast<double>(v) * 50);
+    EXPECT_EQ(counts[static_cast<double>(v)], v == 0 ? 0.0 : 50.0);
+  }
+  auto mins = groupby_values(m, agg_id::min_v);
+  EXPECT_EQ(mins[2.0], 2.0);
+}
+
+TEST_P(GroupbyColTest, SoftmaxSeparatesThreeClasses) {
+  const std::size_t n = 6000, p = 2, k = 3;
+  smat h(n, p), lab(n, 1);
+  rng64 rng(4);
+  const double centers[3][2] = {{3, 0}, {-3, 0}, {0, 3}};
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t c = i % k;
+    lab(i, 0) = static_cast<double>(c);
+    h(i, 0) = centers[c][0] + rng.next_normal();
+    h(i, 1) = centers[c][1] + rng.next_normal();
+  }
+  dense_matrix X = place(dense_matrix::from_smat(h));
+  dense_matrix y = place(dense_matrix::from_smat(lab, scalar_type::i64));
+
+  ml::softmax_options o;
+  o.max_iters = 60;
+  ml::softmax_model m = ml::softmax_regression(X, y, k, o);
+  EXPECT_GE(m.loss_history.size(), 2u);
+  EXPECT_LT(m.loss_history.back(), m.loss_history.front());
+  const double acc = ml::accuracy(ml::softmax_predict(X, m), y);
+  EXPECT_GT(acc, 0.93);
+}
+
+TEST_P(GroupbyColTest, SoftmaxMatchesBinaryLogisticDirection) {
+  // With k = 2, softmax decision boundary ~ binary logistic's.
+  const std::size_t n = 4000;
+  smat h(n, 1), lab(n, 1);
+  rng64 rng(5);
+  for (std::size_t i = 0; i < n; ++i) {
+    h(i, 0) = rng.next_normal();
+    lab(i, 0) =
+        rng.next_uniform() < 1 / (1 + std::exp(-2.0 * h(i, 0))) ? 1 : 0;
+  }
+  dense_matrix X = place(dense_matrix::from_smat(h));
+  dense_matrix y = place(dense_matrix::from_smat(lab));
+  ml::softmax_model m = ml::softmax_regression(X, y, 2, {.max_iters = 40});
+  // w for class 1 minus class 0 approximates the binary weight 2.0.
+  EXPECT_NEAR(m.w(0, 1) - m.w(0, 0), 2.0, 0.4);
+  EXPECT_GT(ml::accuracy(ml::softmax_predict(X, m), y), 0.75);
+}
+
+INSTANTIATE_TEST_SUITE_P(Storages, GroupbyColTest,
+                         ::testing::Values(storage::in_mem, storage::ext_mem),
+                         [](const ::testing::TestParamInfo<storage>& i) {
+                           return i.param == storage::in_mem ? "im" : "em";
+                         });
+
+}  // namespace
+}  // namespace flashr

@@ -1,0 +1,181 @@
+// Tests for data import/export, matrix persistence, and the reshaping /
+// value-space operations (rbind, unique, table, replace_cols, head_rows).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/config.h"
+#include "core/dense_matrix.h"
+#include "core/reshape.h"
+#include "matrix/import.h"
+
+namespace flashr {
+namespace {
+
+class ImportTest : public ::testing::TestWithParam<storage> {
+ protected:
+  void SetUp() override {
+    options o;
+    o.em_dir = "/tmp/flashr_test_em";
+    o.io_part_rows = 64;
+    o.small_nrow_threshold = 16;
+    init(o);
+  }
+  storage st() const { return GetParam(); }
+};
+
+TEST_P(ImportTest, CsvRoundTrip) {
+  const char* path = "/tmp/flashr_test_em/roundtrip.csv";
+  smat h(300, 4);
+  for (std::size_t j = 0; j < 4; ++j)
+    for (std::size_t i = 0; i < 300; ++i)
+      h(i, j) = static_cast<double>(i) * 0.5 - static_cast<double>(j);
+  save_dense_text(dense_matrix::from_smat(h), path);
+
+  load_options opts;
+  opts.st = st();
+  dense_matrix m = load_dense(path, opts);
+  EXPECT_EQ(m.nrow(), 300u);
+  EXPECT_EQ(m.ncol(), 4u);
+  EXPECT_LT(m.to_smat().max_abs_diff(h), 1e-9);
+  std::remove(path);
+}
+
+TEST_P(ImportTest, CsvWithHeaderAndTabs) {
+  const char* path = "/tmp/flashr_test_em/header.tsv";
+  {
+    std::ofstream f(path);
+    f << "a\tb\tc\n1\t2\t3\n4.5\t-6\t7e2\n";
+  }
+  load_options opts;
+  opts.header = true;
+  opts.delimiter = '\t';
+  opts.st = st();
+  dense_matrix m = load_dense(path, opts);
+  EXPECT_EQ(m.nrow(), 2u);
+  EXPECT_EQ(m.ncol(), 3u);
+  smat h = m.to_smat();
+  EXPECT_EQ(h(0, 0), 1.0);
+  EXPECT_EQ(h(1, 1), -6.0);
+  EXPECT_EQ(h(1, 2), 700.0);
+  std::remove(path);
+}
+
+TEST_P(ImportTest, LoadDenseRejectsMissingAndGarbage) {
+  EXPECT_THROW(load_dense("/tmp/flashr_no_such_file.csv"), io_error);
+  const char* path = "/tmp/flashr_test_em/garbage.csv";
+  {
+    std::ofstream f(path);
+    f << "1,2\nfoo,bar\n";
+  }
+  EXPECT_THROW(load_dense(path), error);
+  std::remove(path);
+}
+
+TEST_P(ImportTest, BinaryPersistenceRoundTrip) {
+  dense_matrix m = dense_matrix::rnorm(500, 3, 1, 2, 9);
+  dense_matrix placed = conv_store(m, st());
+  save_matrix(placed, conf().em_dir, "persist_test");
+  dense_matrix back = load_matrix(conf().em_dir, "persist_test", st());
+  EXPECT_EQ(back.nrow(), 500u);
+  EXPECT_EQ(back.type(), scalar_type::f64);
+  EXPECT_EQ(back.to_smat().max_abs_diff(placed.to_smat()), 0.0);
+}
+
+TEST_P(ImportTest, BinaryPersistencePreservesIntegers) {
+  smat h(100, 2);
+  for (std::size_t i = 0; i < 100; ++i) {
+    h(i, 0) = static_cast<double>(i * 7);
+    h(i, 1) = static_cast<double>(i) - 50;
+  }
+  dense_matrix m =
+      conv_store(dense_matrix::from_smat(h, scalar_type::i64), st());
+  save_matrix(m, conf().em_dir, "persist_ints");
+  dense_matrix back = load_matrix(conf().em_dir, "persist_ints", st());
+  EXPECT_EQ(back.type(), scalar_type::i64);
+  EXPECT_EQ(back.to_smat().max_abs_diff(h), 0.0);
+}
+
+TEST_P(ImportTest, RbindStacksRows) {
+  smat a(150, 3), b(77, 3);
+  for (std::size_t j = 0; j < 3; ++j) {
+    for (std::size_t i = 0; i < 150; ++i) a(i, j) = static_cast<double>(i + j);
+    for (std::size_t i = 0; i < 77; ++i) b(i, j) = -static_cast<double>(i) - 1;
+  }
+  dense_matrix stacked =
+      rbind({conv_store(dense_matrix::from_smat(a), st()),
+             conv_store(dense_matrix::from_smat(b), st())},
+            st());
+  EXPECT_EQ(stacked.nrow(), 227u);
+  smat h = stacked.to_smat();
+  EXPECT_EQ(h(0, 0), 0.0);
+  EXPECT_EQ(h(149, 2), 151.0);
+  EXPECT_EQ(h(150, 0), -1.0);
+  EXPECT_EQ(h(226, 1), -77.0);
+}
+
+TEST_P(ImportTest, RbindManyPiecesSpansPartitions) {
+  std::vector<dense_matrix> pieces;
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < 5; ++i) {
+    const std::size_t rows = 37 + i * 11;  // deliberately partition-unaligned
+    pieces.push_back(
+        conv_store(dense_matrix::constant(rows, 2, static_cast<double>(i)),
+                   st()));
+    total += rows;
+  }
+  dense_matrix stacked = rbind(pieces, st());
+  EXPECT_EQ(stacked.nrow(), total);
+  smat h = stacked.to_smat();
+  std::size_t at = 0;
+  for (std::size_t i = 0; i < 5; ++i) {
+    const std::size_t rows = 37 + i * 11;
+    EXPECT_EQ(h(at, 0), static_cast<double>(i));
+    EXPECT_EQ(h(at + rows - 1, 1), static_cast<double>(i));
+    at += rows;
+  }
+}
+
+TEST_P(ImportTest, UniqueAndTable) {
+  smat h(200, 1);
+  for (std::size_t i = 0; i < 200; ++i) h(i, 0) = static_cast<double>(i % 5);
+  dense_matrix m = conv_store(dense_matrix::from_smat(h), st());
+  auto uniq = unique_values(m);
+  ASSERT_EQ(uniq.size(), 5u);
+  for (std::size_t v = 0; v < 5; ++v) EXPECT_EQ(uniq[v], static_cast<double>(v));
+  auto tab = table_values(m);
+  for (std::size_t v = 0; v < 5; ++v)
+    EXPECT_EQ(tab[static_cast<double>(v)], 40u);
+}
+
+TEST_P(ImportTest, ReplaceColsIsLazyView) {
+  dense_matrix a = conv_store(dense_matrix::constant(300, 4, 1.0), st());
+  dense_matrix b = conv_store(dense_matrix::constant(300, 2, 9.0), st());
+  dense_matrix r = replace_cols(a, {1, 3}, b);
+  smat h = r.to_smat();
+  for (std::size_t i = 0; i < 300; ++i) {
+    EXPECT_EQ(h(i, 0), 1.0);
+    EXPECT_EQ(h(i, 1), 9.0);
+    EXPECT_EQ(h(i, 2), 1.0);
+    EXPECT_EQ(h(i, 3), 9.0);
+  }
+}
+
+TEST_P(ImportTest, HeadRows) {
+  dense_matrix m = conv_store(dense_matrix::seq(500), st());
+  dense_matrix h = head_rows(m, 130, st());
+  EXPECT_EQ(h.nrow(), 130u);
+  smat hh = h.to_smat();
+  EXPECT_EQ(hh(0, 0), 0.0);
+  EXPECT_EQ(hh(129, 0), 129.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Storages, ImportTest,
+                         ::testing::Values(storage::in_mem, storage::ext_mem),
+                         [](const ::testing::TestParamInfo<storage>& i) {
+                           return i.param == storage::in_mem ? "im" : "em";
+                         });
+
+}  // namespace
+}  // namespace flashr

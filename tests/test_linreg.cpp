@@ -1,0 +1,139 @@
+// Linear regression / ridge / thin-SVD tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/config.h"
+#include "common/rng.h"
+#include "core/dense_matrix.h"
+#include "ml/linreg.h"
+
+namespace flashr::ml {
+namespace {
+
+class LinregTest : public ::testing::TestWithParam<storage> {
+ protected:
+  void SetUp() override {
+    options o;
+    o.em_dir = "/tmp/flashr_test_em";
+    o.io_part_rows = 256;
+    init(o);
+  }
+  dense_matrix place(const dense_matrix& m) const {
+    return conv_store(m, GetParam());
+  }
+};
+
+TEST_P(LinregTest, RecoversExactCoefficientsNoiseless) {
+  const std::size_t n = 2000, p = 4;
+  smat h(n, p), yv(n, 1);
+  rng64 rng(1);
+  const double w_true[4] = {2.0, -1.0, 0.5, 3.0};
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = 7.0;  // intercept
+    for (std::size_t j = 0; j < p; ++j) {
+      h(i, j) = rng.next_normal();
+      acc += w_true[j] * h(i, j);
+    }
+    yv(i, 0) = acc;
+  }
+  dense_matrix X = place(dense_matrix::from_smat(h));
+  dense_matrix y = place(dense_matrix::from_smat(yv));
+  linreg_model m = linear_regression(X, y);
+  for (std::size_t j = 0; j < p; ++j) EXPECT_NEAR(m.w(j, 0), w_true[j], 1e-8);
+  EXPECT_NEAR(m.w(p, 0), 7.0, 1e-8);
+  EXPECT_NEAR(m.r2, 1.0, 1e-9);
+}
+
+TEST_P(LinregTest, NoisyFitHasSensibleR2) {
+  const std::size_t n = 5000;
+  smat h(n, 1), yv(n, 1);
+  rng64 rng(2);
+  for (std::size_t i = 0; i < n; ++i) {
+    h(i, 0) = rng.next_normal();
+    yv(i, 0) = 2.0 * h(i, 0) + rng.next_normal();  // SNR 4:1 -> R2 ~ 0.8
+  }
+  dense_matrix X = place(dense_matrix::from_smat(h));
+  dense_matrix y = place(dense_matrix::from_smat(yv));
+  linreg_model m = linear_regression(X, y);
+  EXPECT_NEAR(m.w(0, 0), 2.0, 0.05);
+  EXPECT_NEAR(m.r2, 0.8, 0.03);
+}
+
+TEST_P(LinregTest, RidgeShrinksCoefficients) {
+  const std::size_t n = 500;
+  smat h(n, 2), yv(n, 1);
+  rng64 rng(3);
+  for (std::size_t i = 0; i < n; ++i) {
+    h(i, 0) = rng.next_normal();
+    h(i, 1) = h(i, 0) + 1e-3 * rng.next_normal();  // near-collinear
+    yv(i, 0) = h(i, 0) + h(i, 1);
+  }
+  dense_matrix X = place(dense_matrix::from_smat(h));
+  dense_matrix y = place(dense_matrix::from_smat(yv));
+  linreg_options strong;
+  strong.l2 = 100.0;
+  linreg_options weak;
+  weak.l2 = 1e-6;
+  linreg_model ms = linear_regression(X, y, strong);
+  linreg_model mw = linear_regression(X, y, weak);
+  EXPECT_LT(std::abs(ms.w(0, 0)) + std::abs(ms.w(1, 0)),
+            std::abs(mw.w(0, 0)) + std::abs(mw.w(1, 0)));
+  // Predictions still track the target under weak regularization.
+  dense_matrix pred = linreg_predict(X, mw);
+  double max_err = max(abs(pred - y)).scalar();
+  EXPECT_LT(max_err, 0.05);
+}
+
+TEST_P(LinregTest, SingularWithoutRidgeThrows) {
+  // Duplicate column makes the normal equations singular.
+  dense_matrix c = dense_matrix::rnorm(300, 1, 0, 1, 4);
+  dense_matrix X = place(cbind({c, c}));
+  dense_matrix y = place(dense_matrix::rnorm(300, 1, 0, 1, 5));
+  linreg_options no_ridge;
+  no_ridge.l2 = 0;
+  no_ridge.add_intercept = false;
+  EXPECT_THROW(linear_regression(X, y, no_ridge), error);
+  no_ridge.l2 = 1e-3;
+  EXPECT_NO_THROW(linear_regression(X, y, no_ridge));
+}
+
+TEST_P(LinregTest, ThinSvdReconstructs) {
+  const std::size_t n = 1500, p = 5;
+  dense_matrix X = place(dense_matrix::rnorm(n, p, 0, 1, 6));
+  svd_result s = svd(X);
+  ASSERT_EQ(s.d.size(), p);
+  for (std::size_t j = 1; j < p; ++j) EXPECT_LE(s.d[j], s.d[j - 1] + 1e-9);
+
+  // U^T U = I and X ~= U diag(d) V^T.
+  dense_matrix U = svd_u(X, s);
+  smat utu = crossprod(U).to_smat();
+  EXPECT_LT(utu.max_abs_diff(smat::identity(p)), 1e-8);
+
+  smat uh = U.to_smat(), xh = X.to_smat();
+  for (std::size_t i = 0; i < 50; ++i)
+    for (std::size_t j = 0; j < p; ++j) {
+      double recon = 0;
+      for (std::size_t c = 0; c < p; ++c)
+        recon += uh(i, c) * s.d[c] * s.v(j, c);
+      EXPECT_NEAR(recon, xh(i, j), 1e-8);
+    }
+}
+
+TEST_P(LinregTest, TruncatedSvdKeepsTopComponents) {
+  dense_matrix X = place(dense_matrix::rnorm(800, 6, 0, 1, 7));
+  svd_result s = svd(X, 2);
+  EXPECT_EQ(s.d.size(), 2u);
+  EXPECT_EQ(s.v.ncol(), 2u);
+  dense_matrix U = svd_u(X, s);
+  EXPECT_EQ(U.ncol(), 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Storages, LinregTest,
+                         ::testing::Values(storage::in_mem, storage::ext_mem),
+                         [](const ::testing::TestParamInfo<storage>& i) {
+                           return i.param == storage::in_mem ? "im" : "em";
+                         });
+
+}  // namespace
+}  // namespace flashr::ml

@@ -1,0 +1,162 @@
+// Tests for NUMA-aware dispatch and set.cache storage placement.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/config.h"
+#include "core/dense_matrix.h"
+#include "core/virtual_store.h"
+#include "io/safs.h"
+#include "mem/numa.h"
+#include "parallel/scheduler.h"
+#include "parallel/thread_pool.h"
+
+namespace flashr {
+namespace {
+
+TEST(NumaScheduler, CoversAllPartitionsOnce) {
+  numa_scheduler sched(1003, 4);
+  std::set<std::size_t> seen;
+  std::size_t p;
+  for (int home = 0; home < 4; ++home)
+    while (sched.fetch(home % 4, p)) EXPECT_TRUE(seen.insert(p).second);
+  EXPECT_EQ(seen.size(), 1003u);
+}
+
+TEST(NumaScheduler, HomeQueueFirstThenSteal) {
+  numa_scheduler sched(12, 3);
+  // Worker on node 1 should first get 1, 4, 7, 10 in order, then steal.
+  std::size_t p;
+  bool stolen = false;
+  for (std::size_t expect : {1u, 4u, 7u, 10u}) {
+    ASSERT_TRUE(sched.fetch(1, p, &stolen));
+    EXPECT_EQ(p, expect);
+    EXPECT_FALSE(stolen);
+  }
+  ASSERT_TRUE(sched.fetch(1, p, &stolen));
+  EXPECT_TRUE(stolen);
+  EXPECT_EQ(p % 3, 2u);  // steals from the next node (1+1) % 3
+}
+
+TEST(NumaScheduler, ParallelFetchIsExactlyOnce) {
+  numa_scheduler sched(5000, 2);
+  std::vector<std::set<std::size_t>> per_thread(4);
+  thread_pool pool(4);
+  pool.run_all([&](int t) {
+    std::size_t p;
+    while (sched.fetch(t % 2, p))
+      per_thread[static_cast<std::size_t>(t)].insert(p);
+  });
+  std::set<std::size_t> all;
+  std::size_t total = 0;
+  for (auto& s : per_thread) {
+    total += s.size();
+    all.insert(s.begin(), s.end());
+  }
+  EXPECT_EQ(total, 5000u);
+  EXPECT_EQ(all.size(), 5000u);
+}
+
+class NumaExecTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    options o;
+    o.em_dir = "/tmp/flashr_test_em";
+    o.io_part_rows = 64;
+    o.num_threads = 4;
+    o.numa_nodes = 4;
+    o.small_nrow_threshold = 16;
+    init(o);
+  }
+  void TearDown() override { mutable_conf().numa_nodes = 1; }
+};
+
+TEST_F(NumaExecTest, NumaDispatchIsCorrectAndRecordsAccesses) {
+  // Correctness under per-node queues. Locality itself cannot be asserted
+  // end-to-end here: with a single hardware core, whichever software thread
+  // runs first legitimately steals most remote partitions (the tracker then
+  // reports ~1/nodes). The dispatch ORDER policy is pinned by the
+  // deterministic NumaScheduler.HomeQueueFirstThenSteal test above.
+  dense_matrix X = conv_store(dense_matrix::rnorm(64 * 64, 4, 0, 1, 3),
+                              storage::in_mem);
+  numa_tracker::global().reset();
+  const double s = sum(X * 2.0).scalar();
+  const double expect = 2.0 * sum(X).scalar();
+  EXPECT_NEAR(s, expect, std::abs(expect) * 1e-12);
+  EXPECT_GT(numa_tracker::global().local_accesses() +
+                numa_tracker::global().remote_accesses(),
+            0u);
+  EXPECT_GE(numa_tracker::global().locality(), 0.25 - 1e-9);
+}
+
+TEST_F(NumaExecTest, SingleThreadStealsEverythingButStaysCorrect) {
+  mutable_conf().num_threads = 1;
+  dense_matrix X = conv_store(dense_matrix::rnorm(64 * 8, 3, 0, 1, 5),
+                              storage::in_mem);
+  smat got = (X + 1.0).to_smat();
+  smat h = X.to_smat();
+  for (std::size_t i = 0; i < 100; ++i)
+    EXPECT_NEAR(got(i, 0), h(i, 0) + 1.0, 1e-12);
+  mutable_conf().num_threads = 4;
+}
+
+TEST_F(NumaExecTest, CumulativeOpsFallBackToSequentialDispatch) {
+  // cum ops would deadlock under per-node queues with one worker; the
+  // engine must fall back and still be correct.
+  mutable_conf().num_threads = 1;
+  dense_matrix X = conv_store(dense_matrix::rnorm(64 * 6, 2, 0, 1, 7),
+                              storage::in_mem);
+  smat got = cumsum_col(X).to_smat();
+  smat h = X.to_smat();
+  double run = 0;
+  for (std::size_t i = 0; i < X.nrow(); ++i) {
+    run += h(i, 0);
+    ASSERT_NEAR(got(i, 0), run, 1e-8);
+  }
+  mutable_conf().num_threads = 4;
+}
+
+class CacheStorageTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    options o;
+    o.em_dir = "/tmp/flashr_test_em";
+    o.io_part_rows = 64;
+    o.small_nrow_threshold = 16;
+    init(o);
+  }
+};
+
+TEST_F(CacheStorageTest, SetCacheToSsdMaterializesThere) {
+  dense_matrix X = conv_store(dense_matrix::rnorm(64 * 8, 2, 0, 1, 9),
+                              storage::ext_mem);
+  dense_matrix mid = X * 3.0;
+  mid.set_cache(true, storage::ext_mem);
+  const double total = sum(mid).scalar();
+  // mid is now materialized... on SSDs.
+  ASSERT_FALSE(mid.is_virtual());
+  EXPECT_EQ(mid.resolved()->kind(), store_kind::ext);
+  // And reusable without recomputing from X.
+  EXPECT_NEAR(sum(mid).scalar(), total, 1e-9);
+}
+
+TEST_F(CacheStorageTest, SetCacheToMemoryDefault) {
+  dense_matrix X = conv_store(dense_matrix::rnorm(64 * 4, 2, 0, 1, 9),
+                              storage::ext_mem);
+  dense_matrix mid = X + 1.0;
+  mid.set_cache(true);
+  sum(mid).scalar();
+  ASSERT_FALSE(mid.is_virtual());
+  EXPECT_EQ(mid.resolved()->kind(), store_kind::mem);
+}
+
+TEST_F(CacheStorageTest, RequestedTargetHonoursCallerStorage) {
+  dense_matrix X = conv_store(dense_matrix::rnorm(64 * 4, 2, 0, 1, 9),
+                              storage::in_mem);
+  dense_matrix y = X * 2.0;
+  materialize_all({y}, storage::ext_mem);
+  EXPECT_EQ(y.resolved()->kind(), store_kind::ext);
+}
+
+}  // namespace
+}  // namespace flashr

@@ -1,0 +1,105 @@
+// Spectral embedding tests: subspace iteration recovers known eigenstructure
+// on small matrices and agrees between the in-memory and semi-external paths.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/config.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "sparse/csr.h"
+#include "sparse/sem_spmm.h"
+#include "sparse/spectral.h"
+
+namespace flashr::sparse {
+namespace {
+
+class SpectralTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    options o;
+    o.em_dir = "/tmp/flashr_test_em";
+    init(o);
+  }
+};
+
+TEST_F(SpectralTest, OrthonormalizeProducesOrthonormalColumns) {
+  smat v(50, 4);
+  rng64 rng(1);
+  for (std::size_t j = 0; j < 4; ++j)
+    for (std::size_t i = 0; i < 50; ++i) v(i, j) = rng.next_normal();
+  orthonormalize(v);
+  smat vtv = v.crossprod(v);
+  EXPECT_LT(vtv.max_abs_diff(smat::identity(4)), 1e-10);
+}
+
+TEST_F(SpectralTest, RecoversDiagonalEigenvalues) {
+  // Diagonal matrix: eigenvalues are the diagonal, eigenvectors are axes.
+  std::vector<std::tuple<std::size_t, std::size_t, double>> trips;
+  const std::size_t n = 40;
+  // Geometric decay gives wide spectral gaps so subspace iteration
+  // converges fast (rate = ratio of adjacent eigenvalues per iteration).
+  for (std::size_t i = 0; i < n; ++i)
+    trips.emplace_back(i, i, 100.0 * std::pow(0.5, static_cast<double>(i)));
+  auto a = csr_matrix::from_triplets(n, n, std::move(trips));
+  spectral_options o;
+  o.k = 3;
+  o.iterations = 80;
+  spectral_result r = spectral_embed(a, o);
+  EXPECT_NEAR(r.eigenvalues[0], 100.0, 1e-6);
+  EXPECT_NEAR(r.eigenvalues[1], 50.0, 1e-6);
+  EXPECT_NEAR(r.eigenvalues[2], 25.0, 1e-5);
+  // Leading vector concentrates on coordinate 0.
+  EXPECT_GT(std::abs(r.vectors(0, 0)), 0.999);
+}
+
+TEST_F(SpectralTest, StochasticMatrixHasUnitTopEigenvalue) {
+  csr_matrix g = csr_matrix::random_graph(500, 8.0, 3);
+  // Make it doubly usable: row-normalize (top eigenvalue 1 for the
+  // transition operator).
+  g.row_normalize();
+  spectral_options o;
+  o.k = 2;
+  o.iterations = 150;
+  spectral_result r = spectral_embed(g, o);
+  EXPECT_NEAR(r.eigenvalues[0], 1.0, 0.05);
+  EXPECT_LT(std::abs(r.eigenvalues[1]), 1.0);
+}
+
+TEST_F(SpectralTest, SemiExternalMatchesInMemory) {
+  csr_matrix g = csr_matrix::random_graph(800, 6.0, 5);
+  g.row_normalize();
+  auto em = em_csr::create(g, 128);
+  spectral_options o;
+  o.k = 4;
+  o.iterations = 25;
+  o.seed = 9;
+  spectral_result a = spectral_embed(g, o);
+  spectral_result b = spectral_embed(*em, o);
+  // Identical arithmetic order per row -> identical results.
+  EXPECT_EQ(a.vectors.max_abs_diff(b.vectors), 0.0);
+  for (std::size_t j = 0; j < 4; ++j)
+    EXPECT_EQ(a.eigenvalues[j], b.eigenvalues[j]);
+}
+
+TEST_F(SpectralTest, EarlyStopOnTolerance) {
+  std::vector<std::tuple<std::size_t, std::size_t, double>> trips;
+  for (std::size_t i = 0; i < 30; ++i)
+    trips.emplace_back(i, i, i == 0 ? 100.0 : 1.0);  // huge spectral gap
+  auto a = csr_matrix::from_triplets(30, 30, std::move(trips));
+  spectral_options o;
+  o.k = 1;
+  o.iterations = 100;
+  o.tol = 1e-12;
+  spectral_result r = spectral_embed(a, o);
+  EXPECT_LT(r.iterations, 20);  // converges long before the cap
+  EXPECT_NEAR(r.eigenvalues[0], 100.0, 1e-9);
+}
+
+TEST_F(SpectralTest, RejectsNonSquare) {
+  auto a = csr_matrix::from_triplets(3, 4, {{0, 0, 1.0}});
+  EXPECT_THROW(spectral_embed(a), shape_error);
+}
+
+}  // namespace
+}  // namespace flashr::sparse
