@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_block.dir/bench_ablate_block.cpp.o"
+  "CMakeFiles/bench_ablate_block.dir/bench_ablate_block.cpp.o.d"
+  "bench_ablate_block"
+  "bench_ablate_block.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_block.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_cache.dir/bench_ablate_cache.cpp.o"
+  "CMakeFiles/bench_ablate_cache.dir/bench_ablate_cache.cpp.o.d"
+  "bench_ablate_cache"
+  "bench_ablate_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

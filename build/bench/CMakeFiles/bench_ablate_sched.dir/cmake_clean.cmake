@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_sched.dir/bench_ablate_sched.cpp.o"
+  "CMakeFiles/bench_ablate_sched.dir/bench_ablate_sched.cpp.o.d"
+  "bench_ablate_sched"
+  "bench_ablate_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_microops.dir/bench_microops.cpp.o"
+  "CMakeFiles/bench_microops.dir/bench_microops.cpp.o.d"
+  "bench_microops"
+  "bench_microops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_microops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

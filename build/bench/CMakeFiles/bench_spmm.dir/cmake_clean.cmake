@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_spmm.dir/bench_spmm.cpp.o"
+  "CMakeFiles/bench_spmm.dir/bench_spmm.cpp.o.d"
+  "bench_spmm"
+  "bench_spmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

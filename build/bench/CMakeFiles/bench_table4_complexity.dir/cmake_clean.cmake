@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_complexity.dir/bench_table4_complexity.cpp.o"
+  "CMakeFiles/bench_table4_complexity.dir/bench_table4_complexity.cpp.o.d"
+  "bench_table4_complexity"
+  "bench_table4_complexity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_complexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/criteo_ctr.dir/criteo_ctr.cpp.o"
+  "CMakeFiles/criteo_ctr.dir/criteo_ctr.cpp.o.d"
+  "criteo_ctr"
+  "criteo_ctr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/criteo_ctr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kmeans_clustering.dir/kmeans_clustering.cpp.o"
+  "CMakeFiles/kmeans_clustering.dir/kmeans_clustering.cpp.o.d"
+  "kmeans_clustering"
+  "kmeans_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kmeans_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mass_functions.dir/mass_functions.cpp.o"
+  "CMakeFiles/mass_functions.dir/mass_functions.cpp.o.d"
+  "mass_functions"
+  "mass_functions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mass_functions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

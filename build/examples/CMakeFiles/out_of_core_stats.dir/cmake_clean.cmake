@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/out_of_core_stats.dir/out_of_core_stats.cpp.o"
+  "CMakeFiles/out_of_core_stats.dir/out_of_core_stats.cpp.o.d"
+  "out_of_core_stats"
+  "out_of_core_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/out_of_core_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spectral_embedding.dir/spectral_embedding.cpp.o"
+  "CMakeFiles/spectral_embedding.dir/spectral_embedding.cpp.o.d"
+  "spectral_embedding"
+  "spectral_embedding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectral_embedding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

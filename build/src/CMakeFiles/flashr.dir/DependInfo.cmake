@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/blas_only.cpp" "src/CMakeFiles/flashr.dir/baseline/blas_only.cpp.o" "gcc" "src/CMakeFiles/flashr.dir/baseline/blas_only.cpp.o.d"
+  "/root/repo/src/baseline/rowstream.cpp" "src/CMakeFiles/flashr.dir/baseline/rowstream.cpp.o" "gcc" "src/CMakeFiles/flashr.dir/baseline/rowstream.cpp.o.d"
+  "/root/repo/src/blas/blas.cpp" "src/CMakeFiles/flashr.dir/blas/blas.cpp.o" "gcc" "src/CMakeFiles/flashr.dir/blas/blas.cpp.o.d"
+  "/root/repo/src/blas/smat.cpp" "src/CMakeFiles/flashr.dir/blas/smat.cpp.o" "gcc" "src/CMakeFiles/flashr.dir/blas/smat.cpp.o.d"
+  "/root/repo/src/common/config.cpp" "src/CMakeFiles/flashr.dir/common/config.cpp.o" "gcc" "src/CMakeFiles/flashr.dir/common/config.cpp.o.d"
+  "/root/repo/src/common/error.cpp" "src/CMakeFiles/flashr.dir/common/error.cpp.o" "gcc" "src/CMakeFiles/flashr.dir/common/error.cpp.o.d"
+  "/root/repo/src/common/log.cpp" "src/CMakeFiles/flashr.dir/common/log.cpp.o" "gcc" "src/CMakeFiles/flashr.dir/common/log.cpp.o.d"
+  "/root/repo/src/common/types.cpp" "src/CMakeFiles/flashr.dir/common/types.cpp.o" "gcc" "src/CMakeFiles/flashr.dir/common/types.cpp.o.d"
+  "/root/repo/src/core/dense_matrix.cpp" "src/CMakeFiles/flashr.dir/core/dense_matrix.cpp.o" "gcc" "src/CMakeFiles/flashr.dir/core/dense_matrix.cpp.o.d"
+  "/root/repo/src/core/exec.cpp" "src/CMakeFiles/flashr.dir/core/exec.cpp.o" "gcc" "src/CMakeFiles/flashr.dir/core/exec.cpp.o.d"
+  "/root/repo/src/core/genops.cpp" "src/CMakeFiles/flashr.dir/core/genops.cpp.o" "gcc" "src/CMakeFiles/flashr.dir/core/genops.cpp.o.d"
+  "/root/repo/src/core/kernels.cpp" "src/CMakeFiles/flashr.dir/core/kernels.cpp.o" "gcc" "src/CMakeFiles/flashr.dir/core/kernels.cpp.o.d"
+  "/root/repo/src/core/reshape.cpp" "src/CMakeFiles/flashr.dir/core/reshape.cpp.o" "gcc" "src/CMakeFiles/flashr.dir/core/reshape.cpp.o.d"
+  "/root/repo/src/core/virtual_store.cpp" "src/CMakeFiles/flashr.dir/core/virtual_store.cpp.o" "gcc" "src/CMakeFiles/flashr.dir/core/virtual_store.cpp.o.d"
+  "/root/repo/src/io/async_io.cpp" "src/CMakeFiles/flashr.dir/io/async_io.cpp.o" "gcc" "src/CMakeFiles/flashr.dir/io/async_io.cpp.o.d"
+  "/root/repo/src/io/safs.cpp" "src/CMakeFiles/flashr.dir/io/safs.cpp.o" "gcc" "src/CMakeFiles/flashr.dir/io/safs.cpp.o.d"
+  "/root/repo/src/matrix/block_matrix.cpp" "src/CMakeFiles/flashr.dir/matrix/block_matrix.cpp.o" "gcc" "src/CMakeFiles/flashr.dir/matrix/block_matrix.cpp.o.d"
+  "/root/repo/src/matrix/datasets.cpp" "src/CMakeFiles/flashr.dir/matrix/datasets.cpp.o" "gcc" "src/CMakeFiles/flashr.dir/matrix/datasets.cpp.o.d"
+  "/root/repo/src/matrix/em_store.cpp" "src/CMakeFiles/flashr.dir/matrix/em_store.cpp.o" "gcc" "src/CMakeFiles/flashr.dir/matrix/em_store.cpp.o.d"
+  "/root/repo/src/matrix/generated_store.cpp" "src/CMakeFiles/flashr.dir/matrix/generated_store.cpp.o" "gcc" "src/CMakeFiles/flashr.dir/matrix/generated_store.cpp.o.d"
+  "/root/repo/src/matrix/import.cpp" "src/CMakeFiles/flashr.dir/matrix/import.cpp.o" "gcc" "src/CMakeFiles/flashr.dir/matrix/import.cpp.o.d"
+  "/root/repo/src/matrix/mem_store.cpp" "src/CMakeFiles/flashr.dir/matrix/mem_store.cpp.o" "gcc" "src/CMakeFiles/flashr.dir/matrix/mem_store.cpp.o.d"
+  "/root/repo/src/mem/buffer_pool.cpp" "src/CMakeFiles/flashr.dir/mem/buffer_pool.cpp.o" "gcc" "src/CMakeFiles/flashr.dir/mem/buffer_pool.cpp.o.d"
+  "/root/repo/src/mem/numa.cpp" "src/CMakeFiles/flashr.dir/mem/numa.cpp.o" "gcc" "src/CMakeFiles/flashr.dir/mem/numa.cpp.o.d"
+  "/root/repo/src/ml/gmm.cpp" "src/CMakeFiles/flashr.dir/ml/gmm.cpp.o" "gcc" "src/CMakeFiles/flashr.dir/ml/gmm.cpp.o.d"
+  "/root/repo/src/ml/kmeans.cpp" "src/CMakeFiles/flashr.dir/ml/kmeans.cpp.o" "gcc" "src/CMakeFiles/flashr.dir/ml/kmeans.cpp.o.d"
+  "/root/repo/src/ml/lbfgs.cpp" "src/CMakeFiles/flashr.dir/ml/lbfgs.cpp.o" "gcc" "src/CMakeFiles/flashr.dir/ml/lbfgs.cpp.o.d"
+  "/root/repo/src/ml/lda.cpp" "src/CMakeFiles/flashr.dir/ml/lda.cpp.o" "gcc" "src/CMakeFiles/flashr.dir/ml/lda.cpp.o.d"
+  "/root/repo/src/ml/linreg.cpp" "src/CMakeFiles/flashr.dir/ml/linreg.cpp.o" "gcc" "src/CMakeFiles/flashr.dir/ml/linreg.cpp.o.d"
+  "/root/repo/src/ml/logistic.cpp" "src/CMakeFiles/flashr.dir/ml/logistic.cpp.o" "gcc" "src/CMakeFiles/flashr.dir/ml/logistic.cpp.o.d"
+  "/root/repo/src/ml/mvrnorm.cpp" "src/CMakeFiles/flashr.dir/ml/mvrnorm.cpp.o" "gcc" "src/CMakeFiles/flashr.dir/ml/mvrnorm.cpp.o.d"
+  "/root/repo/src/ml/naive_bayes.cpp" "src/CMakeFiles/flashr.dir/ml/naive_bayes.cpp.o" "gcc" "src/CMakeFiles/flashr.dir/ml/naive_bayes.cpp.o.d"
+  "/root/repo/src/ml/pca.cpp" "src/CMakeFiles/flashr.dir/ml/pca.cpp.o" "gcc" "src/CMakeFiles/flashr.dir/ml/pca.cpp.o.d"
+  "/root/repo/src/ml/softmax.cpp" "src/CMakeFiles/flashr.dir/ml/softmax.cpp.o" "gcc" "src/CMakeFiles/flashr.dir/ml/softmax.cpp.o.d"
+  "/root/repo/src/ml/stats.cpp" "src/CMakeFiles/flashr.dir/ml/stats.cpp.o" "gcc" "src/CMakeFiles/flashr.dir/ml/stats.cpp.o.d"
+  "/root/repo/src/parallel/thread_pool.cpp" "src/CMakeFiles/flashr.dir/parallel/thread_pool.cpp.o" "gcc" "src/CMakeFiles/flashr.dir/parallel/thread_pool.cpp.o.d"
+  "/root/repo/src/sparse/csr.cpp" "src/CMakeFiles/flashr.dir/sparse/csr.cpp.o" "gcc" "src/CMakeFiles/flashr.dir/sparse/csr.cpp.o.d"
+  "/root/repo/src/sparse/sem_spmm.cpp" "src/CMakeFiles/flashr.dir/sparse/sem_spmm.cpp.o" "gcc" "src/CMakeFiles/flashr.dir/sparse/sem_spmm.cpp.o.d"
+  "/root/repo/src/sparse/spectral.cpp" "src/CMakeFiles/flashr.dir/sparse/spectral.cpp.o" "gcc" "src/CMakeFiles/flashr.dir/sparse/spectral.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_baseline.cpp" "tests/CMakeFiles/flashr_tests.dir/test_baseline.cpp.o" "gcc" "tests/CMakeFiles/flashr_tests.dir/test_baseline.cpp.o.d"
+  "/root/repo/tests/test_blas.cpp" "tests/CMakeFiles/flashr_tests.dir/test_blas.cpp.o" "gcc" "tests/CMakeFiles/flashr_tests.dir/test_blas.cpp.o.d"
+  "/root/repo/tests/test_block_matrix.cpp" "tests/CMakeFiles/flashr_tests.dir/test_block_matrix.cpp.o" "gcc" "tests/CMakeFiles/flashr_tests.dir/test_block_matrix.cpp.o.d"
+  "/root/repo/tests/test_block_stats.cpp" "tests/CMakeFiles/flashr_tests.dir/test_block_stats.cpp.o" "gcc" "tests/CMakeFiles/flashr_tests.dir/test_block_stats.cpp.o.d"
+  "/root/repo/tests/test_col_view.cpp" "tests/CMakeFiles/flashr_tests.dir/test_col_view.cpp.o" "gcc" "tests/CMakeFiles/flashr_tests.dir/test_col_view.cpp.o.d"
+  "/root/repo/tests/test_common.cpp" "tests/CMakeFiles/flashr_tests.dir/test_common.cpp.o" "gcc" "tests/CMakeFiles/flashr_tests.dir/test_common.cpp.o.d"
+  "/root/repo/tests/test_engine.cpp" "tests/CMakeFiles/flashr_tests.dir/test_engine.cpp.o" "gcc" "tests/CMakeFiles/flashr_tests.dir/test_engine.cpp.o.d"
+  "/root/repo/tests/test_exec_edge.cpp" "tests/CMakeFiles/flashr_tests.dir/test_exec_edge.cpp.o" "gcc" "tests/CMakeFiles/flashr_tests.dir/test_exec_edge.cpp.o.d"
+  "/root/repo/tests/test_groupbycol_softmax.cpp" "tests/CMakeFiles/flashr_tests.dir/test_groupbycol_softmax.cpp.o" "gcc" "tests/CMakeFiles/flashr_tests.dir/test_groupbycol_softmax.cpp.o.d"
+  "/root/repo/tests/test_import_reshape.cpp" "tests/CMakeFiles/flashr_tests.dir/test_import_reshape.cpp.o" "gcc" "tests/CMakeFiles/flashr_tests.dir/test_import_reshape.cpp.o.d"
+  "/root/repo/tests/test_io.cpp" "tests/CMakeFiles/flashr_tests.dir/test_io.cpp.o" "gcc" "tests/CMakeFiles/flashr_tests.dir/test_io.cpp.o.d"
+  "/root/repo/tests/test_linreg.cpp" "tests/CMakeFiles/flashr_tests.dir/test_linreg.cpp.o" "gcc" "tests/CMakeFiles/flashr_tests.dir/test_linreg.cpp.o.d"
+  "/root/repo/tests/test_misc_edges.cpp" "tests/CMakeFiles/flashr_tests.dir/test_misc_edges.cpp.o" "gcc" "tests/CMakeFiles/flashr_tests.dir/test_misc_edges.cpp.o.d"
+  "/root/repo/tests/test_ml.cpp" "tests/CMakeFiles/flashr_tests.dir/test_ml.cpp.o" "gcc" "tests/CMakeFiles/flashr_tests.dir/test_ml.cpp.o.d"
+  "/root/repo/tests/test_mode_differential.cpp" "tests/CMakeFiles/flashr_tests.dir/test_mode_differential.cpp.o" "gcc" "tests/CMakeFiles/flashr_tests.dir/test_mode_differential.cpp.o.d"
+  "/root/repo/tests/test_numa_cache.cpp" "tests/CMakeFiles/flashr_tests.dir/test_numa_cache.cpp.o" "gcc" "tests/CMakeFiles/flashr_tests.dir/test_numa_cache.cpp.o.d"
+  "/root/repo/tests/test_ops_sweep.cpp" "tests/CMakeFiles/flashr_tests.dir/test_ops_sweep.cpp.o" "gcc" "tests/CMakeFiles/flashr_tests.dir/test_ops_sweep.cpp.o.d"
+  "/root/repo/tests/test_paper_examples.cpp" "tests/CMakeFiles/flashr_tests.dir/test_paper_examples.cpp.o" "gcc" "tests/CMakeFiles/flashr_tests.dir/test_paper_examples.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/flashr_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/flashr_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_sparse.cpp" "tests/CMakeFiles/flashr_tests.dir/test_sparse.cpp.o" "gcc" "tests/CMakeFiles/flashr_tests.dir/test_sparse.cpp.o.d"
+  "/root/repo/tests/test_spectral.cpp" "tests/CMakeFiles/flashr_tests.dir/test_spectral.cpp.o" "gcc" "tests/CMakeFiles/flashr_tests.dir/test_spectral.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/flashr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
