@@ -25,6 +25,15 @@ const char* exec_mode_name(exec_mode m) {
   return "?";
 }
 
+const char* checksum_policy_name(checksum_policy p) {
+  switch (p) {
+    case checksum_policy::off: return "off";
+    case checksum_policy::verify: return "verify";
+    case checksum_policy::repair: return "repair";
+  }
+  return "?";
+}
+
 void options::validate() const {
   FLASHR_CHECK(num_threads >= 1, "num_threads must be >= 1");
   FLASHR_CHECK(io_threads >= 1, "io_threads must be >= 1");
@@ -36,6 +45,16 @@ void options::validate() const {
   FLASHR_CHECK(numa_nodes >= 1, "numa_nodes must be >= 1");
   FLASHR_CHECK(dispatch_batch >= 1, "dispatch_batch must be >= 1");
   FLASHR_CHECK(!em_dir.empty(), "em_dir must be set");
+  FLASHR_CHECK(io_max_retries >= 0, "io_max_retries must be >= 0");
+  FLASHR_CHECK(io_retry_backoff_us >= 0, "io_retry_backoff_us must be >= 0");
+  FLASHR_CHECK(io_retry_backoff_cap_us >= 0,
+               "io_retry_backoff_cap_us must be >= 0");
+  auto valid_prob = [](double p) { return p >= 0.0 && p <= 1.0; };
+  FLASHR_CHECK(valid_prob(fault_pread_prob) && valid_prob(fault_pwrite_prob) &&
+                   valid_prob(fault_latency_prob) &&
+                   valid_prob(fault_short_prob),
+               "fault probabilities must be in [0, 1]");
+  FLASHR_CHECK(fault_latency_us >= 0, "fault_latency_us must be >= 0");
 }
 
 void init(const options& opts) {

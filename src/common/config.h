@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <thread>
 
@@ -25,6 +26,15 @@ enum class exec_mode : int {
 };
 
 const char* exec_mode_name(exec_mode m);
+
+/// Per-I/O-partition CRC32 policy for external-memory matrices.
+enum class checksum_policy : int {
+  off = 0,     ///< no checksums (default)
+  verify = 1,  ///< verify on read; mismatch raises io_error
+  repair = 2,  ///< verify on read; on mismatch re-read once before failing
+};
+
+const char* checksum_policy_name(checksum_policy p);
 
 /// Where materialized matrices live.
 enum class storage : int {
@@ -65,6 +75,33 @@ struct options {
   /// I/O partitions handed to a worker per dispatch at the start of a pass
   /// (§3.3: contiguous partitions read in a single asynchronous I/O).
   int dispatch_batch = 4;
+
+  // --- Resilience (io/fault.h, io/safs.cpp) --------------------------------
+  /// Retries for transient syscall failures (EAGAIN/EIO) before the error
+  /// escalates as a typed io_error. EINTR is always retried immediately and
+  /// does not count against this budget.
+  int io_max_retries = 4;
+  /// Initial retry backoff in microseconds; doubles per attempt with
+  /// deterministic jitter in [0.5, 1.0] of the nominal delay.
+  int io_retry_backoff_us = 100;
+  /// Upper bound on a single backoff sleep, microseconds.
+  int io_retry_backoff_cap_us = 20000;
+  /// Checksum policy applied to EM partition reads/writes.
+  checksum_policy io_checksum = checksum_policy::off;
+  /// Deterministic fault injection (tests, resilience benches). Each
+  /// probability is per syscall at the named fault site; 0 disables the
+  /// site. The schedule is a pure function of (seed, site, syscall index),
+  /// so a given configuration injects the same faults on every run.
+  std::uint64_t fault_seed = 0x5eedULL;
+  double fault_pread_prob = 0.0;    ///< pread returns -1 with fault_errno
+  double fault_pwrite_prob = 0.0;   ///< pwrite returns -1 with fault_errno
+  double fault_latency_prob = 0.0;  ///< syscall delayed by fault_latency_us
+  double fault_short_prob = 0.0;    ///< pread hits EOF early / short pwrite
+  int fault_latency_us = 200;
+  int fault_errno = 5;  // EIO
+  /// Total faults the schedule may inject before disarming; 0 = unlimited.
+  /// A finite budget makes transient-fault tests exact: retries == budget.
+  std::size_t fault_max_faults = 0;
 
   void validate() const;
 };

@@ -1,0 +1,40 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected). Used for per-I/O-partition
+// checksums of external-memory matrices: cheap enough to compute inline on
+// the write path, strong enough to catch torn writes, injected short reads
+// and on-disk corruption of a stripe file.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace flashr {
+
+namespace detail {
+inline const std::array<std::uint32_t, 256>& crc32_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+}  // namespace detail
+
+/// CRC-32 of `len` bytes. Pass a previous result as `seed` to chain blocks.
+inline std::uint32_t crc32(const void* data, std::size_t len,
+                           std::uint32_t seed = 0) {
+  const auto& table = detail::crc32_table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < len; ++i)
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace flashr

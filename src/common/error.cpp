@@ -1,9 +1,40 @@
 #include "common/error.h"
 
+#include <cstring>
+
 namespace flashr {
+
+namespace {
+std::string describe(const std::string& what, const std::string& path,
+                     std::size_t offset, std::size_t len, int err) {
+  std::string s = what;
+  s += " (file=" + path;
+  s += " offset=" + std::to_string(offset);
+  s += " len=" + std::to_string(len);
+  if (err != 0) {
+    s += " errno=" + std::to_string(err);
+    s += " ";
+    s += std::strerror(err);
+  }
+  s += ")";
+  return s;
+}
+}  // namespace
+
+io_error::io_error(const std::string& what, std::string path,
+                   std::size_t offset, std::size_t len, int err)
+    : error(describe(what, path, offset, len, err)),
+      path_(std::move(path)),
+      offset_(offset),
+      len_(len),
+      err_(err) {}
 
 void throw_error(const std::string& msg) { throw error(msg); }
 void throw_io_error(const std::string& msg) { throw io_error(msg); }
+void throw_io_error_at(const std::string& msg, std::string path,
+                       std::size_t offset, std::size_t len, int err) {
+  throw io_error(msg, std::move(path), offset, len, err);
+}
 void throw_shape_error(const std::string& msg) { throw shape_error(msg); }
 
 namespace detail {

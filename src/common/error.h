@@ -4,6 +4,7 @@
 // (bad shapes, I/O failures) and assert on programming errors.
 #pragma once
 
+#include <cstddef>
 #include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
@@ -16,9 +17,28 @@ class error : public std::runtime_error {
   explicit error(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// I/O failure. The detailed constructor captures the failing file, byte
+/// range and errno so callers (and the fault-injection tests) can react to
+/// *where* the storage failed, not just that it did; the fields are appended
+/// to what().
 class io_error : public error {
  public:
   explicit io_error(const std::string& what) : error(what) {}
+  io_error(const std::string& what, std::string path, std::size_t offset,
+           std::size_t len, int err);
+
+  const std::string& path() const noexcept { return path_; }
+  std::size_t offset() const noexcept { return offset_; }
+  std::size_t len() const noexcept { return len_; }
+  /// Captured errno, or 0 when the failure is not a syscall (e.g. a
+  /// checksum mismatch).
+  int err() const noexcept { return err_; }
+
+ private:
+  std::string path_;
+  std::size_t offset_ = 0;
+  std::size_t len_ = 0;
+  int err_ = 0;
 };
 
 class shape_error : public error {
@@ -28,6 +48,9 @@ class shape_error : public error {
 
 [[noreturn]] void throw_error(const std::string& msg);
 [[noreturn]] void throw_io_error(const std::string& msg);
+[[noreturn]] void throw_io_error_at(const std::string& msg, std::string path,
+                                    std::size_t offset, std::size_t len,
+                                    int err);
 [[noreturn]] void throw_shape_error(const std::string& msg);
 
 namespace detail {

@@ -236,13 +236,21 @@ sink_desc describe_sink(virtual_store* v) {
 // Cumulative-op carry chains (§3.3, operation class j)
 // ---------------------------------------------------------------------------
 
+/// Internal unwind token: a peer worker hit an unrecoverable error and the
+/// pass is cancelling. Thrown only inside a pass, caught at the worker's
+/// top level, never escapes pass_runner.
+struct pass_cancelled {};
+
 /// One chain per cum_col node: the per-column running value at the end of
 /// every partition, published in partition order. Workers block until the
 /// carry of partition p-1 is available; sequential dynamic dispatch
-/// guarantees some worker owns it, so the wait is bounded.
+/// guarantees some worker owns it, so the wait is bounded — unless the
+/// owning worker died with the pass's first error, in which case cancel()
+/// wakes every waiter and wait_for unwinds with pass_cancelled.
 struct cum_chain {
   std::vector<std::vector<char>> carries;  // per partition, cols * elem_size
   std::vector<char> ready;                 // guarded by mutex
+  bool cancelled = false;                  // guarded by mutex
   std::mutex mutex;
   std::condition_variable cv;
 
@@ -260,8 +268,16 @@ struct cum_chain {
   }
   void wait_for(std::size_t p, char* out, std::size_t bytes) {
     std::unique_lock<std::mutex> lock(mutex);
-    cv.wait(lock, [&] { return ready[p] != 0; });
+    cv.wait(lock, [&] { return ready[p] != 0 || cancelled; });
+    if (ready[p] == 0) throw pass_cancelled{};
     std::memcpy(out, carries[p].data(), bytes);
+  }
+  void cancel() {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      cancelled = true;
+    }
+    cv.notify_all();
   }
 };
 
@@ -296,7 +312,6 @@ class pass_runner {
  private:
   void allocate_outputs();
   void init_cum_chains();
-  void worker(int thread_idx);
   void merge_sinks();
 
   struct thread_ctx {
@@ -328,8 +343,23 @@ class pass_runner {
   kern::view leaf_view(thread_ctx& ctx, const matrix_store* leaf);
   void eval_virtual(thread_ctx& ctx, virtual_store* v, chunk_buf& out);
 
+  /// Worker dispatch loops (bodies of the pass; run on every pool thread).
+  void numa_worker(thread_ctx& ctx);
+  void batch_worker(thread_ctx& ctx, part_scheduler& sched);
+
+  // --- Cooperative cancellation -------------------------------------------
+  /// First unrecoverable error wins: record it, raise the cancel flag, and
+  /// wake any workers parked on a cumulative carry. Remaining workers skip
+  /// their partitions and unwind; run() rethrows the recorded error after
+  /// pending writes drain and every pool buffer is back.
+  void fail(std::exception_ptr e) noexcept;
+  bool cancelled() const { return cancel_.load(std::memory_order_acquire); }
+
   dag_info& dag_;
   pass_config cfg_;
+  std::atomic<bool> cancel_{false};
+  std::exception_ptr pass_error_;
+  std::mutex error_mutex_;
   /// Output stores, parallel to dag_.tall_outputs.
   std::vector<matrix_store::ptr> out_stores_;
   std::vector<sink_desc> sinks_;
@@ -370,6 +400,101 @@ std::size_t chunk_rows_for(std::size_t max_ncol, std::size_t part_rows) {
   return pcache_rows(max_ncol, part_rows);
 }
 
+void pass_runner::fail(std::exception_ptr e) noexcept {
+  {
+    std::lock_guard<std::mutex> lock(error_mutex_);
+    if (!pass_error_) pass_error_ = e;
+  }
+  cancel_.store(true, std::memory_order_release);
+  for (auto& [node, chain] : cum_chains_) {
+    (void)node;
+    chain.cancel();
+  }
+}
+
+void pass_runner::numa_worker(thread_ctx& ctx) {
+  const int home = ctx.thread_idx % conf().numa_nodes;
+  std::size_t p = 0;
+  while (!cancelled() && numa_sched_->fetch(home, p)) {
+    for (const em_readable* leaf : dag_.em_leaves) {
+      pool_buffer buf =
+          buffer_pool::global().get(leaf->geom().part_bytes(p, leaf->type()));
+      leaf->read_part_async(p, buf.data()).get();
+      ctx.em_bufs[leaf] = std::move(buf);
+    }
+    numa_tracker::global().record_access(p, home, conf().numa_nodes);
+    ctx.part = p;
+    ctx.part_row0 = dag_.space.part_row_begin(p);
+    ctx.part_rows = dag_.space.rows_in_part(p);
+    process_partition(ctx);
+    ctx.em_bufs.clear();
+  }
+}
+
+void pass_runner::batch_worker(thread_ctx& ctx, part_scheduler& sched) {
+  using leaf_reads =
+      std::unordered_map<const em_readable*,
+                         std::pair<pool_buffer, std::future<void>>>;
+  auto& pool_mem = buffer_pool::global();
+  // Every submitted read must be awaited before its buffer unwinds: an
+  // un-awaited future would let the I/O service write into recycled memory.
+  auto settle = [](std::vector<std::pair<std::size_t, leaf_reads>>& pf) {
+    for (auto& [p, reads] : pf) {
+      (void)p;
+      for (auto& [leaf, br] : reads) {
+        (void)leaf;
+        if (br.second.valid()) {
+          try {
+            br.second.get();
+          } catch (...) {
+            // The pass is already unwinding; the settling wait only exists
+            // to keep the buffers alive until the I/O completed.
+          }
+        }
+      }
+    }
+  };
+
+  std::size_t begin = 0, end = 0;
+  while (!cancelled() && sched.fetch(begin, end)) {
+    // Prefetch: one asynchronous read per EM leaf covering the batch's
+    // partitions (issued per partition; SAFS merges contiguity).
+    std::vector<std::pair<std::size_t, leaf_reads>> prefetch;
+    for (std::size_t p = begin; p < end; ++p) {
+      leaf_reads reads;
+      for (const em_readable* leaf : dag_.em_leaves) {
+        pool_buffer buf =
+            pool_mem.get(leaf->geom().part_bytes(p, leaf->type()));
+        auto fut = leaf->read_part_async(p, buf.data());
+        reads.emplace(leaf, std::make_pair(std::move(buf), std::move(fut)));
+      }
+      prefetch.emplace_back(p, std::move(reads));
+    }
+    try {
+      for (auto& [p, reads] : prefetch) {
+        // Wait for this partition's data.
+        for (auto& [leaf, br] : reads) {
+          br.second.get();
+          ctx.em_bufs[leaf] = std::move(br.first);
+        }
+        if (cancelled()) break;  // reads settled; skip the compute
+        numa_tracker::global().record_access(
+            p, ctx.thread_idx % conf().numa_nodes, conf().numa_nodes);
+        ctx.part = p;
+        ctx.part_row0 = dag_.space.part_row_begin(p);
+        ctx.part_rows = dag_.space.rows_in_part(p);
+        process_partition(ctx);
+        ctx.em_bufs.clear();
+      }
+    } catch (...) {
+      settle(prefetch);
+      throw;
+    }
+    settle(prefetch);  // leftovers after a cancellation break
+    ctx.em_bufs.clear();
+  }
+}
+
 void pass_runner::run() {
   const std::size_t num_parts = dag_.space.num_parts();
   thread_pool& pool = thread_pool::global();
@@ -396,74 +521,41 @@ void pass_runner::run() {
       ctx.sink_acc.push_back(std::move(buf));
     }
 
-    // NUMA-aware dispatch: with more than one (simulated) node, workers
-    // drain their home node's partition queue before stealing (§3.3).
-    if (numa_dispatch) {
-      const int home = thread_idx % conf().numa_nodes;
-      std::size_t p = 0;
-      while (numa_sched_->fetch(home, p)) {
-        for (const em_readable* leaf : dag_.em_leaves) {
-          pool_buffer buf = buffer_pool::global().get(
-              leaf->geom().part_bytes(p, leaf->type()));
-          leaf->read_part_async(p, buf.data()).get();
-          ctx.em_bufs[leaf] = std::move(buf);
-        }
-        numa_tracker::global().record_access(p, home, conf().numa_nodes);
-        ctx.part = p;
-        ctx.part_row0 = dag_.space.part_row_begin(p);
-        ctx.part_rows = dag_.space.rows_in_part(p);
-        process_partition(ctx);
-        ctx.em_bufs.clear();
-      }
-      std::lock_guard<std::mutex> lock(acc_mutex_);
-      all_sink_acc_[static_cast<std::size_t>(thread_idx)] =
-          std::move(ctx.sink_acc);
-      return;
+    try {
+      // NUMA-aware dispatch: with more than one (simulated) node, workers
+      // drain their home node's partition queue before stealing (§3.3).
+      if (numa_dispatch)
+        numa_worker(ctx);
+      else
+        batch_worker(ctx, sched);
+    } catch (const pass_cancelled&) {
+      // A peer recorded the pass error; this worker unwound cooperatively.
+    } catch (...) {
+      fail(std::current_exception());
     }
-
-    std::size_t begin = 0, end = 0;
-    while (sched.fetch(begin, end)) {
-      // Prefetch: one asynchronous read per EM leaf covering the batch's
-      // partitions (issued per partition; SAFS merges contiguity).
-      std::vector<std::pair<std::size_t,
-                            std::unordered_map<const em_readable*,
-                                               std::pair<pool_buffer,
-                                                         std::future<void>>>>>
-          prefetch;
-      auto& pool_mem = buffer_pool::global();
-      for (std::size_t p = begin; p < end; ++p) {
-        std::unordered_map<const em_readable*,
-                           std::pair<pool_buffer, std::future<void>>>
-            reads;
-        for (const em_readable* leaf : dag_.em_leaves) {
-          pool_buffer buf =
-              pool_mem.get(leaf->geom().part_bytes(p, leaf->type()));
-          auto fut = leaf->read_part_async(p, buf.data());
-          reads.emplace(leaf,
-                        std::make_pair(std::move(buf), std::move(fut)));
-        }
-        prefetch.emplace_back(p, std::move(reads));
-      }
-      for (auto& [p, reads] : prefetch) {
-        // Wait for this partition's data.
-        for (auto& [leaf, br] : reads) {
-          br.second.get();
-          ctx.em_bufs[leaf] = std::move(br.first);
-        }
-        numa_tracker::global().record_access(
-            p, ctx.thread_idx % conf().numa_nodes, conf().numa_nodes);
-        ctx.part = p;
-        ctx.part_row0 = dag_.space.part_row_begin(p);
-        ctx.part_rows = dag_.space.rows_in_part(p);
-        process_partition(ctx);
-        ctx.em_bufs.clear();
-      }
-    }
-
+    // ctx destruction returns every worker-held pool buffer (chunk bufs,
+    // EM read buffers, staged outputs) whether the pass succeeded or not.
     std::lock_guard<std::mutex> lock(acc_mutex_);
     all_sink_acc_[static_cast<std::size_t>(thread_idx)] =
         std::move(ctx.sink_acc);
   });
+
+  if (cancelled()) {
+    // Writes submitted before the failure still hold pool buffers; wait for
+    // them so the pool provably returns to its pre-pass state. The original
+    // error outranks any deferred write error surfaced by the drain.
+    try {
+      em_store::drain_writes();
+    } catch (...) {
+    }
+    std::exception_ptr e;
+    {
+      std::lock_guard<std::mutex> lock(error_mutex_);
+      e = pass_error_;
+    }
+    FLASHR_ASSERT(e != nullptr, "cancelled pass without a recorded error");
+    std::rethrow_exception(e);
+  }
 
   // Assign tall output stores to their nodes.
   for (std::size_t i = 0; i < dag_.tall_outputs.size(); ++i)
@@ -474,6 +566,9 @@ void pass_runner::run() {
 }
 
 void pass_runner::process_partition(thread_ctx& ctx) {
+  // A peer may have failed while this worker was between partitions; bail
+  // before fetching carries so we never block on a cancelled cum chain.
+  if (cancelled()) throw pass_cancelled{};
   // Fetch incoming cumulative carries before the first chunk.
   ctx.cum_has_carry = false;
   if (dag_.has_cum) {
@@ -497,6 +592,7 @@ void pass_runner::process_partition(thread_ctx& ctx) {
   const std::size_t step =
       cfg_.chunk_rows == 0 ? ctx.part_rows : cfg_.chunk_rows;
   for (std::size_t r = 0; r < ctx.part_rows; r += step) {
+    if (cancelled()) throw pass_cancelled{};
     ctx.chunk_row0 = r;
     ctx.chunk_rows = std::min(step, ctx.part_rows - r);
     process_chunk(ctx);

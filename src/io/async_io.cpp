@@ -112,7 +112,16 @@ async_io& async_io::global() {
   std::lock_guard<std::mutex> lock(mutex);
   static int built_threads = -1;
   const int want = conf().io_threads;
-  if (!service || built_threads != want) {
+  if (service && built_threads != want) {
+    // Rebuild safely: drain pending writes on the old service and surface
+    // any deferred write error instead of silently dropping it with the
+    // object. If drain throws, the service is already detached — the next
+    // call builds a fresh one.
+    auto old = std::move(service);
+    built_threads = -1;
+    old->drain_writes();
+  }
+  if (!service) {
     service = std::make_unique<async_io>(want);
     built_threads = want;
   }

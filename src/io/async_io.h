@@ -47,6 +47,14 @@ class async_io {
   /// deferred write error if any.
   void drain_writes();
 
+  /// Writes submitted but not yet completed. Unlike drain_writes(), polling
+  /// this does NOT consume a deferred write error — tests use it to wait
+  /// for a failing write to finish while keeping the error observable.
+  int pending_writes() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return pending_writes_;
+  }
+
   /// Service sized to conf().io_threads.
   static async_io& global();
 
@@ -65,7 +73,7 @@ class async_io {
   void io_loop();
 
   std::vector<std::thread> threads_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::condition_variable cv_drained_;
   std::deque<request> queue_;

@@ -16,6 +16,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -30,12 +31,25 @@ struct io_stats {
   std::atomic<std::size_t> read_bytes{0};
   std::atomic<std::size_t> write_ops{0};
   std::atomic<std::size_t> write_bytes{0};
+  /// Syscall retries absorbed by the safs layer (EINTR and transient
+  /// EAGAIN/EIO). Resilience tests assert these against a fault budget.
+  std::atomic<std::size_t> retries{0};
+  /// Faults fired by the injection schedule (io/fault.h), all sites.
+  std::atomic<std::size_t> injected_faults{0};
+  /// Partition checksum mismatches that escalated to io_error.
+  std::atomic<std::size_t> checksum_failures{0};
+  /// Partition checksum mismatches recovered by a repair re-read.
+  std::atomic<std::size_t> checksum_repairs{0};
 
   void reset() {
     read_ops = 0;
     read_bytes = 0;
     write_ops = 0;
     write_bytes = 0;
+    retries = 0;
+    injected_faults = 0;
+    checksum_failures = 0;
+    checksum_repairs = 0;
   }
 
   static io_stats& global();
@@ -51,10 +65,13 @@ class safs_file {
  public:
   /// Create a striped file of `bytes` logical bytes under conf().em_dir.
   /// `name` must be unique among live safs files. Backing files are removed
-  /// when the safs_file is destroyed.
+  /// when the safs_file is destroyed. `checksum_slots` > 0 additionally
+  /// creates a sidecar region (a buffered companion file) holding that many
+  /// u32 checksum slots — em_store uses one slot per I/O partition.
   static std::shared_ptr<safs_file> create(
       const std::string& name, std::size_t bytes,
-      stripe_placement placement = stripe_placement::hash);
+      stripe_placement placement = stripe_placement::hash,
+      std::size_t checksum_slots = 0);
 
   ~safs_file();
   safs_file(const safs_file&) = delete;
@@ -71,8 +88,22 @@ class safs_file {
   void read(std::size_t offset, std::size_t len, char* buf) const;
   void write(std::size_t offset, std::size_t len, const char* buf);
 
+  /// Checksum sidecar access (valid when created with checksum_slots > 0).
+  /// Slots are plain u32s in a buffered companion file; sidecar I/O is
+  /// EINTR-safe but deliberately NOT fault-injected — an injected sidecar
+  /// EOF would forge a checksum mismatch instead of testing one.
+  bool has_checksums() const { return crc_fd_ >= 0; }
+  void write_checksum(std::size_t slot, std::uint32_t crc);
+  std::uint32_t read_checksum(std::size_t slot) const;
+
+  /// Backing file path of stripe `s` (tests corrupt these directly).
+  const std::string& stripe_path(int s) const {
+    return paths_[static_cast<std::size_t>(s)];
+  }
+
  private:
-  safs_file(std::string name, std::size_t bytes, stripe_placement placement);
+  safs_file(std::string name, std::size_t bytes, stripe_placement placement,
+            std::size_t checksum_slots);
 
   struct segment {
     int file;               // backing file index
@@ -91,6 +122,10 @@ class safs_file {
   /// For each stripe unit: backing file index and dense slot in that file.
   std::vector<std::uint32_t> unit_file_;
   std::vector<std::uint64_t> unit_slot_;
+  /// Checksum sidecar (absent unless checksum_slots > 0 at creation).
+  int crc_fd_ = -1;
+  std::string crc_path_;
+  std::size_t checksum_slots_ = 0;
 };
 
 /// Token-bucket throughput limiter emulating a bounded SSD array.

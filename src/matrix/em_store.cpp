@@ -1,9 +1,12 @@
 #include "matrix/em_store.h"
 
+#include <unistd.h>
+
 #include <atomic>
 #include <cstring>
 
 #include "common/config.h"
+#include "common/crc32.h"
 #include "common/error.h"
 #include "io/async_io.h"
 
@@ -11,14 +14,19 @@ namespace flashr {
 
 namespace {
 std::string next_em_name() {
+  // Temp names embed the pid: concurrent processes sharing an em_dir (e.g.
+  // parallel test runs) must not O_TRUNC each other's backing files.
   static std::atomic<std::uint64_t> counter{0};
-  return "fm" + std::to_string(counter.fetch_add(1));
+  return "fm" + std::to_string(::getpid()) + "_" +
+         std::to_string(counter.fetch_add(1));
 }
 }  // namespace
 
 em_store::em_store(part_geom geom, scalar_type type,
                    std::shared_ptr<safs_file> file)
-    : em_readable(geom, type), file_(std::move(file)) {}
+    : em_readable(geom, type),
+      file_(std::move(file)),
+      has_crc_(geom.num_parts()) {}
 
 em_store::ptr em_store::create(std::size_t nrow, std::size_t ncol,
                                scalar_type type, std::size_t part_rows) {
@@ -26,14 +34,57 @@ em_store::ptr em_store::create(std::size_t nrow, std::size_t ncol,
   FLASHR_CHECK(ncol > 0, "matrix must have at least one column");
   part_geom geom{nrow, ncol, part_rows};
   const std::size_t bytes = geom.num_parts() * geom.full_part_bytes(type);
-  auto file = safs_file::create(next_em_name(), bytes);
+  // Sidecar slots are allocated unconditionally (one u32 per partition, one
+  // tiny buffered file) so the checksum policy can be flipped between
+  // passes without recreating matrices.
+  auto file = safs_file::create(next_em_name(), bytes, stripe_placement::hash,
+                                geom.num_parts());
   return ptr(new em_store(geom, type, std::move(file)));
+}
+
+void em_store::record_checksum(std::size_t pidx, const char* buf) {
+  if (conf().io_checksum == checksum_policy::off) return;
+  file_->write_checksum(pidx, crc32(buf, geom_.part_bytes(pidx, type_)));
+  has_crc_[pidx].store(1, std::memory_order_release);
+}
+
+void em_store::verify_part(std::size_t pidx, char* buf) const {
+  const checksum_policy policy = conf().io_checksum;
+  if (policy == checksum_policy::off) return;
+  if (has_crc_[pidx].load(std::memory_order_acquire) == 0) return;
+  const std::size_t len = geom_.part_bytes(pidx, type_);
+  const std::uint32_t want = file_->read_checksum(pidx);
+  if (crc32(buf, len) == want) return;
+  auto& stats = io_stats::global();
+  if (policy == checksum_policy::repair) {
+    // One repair attempt: re-read the partition synchronously. Transient
+    // corruption (a dropped read, an injected premature EOF) heals here;
+    // on-disk corruption does not and escalates below.
+    file_->read(part_offset(pidx), len, buf);
+    if (crc32(buf, len) == want) {
+      stats.checksum_repairs.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+  stats.checksum_failures.fetch_add(1, std::memory_order_relaxed);
+  throw io_error("partition checksum mismatch", file_->name(),
+                 part_offset(pidx), len, 0);
 }
 
 std::future<void> em_store::read_part_async(std::size_t pidx,
                                             char* buf) const {
-  return async_io::global().submit_read(file_, part_offset(pidx),
-                                        geom_.part_bytes(pidx, type_), buf);
+  auto fut = async_io::global().submit_read(file_, part_offset(pidx),
+                                            geom_.part_bytes(pidx, type_), buf);
+  if (conf().io_checksum == checksum_policy::off ||
+      has_crc_[pidx].load(std::memory_order_acquire) == 0)
+    return fut;
+  // Deferred completion: the waiter's get() verifies once the data arrived.
+  auto self = std::static_pointer_cast<const em_store>(shared_from_this());
+  return std::async(std::launch::deferred,
+                    [self, pidx, buf, f = std::move(fut)]() mutable {
+                      f.get();
+                      self->verify_part(pidx, buf);
+                    });
 }
 
 em_col_view::ptr em_col_view::create(std::shared_ptr<const em_store> base,
@@ -48,7 +99,9 @@ em_col_view::ptr em_col_view::create(std::shared_ptr<const em_store> base,
 std::future<void> em_col_view::read_part_async(std::size_t pidx,
                                                char* buf) const {
   // One asynchronous read per selected column: within a partition, columns
-  // are contiguous file ranges at stride rows_in_part.
+  // are contiguous file ranges at stride rows_in_part. Column reads bypass
+  // the per-partition checksum (a whole-partition CRC cannot validate a
+  // byte subrange); full-partition reads remain the verified path.
   const std::size_t rows = geom_.rows_in_part(pidx);
   const std::size_t col_bytes = rows * elem_size();
   const std::size_t base_off = base_->part_offset(pidx);
@@ -68,6 +121,7 @@ std::future<void> em_col_view::read_part_async(std::size_t pidx,
 void em_store::write_part_async(std::size_t pidx, pool_buffer buf) {
   FLASHR_ASSERT(buf.size() >= geom_.part_bytes(pidx, type_),
                 "write buffer too small");
+  record_checksum(pidx, buf.data());
   async_io::global().submit_write(file_, part_offset(pidx),
                                   geom_.part_bytes(pidx, type_),
                                   std::move(buf));
@@ -75,6 +129,7 @@ void em_store::write_part_async(std::size_t pidx, pool_buffer buf) {
 
 void em_store::write_part(std::size_t pidx, const char* buf) {
   const std::size_t len = geom_.part_bytes(pidx, type_);
+  record_checksum(pidx, buf);
   io_throttle::global().acquire(len);
   file_->write(part_offset(pidx), len, buf);
   auto& stats = io_stats::global();

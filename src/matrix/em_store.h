@@ -7,7 +7,9 @@
 // buffer can be consumed by the same kernels.
 #pragma once
 
+#include <atomic>
 #include <future>
+#include <vector>
 
 #include "io/safs.h"
 #include "mem/buffer_pool.h"
@@ -58,6 +60,13 @@ class em_store final : public em_readable {
 
   const std::shared_ptr<safs_file>& file() const { return file_; }
 
+  /// Check `buf` (partition `pidx`, just read) against the recorded CRC32.
+  /// No-op when conf().io_checksum is off or the partition was never written
+  /// with checksumming enabled. Under `repair`, a mismatch triggers one
+  /// synchronous re-read of the partition before escalating; an unrecovered
+  /// mismatch throws io_error and bumps io_stats.checksum_failures.
+  void verify_part(std::size_t pidx, char* buf) const;
+
  private:
   friend class em_col_view;
   em_store(part_geom geom, scalar_type type, std::shared_ptr<safs_file> file);
@@ -66,7 +75,15 @@ class em_store final : public em_readable {
     return pidx * geom_.full_part_bytes(type_);
   }
 
+  /// Record the CRC32 of partition `pidx` (about to be written from `buf`)
+  /// in the sidecar, when checksumming is on.
+  void record_checksum(std::size_t pidx, const char* buf);
+
   std::shared_ptr<safs_file> file_;
+  /// Per partition: 1 once a CRC has been recorded in the sidecar. Reads
+  /// only verify recorded partitions, so flipping the policy mid-life never
+  /// fails on pre-policy data.
+  mutable std::vector<std::atomic<char>> has_crc_;
 };
 
 /// A column subset of an EM matrix, readable as a leaf: partition reads

@@ -57,6 +57,7 @@ pool_buffer buffer_pool::get(std::size_t bytes) {
     // multiples of kBufferAlign for all classes >= 4 KiB.
     data = aligned_alloc_bytes(class_bytes).release();
   }
+  outstanding_count_.fetch_add(1, std::memory_order_relaxed);
   const std::size_t out = outstanding_.fetch_add(class_bytes) + class_bytes;
   std::size_t peak = peak_.load(std::memory_order_relaxed);
   while (out > peak &&
@@ -66,6 +67,7 @@ pool_buffer buffer_pool::get(std::size_t bytes) {
 }
 
 void buffer_pool::put(char* data, std::size_t size, int cls) noexcept {
+  outstanding_count_.fetch_sub(1, std::memory_order_relaxed);
   outstanding_.fetch_sub(size);
   std::lock_guard<std::mutex> lock(mutex_);
   free_lists_[cls].push_back(data);

@@ -65,6 +65,12 @@ class buffer_pool {
   /// Bytes currently handed out (not on free lists).
   std::size_t outstanding_bytes() const { return outstanding_.load(); }
 
+  /// Buffers currently handed out. The cancellation tests assert this
+  /// returns to its pre-pass value after an aborted pass (no leaked
+  /// pool_buffer, whether owned by a worker, a staged output, or an
+  /// in-flight write request).
+  std::size_t outstanding_count() const { return outstanding_count_.load(); }
+
   /// High-water mark of outstanding bytes since construction or the last
   /// reset_peak().
   std::size_t peak_bytes() const { return peak_.load(); }
@@ -91,6 +97,7 @@ class buffer_pool {
   mutable std::mutex mutex_;
   std::vector<char*> free_lists_[kMaxClassLog2 - kMinClassLog2 + 1];
   std::atomic<std::size_t> outstanding_{0};
+  std::atomic<std::size_t> outstanding_count_{0};
   std::atomic<std::size_t> peak_{0};
 };
 

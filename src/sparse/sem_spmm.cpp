@@ -1,5 +1,7 @@
 #include "sparse/sem_spmm.h"
 
+#include <unistd.h>
+
 #include <atomic>
 #include <cstring>
 
@@ -16,8 +18,11 @@ namespace flashr::sparse {
 namespace {
 
 std::string next_sparse_name() {
+  // Pid-qualified for the same reason as EM temp names: concurrent
+  // processes sharing an em_dir must not truncate each other's blocks.
   static std::atomic<std::uint64_t> counter{0};
-  return "spm" + std::to_string(counter.fetch_add(1));
+  return "spm" + std::to_string(::getpid()) + "_" +
+         std::to_string(counter.fetch_add(1));
 }
 
 /// On-disk block layout: [uint64 nnz][uint64 row_counts[rows]]

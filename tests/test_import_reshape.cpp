@@ -1,6 +1,7 @@
 // Tests for data import/export, matrix persistence, and the reshaping /
 // value-space operations (rbind, unique, table, replace_cols, head_rows).
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <fstream>
@@ -25,8 +26,14 @@ class ImportTest : public ::testing::TestWithParam<storage> {
   storage st() const { return GetParam(); }
 };
 
+/// Temp-file path unique per process: the im/em variants of these tests
+/// may run concurrently under parallel ctest and share em_dir.
+std::string tmp_path(const std::string& base) {
+  return "/tmp/flashr_test_em/" + std::to_string(::getpid()) + "_" + base;
+}
+
 TEST_P(ImportTest, CsvRoundTrip) {
-  const char* path = "/tmp/flashr_test_em/roundtrip.csv";
+  const std::string path = tmp_path("roundtrip.csv");
   smat h(300, 4);
   for (std::size_t j = 0; j < 4; ++j)
     for (std::size_t i = 0; i < 300; ++i)
@@ -39,11 +46,11 @@ TEST_P(ImportTest, CsvRoundTrip) {
   EXPECT_EQ(m.nrow(), 300u);
   EXPECT_EQ(m.ncol(), 4u);
   EXPECT_LT(m.to_smat().max_abs_diff(h), 1e-9);
-  std::remove(path);
+  std::remove(path.c_str());
 }
 
 TEST_P(ImportTest, CsvWithHeaderAndTabs) {
-  const char* path = "/tmp/flashr_test_em/header.tsv";
+  const std::string path = tmp_path("header.tsv");
   {
     std::ofstream f(path);
     f << "a\tb\tc\n1\t2\t3\n4.5\t-6\t7e2\n";
@@ -59,25 +66,28 @@ TEST_P(ImportTest, CsvWithHeaderAndTabs) {
   EXPECT_EQ(h(0, 0), 1.0);
   EXPECT_EQ(h(1, 1), -6.0);
   EXPECT_EQ(h(1, 2), 700.0);
-  std::remove(path);
+  std::remove(path.c_str());
 }
 
 TEST_P(ImportTest, LoadDenseRejectsMissingAndGarbage) {
   EXPECT_THROW(load_dense("/tmp/flashr_no_such_file.csv"), io_error);
-  const char* path = "/tmp/flashr_test_em/garbage.csv";
+  const std::string path = tmp_path("garbage.csv");
   {
     std::ofstream f(path);
     f << "1,2\nfoo,bar\n";
   }
   EXPECT_THROW(load_dense(path), error);
-  std::remove(path);
+  std::remove(path.c_str());
 }
 
 TEST_P(ImportTest, BinaryPersistenceRoundTrip) {
   dense_matrix m = dense_matrix::rnorm(500, 3, 1, 2, 9);
   dense_matrix placed = conv_store(m, st());
-  save_matrix(placed, conf().em_dir, "persist_test");
-  dense_matrix back = load_matrix(conf().em_dir, "persist_test", st());
+  // Name is unique per process: the im/em variants of this test may run
+  // concurrently under parallel ctest and share em_dir.
+  const std::string name = "persist_test" + std::to_string(::getpid());
+  save_matrix(placed, conf().em_dir, name);
+  dense_matrix back = load_matrix(conf().em_dir, name, st());
   EXPECT_EQ(back.nrow(), 500u);
   EXPECT_EQ(back.type(), scalar_type::f64);
   EXPECT_EQ(back.to_smat().max_abs_diff(placed.to_smat()), 0.0);
@@ -91,8 +101,9 @@ TEST_P(ImportTest, BinaryPersistencePreservesIntegers) {
   }
   dense_matrix m =
       conv_store(dense_matrix::from_smat(h, scalar_type::i64), st());
-  save_matrix(m, conf().em_dir, "persist_ints");
-  dense_matrix back = load_matrix(conf().em_dir, "persist_ints", st());
+  const std::string name = "persist_ints" + std::to_string(::getpid());
+  save_matrix(m, conf().em_dir, name);
+  dense_matrix back = load_matrix(conf().em_dir, name, st());
   EXPECT_EQ(back.type(), scalar_type::i64);
   EXPECT_EQ(back.to_smat().max_abs_diff(h), 0.0);
 }
