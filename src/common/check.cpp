@@ -1,0 +1,7 @@
+#include "common/check.h"
+
+namespace flashr::detail {
+
+std::atomic<bool> g_invariants{false};
+
+}  // namespace flashr::detail

@@ -1,0 +1,75 @@
+// Debug invariant validator: the runtime switch and its check macro.
+//
+// The engine's lifecycle invariants — every pool buffer returned exactly
+// once, no writes into returned buffers, Pcache refcounts reaching zero,
+// structurally sound DAGs — are validated by code that is always compiled
+// but gated behind a cheap runtime flag, so death tests can exercise it in
+// any build. Tests enable it with flashr::invariant_scope; building with
+// -DFLASHR_CHECK_INVARIANTS=ON (cmake) forces it on for every execution and
+// lets the compiler fold the gate away.
+//
+// A failed FLASHR_DCHECK is a programming error, not an environmental one:
+// it aborts with a diagnostic (via common/error.h's assert_fail) rather than
+// throwing, exactly like FLASHR_ASSERT, because the process state is by
+// definition corrupt when a lifecycle invariant breaks.
+#pragma once
+
+#include <atomic>
+
+#include "common/error.h"
+
+namespace flashr {
+
+#ifdef FLASHR_CHECK_INVARIANTS
+inline constexpr bool kInvariantBuild = true;
+#else
+inline constexpr bool kInvariantBuild = false;
+#endif
+
+namespace detail {
+/// Runtime gate; read on hot paths, so a relaxed atomic.
+extern std::atomic<bool> g_invariants;
+}  // namespace detail
+
+/// Whether invariant validation is active (compile-time forced or runtime
+/// enabled).
+inline bool invariants_enabled() noexcept {
+  return kInvariantBuild ||
+         detail::g_invariants.load(std::memory_order_relaxed);
+}
+
+/// Flip the runtime gate. Prefer invariant_scope in tests.
+inline void set_invariants_enabled(bool on) noexcept {
+  detail::g_invariants.store(on, std::memory_order_relaxed);
+}
+
+/// RAII enable (or disable) of invariant validation for a test region.
+class invariant_scope {
+ public:
+  explicit invariant_scope(bool on = true)
+      : prev_(detail::g_invariants.load(std::memory_order_relaxed)) {
+    set_invariants_enabled(on);
+  }
+  ~invariant_scope() { set_invariants_enabled(prev_); }
+  invariant_scope(const invariant_scope&) = delete;
+  invariant_scope& operator=(const invariant_scope&) = delete;
+
+ private:
+  bool prev_;
+};
+
+/// Byte pattern written over a buffer when it returns to the pool. A buffer
+/// handed out again with any byte differing was written after its return —
+/// the use-after-return-to-pool case poisoning exists to catch.
+inline constexpr unsigned char kPoisonByte = 0xDB;
+
+}  // namespace flashr
+
+/// Validated only when invariants are enabled; aborts with a diagnostic on
+/// failure. Use for lifecycle/structural invariants whose continuous checks
+/// would be too costly for FLASHR_ASSERT.
+#define FLASHR_DCHECK(expr, msg)                                          \
+  do {                                                                    \
+    if (::flashr::invariants_enabled() && !(expr))                        \
+      ::flashr::detail::assert_fail(#expr, __FILE__, __LINE__, (msg));    \
+  } while (0)

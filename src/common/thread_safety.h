@@ -1,0 +1,104 @@
+// Clang thread-safety ("capability") annotations and annotated lock types.
+//
+// The engine's cross-thread protocols — the thread_pool job handshake, the
+// buffer_pool free lists, the async_io request queue, cum-carry chains and
+// pass-cancellation state in core/exec — are documented as capability
+// annotations on the data they protect. Under clang, `-Wthread-safety`
+// (cmake -DFLASHR_THREAD_SAFETY=ON) turns those contracts into compile
+// errors: accessing a GUARDED_BY member without its mutex, or calling a
+// REQUIRES function unlocked, fails the build. Under GCC every macro
+// expands to nothing and the wrapper types behave exactly like their
+// std counterparts.
+//
+// Conventions for annotated code:
+//  * protect shared members with flashr::mutex (never a bare std::mutex
+//    member — the analysis cannot see through an unannotated type; the
+//    project linter enforces this in engine modules);
+//  * take locks with flashr::mutex_lock (scoped) and write condition waits
+//    as explicit `while (!pred) cv.wait(lock);` loops — predicate lambdas
+//    are analyzed as separate functions and would lose the lock context;
+//  * split a public locking entry point from its lock-held core by giving
+//    the core a `*_locked()` name and a REQUIRES(mutex) annotation.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define FLASHR_TSA(x) __attribute__((x))
+#endif
+#endif
+#ifndef FLASHR_TSA
+#define FLASHR_TSA(x)  // no-op outside clang
+#endif
+
+/// Type-level: the annotated class is a capability (a mutex-like thing).
+#define CAPABILITY(x) FLASHR_TSA(capability(x))
+/// Type-level: RAII object that holds a capability for its lifetime.
+#define SCOPED_CAPABILITY FLASHR_TSA(scoped_lockable)
+
+/// Data members readable/writable only while holding the capability.
+#define GUARDED_BY(x) FLASHR_TSA(guarded_by(x))
+/// Pointer members whose *pointee* is protected by the capability.
+#define PT_GUARDED_BY(x) FLASHR_TSA(pt_guarded_by(x))
+
+/// Function-level: acquires/releases the capability (mutex methods, scoped
+/// lock constructors/destructors).
+#define ACQUIRE(...) FLASHR_TSA(acquire_capability(__VA_ARGS__))
+#define RELEASE(...) FLASHR_TSA(release_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) FLASHR_TSA(try_acquire_capability(__VA_ARGS__))
+
+/// Function-level: caller must hold / must NOT hold the capability.
+#define REQUIRES(...) FLASHR_TSA(requires_capability(__VA_ARGS__))
+#define EXCLUDES(...) FLASHR_TSA(locks_excluded(__VA_ARGS__))
+
+/// Function-level: returns a reference to the named capability.
+#define RETURN_CAPABILITY(x) FLASHR_TSA(lock_returned(x))
+/// Function-level: asserts (at runtime) that the capability is held.
+#define ASSERT_CAPABILITY(x) FLASHR_TSA(assert_capability(x))
+/// Escape hatch for code the analysis cannot model. Use sparingly and say
+/// why in a comment.
+#define NO_THREAD_SAFETY_ANALYSIS FLASHR_TSA(no_thread_safety_analysis)
+
+namespace flashr {
+
+/// std::mutex with the capability attribute the analysis needs. Satisfies
+/// Lockable, so std::lock_guard/std::unique_lock still work where the
+/// analysis is not wanted (e.g. function-local statics).
+class CAPABILITY("mutex") mutex {
+ public:
+  mutex() = default;
+  mutex(const mutex&) = delete;
+  mutex& operator=(const mutex&) = delete;
+
+  void lock() ACQUIRE() { m_.lock(); }
+  void unlock() RELEASE() { m_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  std::mutex m_;
+};
+
+/// Scoped lock over flashr::mutex. Exposes lock()/unlock() (BasicLockable)
+/// so it can be handed to cond_var::wait, which releases and re-acquires.
+class SCOPED_CAPABILITY mutex_lock {
+ public:
+  explicit mutex_lock(mutex& m) ACQUIRE(m) : m_(m) { m_.lock(); }
+  ~mutex_lock() RELEASE() { m_.unlock(); }
+  mutex_lock(const mutex_lock&) = delete;
+  mutex_lock& operator=(const mutex_lock&) = delete;
+
+  void lock() ACQUIRE() { m_.lock(); }
+  void unlock() RELEASE() { m_.unlock(); }
+
+ private:
+  mutex& m_;
+};
+
+/// Condition variable usable with flashr::mutex_lock. condition_variable_any
+/// works with any BasicLockable; the tiny overhead over std::condition_variable
+/// is irrelevant next to the job/IO granularity it is used at.
+using cond_var = std::condition_variable_any;
+
+}  // namespace flashr

@@ -2,17 +2,18 @@
 
 #include <algorithm>
 #include <bit>
-#include <condition_variable>
 #include <cstring>
 #include <future>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/check.h"
 #include "common/error.h"
 #include "common/log.h"
+#include "common/thread_safety.h"
 #include "core/kernels.h"
+#include "core/validate.h"
 #include "core/virtual_store.h"
 #include "matrix/em_store.h"
 #include "matrix/generated_store.h"
@@ -33,14 +34,6 @@ const matrix_store* resolve(const matrix_store* s) {
       // Results are physical; one level of indirection suffices.
       return resolve(r.get());
     }
-  }
-  return s;
-}
-
-matrix_store::ptr resolve_ptr(const matrix_store::ptr& s) {
-  if (s->kind() == store_kind::virt) {
-    auto* v = static_cast<virtual_store*>(s.get());
-    if (auto r = v->result()) return r;
   }
   return s;
 }
@@ -248,33 +241,35 @@ struct pass_cancelled {};
 /// owning worker died with the pass's first error, in which case cancel()
 /// wakes every waiter and wait_for unwinds with pass_cancelled.
 struct cum_chain {
-  std::vector<std::vector<char>> carries;  // per partition, cols * elem_size
-  std::vector<char> ready;                 // guarded by mutex
-  bool cancelled = false;                  // guarded by mutex
-  std::mutex mutex;
-  std::condition_variable cv;
+  mutex mtx;
+  /// Per partition, cols * elem_size bytes each.
+  std::vector<std::vector<char>> carries GUARDED_BY(mtx);
+  std::vector<char> ready GUARDED_BY(mtx);
+  bool cancelled GUARDED_BY(mtx) = false;
+  cond_var cv;
 
   void init(std::size_t num_parts, std::size_t bytes) {
+    mutex_lock lock(mtx);
     carries.assign(num_parts, std::vector<char>(bytes));
     ready.assign(num_parts, 0);
   }
   void publish(std::size_t p, const char* data, std::size_t bytes) {
     {
-      std::lock_guard<std::mutex> lock(mutex);
+      mutex_lock lock(mtx);
       std::memcpy(carries[p].data(), data, bytes);
       ready[p] = 1;
     }
     cv.notify_all();
   }
   void wait_for(std::size_t p, char* out, std::size_t bytes) {
-    std::unique_lock<std::mutex> lock(mutex);
-    cv.wait(lock, [&] { return ready[p] != 0 || cancelled; });
+    mutex_lock lock(mtx);
+    while (ready[p] == 0 && !cancelled) cv.wait(lock);
     if (ready[p] == 0) throw pass_cancelled{};
     std::memcpy(out, carries[p].data(), bytes);
   }
   void cancel() {
     {
-      std::lock_guard<std::mutex> lock(mutex);
+      mutex_lock lock(mtx);
       cancelled = true;
     }
     cv.notify_all();
@@ -305,6 +300,9 @@ class pass_runner {
   pass_runner(dag_info& dag, pass_config cfg) : dag_(dag), cfg_(cfg) {
     allocate_outputs();
     init_cum_chains();
+    // Output stores (mem_store partitions) legitimately keep pool buffers
+    // beyond the pass; everything acquired after this point must come home.
+    pool_baseline_count_ = buffer_pool::global().outstanding_count();
   }
 
   void run();
@@ -358,15 +356,21 @@ class pass_runner {
   dag_info& dag_;
   pass_config cfg_;
   std::atomic<bool> cancel_{false};
-  std::exception_ptr pass_error_;
-  std::mutex error_mutex_;
+  mutex error_mutex_;
+  std::exception_ptr pass_error_ GUARDED_BY(error_mutex_);
   /// Output stores, parallel to dag_.tall_outputs.
   std::vector<matrix_store::ptr> out_stores_;
   std::vector<sink_desc> sinks_;
+  /// One chain per cum node; populated before the pass, then read-only (each
+  /// chain carries its own mutex).
   std::unordered_map<const virtual_store*, cum_chain> cum_chains_;
+  mutex acc_mutex_;
   /// Collected per-thread sink partials, merged in thread order.
-  std::vector<std::vector<std::vector<char>>> all_sink_acc_;
-  std::mutex acc_mutex_;
+  std::vector<std::vector<std::vector<char>>> all_sink_acc_
+      GUARDED_BY(acc_mutex_);
+  /// Pool buffers outstanding after output allocation; the post-pass audit
+  /// (validate::audit_pool) asserts the pass returned to this baseline.
+  std::size_t pool_baseline_count_ = 0;
   /// Shared NUMA-aware dispatcher (only when conf().numa_nodes > 1).
   std::optional<numa_scheduler> numa_sched_;
 };
@@ -384,6 +388,7 @@ void pass_runner::allocate_outputs() {
           mem_store::create(g.nrow, g.ncol, v->type(), g.part_rows));
   }
   for (virtual_store* v : dag_.sinks) sinks_.push_back(describe_sink(v));
+  mutex_lock lock(acc_mutex_);
   all_sink_acc_.resize(static_cast<std::size_t>(thread_pool::global().size()));
 }
 
@@ -402,7 +407,7 @@ std::size_t chunk_rows_for(std::size_t max_ncol, std::size_t part_rows) {
 
 void pass_runner::fail(std::exception_ptr e) noexcept {
   {
-    std::lock_guard<std::mutex> lock(error_mutex_);
+    mutex_lock lock(error_mutex_);
     if (!pass_error_) pass_error_ = e;
   }
   cancel_.store(true, std::memory_order_release);
@@ -535,7 +540,7 @@ void pass_runner::run() {
     }
     // ctx destruction returns every worker-held pool buffer (chunk bufs,
     // EM read buffers, staged outputs) whether the pass succeeded or not.
-    std::lock_guard<std::mutex> lock(acc_mutex_);
+    mutex_lock lock(acc_mutex_);
     all_sink_acc_[static_cast<std::size_t>(thread_idx)] =
         std::move(ctx.sink_acc);
   });
@@ -548,21 +553,26 @@ void pass_runner::run() {
       em_store::drain_writes();
     } catch (...) {
     }
+    validate::audit_pool(buffer_pool::global(), pool_baseline_count_);
     std::exception_ptr e;
     {
-      std::lock_guard<std::mutex> lock(error_mutex_);
+      mutex_lock lock(error_mutex_);
       e = pass_error_;
     }
     FLASHR_ASSERT(e != nullptr, "cancelled pass without a recorded error");
     std::rethrow_exception(e);
   }
 
+  // Wait for asynchronous partition writes (cheap no-op when no output went
+  // to SSDs) so the pool audit sees every write buffer home, then audit
+  // before merge_sinks allocates the persistent sink stores.
+  em_store::drain_writes();
+  validate::audit_pool(buffer_pool::global(), pool_baseline_count_);
+
   // Assign tall output stores to their nodes.
   for (std::size_t i = 0; i < dag_.tall_outputs.size(); ++i)
     dag_.tall_outputs[i]->set_result(out_stores_[i]);
   merge_sinks();
-  // Cheap no-op when no output went to SSDs.
-  em_store::drain_writes();
 }
 
 void pass_runner::process_partition(thread_ctx& ctx) {
@@ -615,6 +625,9 @@ void pass_runner::process_partition(thread_ctx& ctx) {
     const auto& carry = ctx.cum_carry[node];
     chain.publish(ctx.part, carry.data(), carry.size());
   }
+
+  FLASHR_DCHECK(ctx.out_stage.empty(),
+                "staged output buffer survived its partition");
 }
 
 kern::view pass_runner::leaf_view(thread_ctx& ctx, const matrix_store* leaf) {
@@ -854,9 +867,18 @@ void pass_runner::process_chunk(thread_ctx& ctx) {
   // Every owned buffer must have been recycled by its last consumer.
   FLASHR_ASSERT(ctx.live_owned == 0,
                 "leaked owned chunk buffer (refcount bug)");
+  // Stronger per-node audit under the invariant validator: every Pcache
+  // chunk touched this generation must have had its consumer count reach
+  // zero, recycled buffer or not (§3.5.1's per-partition counters).
+  if (invariants_enabled()) {
+    for (const chunk_buf& cb : ctx.chunk)
+      FLASHR_DCHECK(cb.gen != ctx.gen || cb.remaining == 0,
+                    "Pcache partition counter did not reach zero");
+  }
 }
 
 void pass_runner::merge_sinks() {
+  mutex_lock lock(acc_mutex_);
   for (std::size_t s = 0; s < sinks_.size(); ++s) {
     const sink_desc& d = sinks_[s];
     const std::size_t n = d.out_rows * d.out_cols;
@@ -932,6 +954,9 @@ std::size_t pcache_rows(std::size_t max_ncol, std::size_t part_rows) {
 }
 
 void materialize(const std::vector<matrix_store::ptr>& targets, storage st) {
+  // Structural validation (shape/orientation consistency, dangling nodes,
+  // cycles) before any buffer is touched; no-op unless invariants are on.
+  validate::check_dag(targets);
   dag_info dag = collect(targets);
   if (dag.order.empty()) return;
   switch (conf().mode) {

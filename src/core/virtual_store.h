@@ -10,9 +10,9 @@
 #pragma once
 
 #include <atomic>
-#include <mutex>
 
 #include "common/config.h"
+#include "common/thread_safety.h"
 #include "core/genops.h"
 #include "matrix/matrix_store.h"
 
@@ -34,11 +34,11 @@ class virtual_store final : public matrix_store {
   /// Materialized result, or nullptr. Set once by the executor; thereafter
   /// the node is transparent (reads forward to the result).
   matrix_store::ptr result() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    mutex_lock lock(mutex_);
     return result_;
   }
   void set_result(matrix_store::ptr r) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    mutex_lock lock(mutex_);
     result_ = std::move(r);
   }
   bool has_result() const { return result() != nullptr; }
@@ -64,8 +64,8 @@ class virtual_store final : public matrix_store {
 
   genop op_;
   std::vector<matrix_store::ptr> children_;
-  mutable std::mutex mutex_;
-  matrix_store::ptr result_;
+  mutable mutex mutex_;
+  matrix_store::ptr result_ GUARDED_BY(mutex_);
   std::atomic<bool> cache_flag_{false};
   std::atomic<int> cache_storage_{static_cast<int>(storage::in_mem)};
 };

@@ -14,11 +14,16 @@ async_io::async_io(int num_threads) {
 
 async_io::~async_io() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    mutex_lock lock(mutex_);
     stop_ = true;
   }
   cv_.notify_all();
   for (auto& t : threads_) t.join();
+}
+
+void async_io::enqueue_locked(request req) {
+  if (req.is_write) ++pending_writes_;
+  queue_.push_back(std::move(req));
 }
 
 std::future<void> async_io::submit_read(std::shared_ptr<const safs_file> file,
@@ -32,8 +37,8 @@ std::future<void> async_io::submit_read(std::shared_ptr<const safs_file> file,
   req.is_write = false;
   std::future<void> fut = req.done.get_future();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    queue_.push_back(std::move(req));
+    mutex_lock lock(mutex_);
+    enqueue_locked(std::move(req));
   }
   cv_.notify_one();
   return fut;
@@ -49,16 +54,15 @@ void async_io::submit_write(std::shared_ptr<safs_file> file,
   req.wbuf = std::move(buf);
   req.is_write = true;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++pending_writes_;
-    queue_.push_back(std::move(req));
+    mutex_lock lock(mutex_);
+    enqueue_locked(std::move(req));
   }
   cv_.notify_one();
 }
 
 void async_io::drain_writes() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  cv_drained_.wait(lock, [&] { return pending_writes_ == 0; });
+  mutex_lock lock(mutex_);
+  while (pending_writes_ != 0) cv_drained_.wait(lock);
   if (write_error_) {
     auto err = write_error_;
     write_error_ = nullptr;
@@ -66,12 +70,17 @@ void async_io::drain_writes() {
   }
 }
 
+void async_io::complete_write_locked(std::exception_ptr err) {
+  if (err && !write_error_) write_error_ = std::move(err);
+  if (--pending_writes_ == 0) cv_drained_.notify_all();
+}
+
 void async_io::io_loop() {
   for (;;) {
     request req;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      mutex_lock lock(mutex_);
+      while (!stop_ && queue_.empty()) cv_.wait(lock);
       if (queue_.empty()) {
         if (stop_) return;
         continue;
@@ -82,17 +91,17 @@ void async_io::io_loop() {
     io_throttle::global().acquire(req.len);
     auto& stats = io_stats::global();
     if (req.is_write) {
+      std::exception_ptr err;
       try {
         req.wfile->write(req.offset, req.len, req.wbuf.data());
         stats.write_ops.fetch_add(1, std::memory_order_relaxed);
         stats.write_bytes.fetch_add(req.len, std::memory_order_relaxed);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(mutex_);
-        if (!write_error_) write_error_ = std::current_exception();
+        err = std::current_exception();
       }
       req.wbuf.release();
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (--pending_writes_ == 0) cv_drained_.notify_all();
+      mutex_lock lock(mutex_);
+      complete_write_locked(std::move(err));
     } else {
       try {
         req.rfile->read(req.offset, req.len, req.rbuf);

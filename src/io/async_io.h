@@ -8,16 +8,19 @@
 // draining a FIFO of requests against safs_files. Reads complete a future the
 // compute thread waits on; writes carry their buffer's ownership and are
 // tracked so a pass can drain them before finishing.
+//
+// The queue, the pending-write counter and the deferred write error are all
+// GUARDED_BY(mutex_); the FLASHR_THREAD_SAFETY build proves no path touches
+// them unlocked.
 #pragma once
 
-#include <condition_variable>
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/thread_safety.h"
 #include "io/safs.h"
 #include "mem/buffer_pool.h"
 
@@ -51,7 +54,7 @@ class async_io {
   /// this does NOT consume a deferred write error — tests use it to wait
   /// for a failing write to finish while keeping the error observable.
   int pending_writes() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    mutex_lock lock(mutex_);
     return pending_writes_;
   }
 
@@ -71,15 +74,20 @@ class async_io {
   };
 
   void io_loop();
+  /// Enqueue one request. Lock-held core of the submit entry points.
+  void enqueue_locked(request req) REQUIRES(mutex_);
+  /// Account one finished write: record its deferred error (first wins) and
+  /// wake drainers when the last write lands.
+  void complete_write_locked(std::exception_ptr err) REQUIRES(mutex_);
 
   std::vector<std::thread> threads_;
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::condition_variable cv_drained_;
-  std::deque<request> queue_;
-  int pending_writes_ = 0;
-  std::exception_ptr write_error_;
-  bool stop_ = false;
+  mutable mutex mutex_;
+  cond_var cv_;
+  cond_var cv_drained_;
+  std::deque<request> queue_ GUARDED_BY(mutex_);
+  int pending_writes_ GUARDED_BY(mutex_) = 0;
+  std::exception_ptr write_error_ GUARDED_BY(mutex_);
+  bool stop_ GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace flashr

@@ -56,7 +56,7 @@ constexpr std::uint64_t site_salt(fault_site s) {
 
 fault_plan fault_injector::snapshot() const {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    mutex_lock lock(mutex_);
     if (use_override_) return override_plan_;
   }
   return plan_from_conf();
@@ -91,7 +91,7 @@ fault_injector::decision fault_injector::next_with(const fault_plan& p,
 
 void fault_injector::install(const fault_plan& p) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    mutex_lock lock(mutex_);
     override_plan_ = p;
     use_override_ = true;
   }
@@ -100,7 +100,7 @@ void fault_injector::install(const fault_plan& p) {
 
 void fault_injector::clear() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    mutex_lock lock(mutex_);
     use_override_ = false;
   }
   reset();
@@ -112,7 +112,7 @@ void fault_injector::reset() {
 }
 
 bool fault_injector::overridden() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  mutex_lock lock(mutex_);
   return use_override_;
 }
 

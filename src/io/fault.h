@@ -27,7 +27,8 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
+
+#include "common/thread_safety.h"
 
 namespace flashr {
 
@@ -89,9 +90,9 @@ class fault_injector {
   static fault_injector& global();
 
  private:
-  mutable std::mutex mutex_;
-  fault_plan override_plan_;
-  bool use_override_ = false;
+  mutable mutex mutex_;
+  fault_plan override_plan_ GUARDED_BY(mutex_);
+  bool use_override_ GUARDED_BY(mutex_) = false;
   std::atomic<std::uint64_t> counters_[kNumFaultSites] = {};
   std::atomic<std::size_t> injected_{0};
 };

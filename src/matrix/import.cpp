@@ -101,7 +101,6 @@ dense_matrix load_dense(const std::string& path, const load_options& opts) {
   in.seekg(0);
   if (opts.header) std::getline(in, line);
 
-  const std::size_t part_rows = store->geom().part_rows;
   auto& pool = buffer_pool::global();
   pool_buffer buf = pool.get(store->geom().full_part_bytes(opts.type));
   std::size_t row = 0;

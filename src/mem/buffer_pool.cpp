@@ -1,8 +1,11 @@
 #include "mem/buffer_pool.h"
 
+#include <algorithm>
 #include <bit>
 #include <cstdlib>
+#include <cstring>
 
+#include "common/check.h"
 #include "common/error.h"
 
 namespace flashr {
@@ -14,21 +17,24 @@ pool_buffer& pool_buffer::operator=(pool_buffer&& o) noexcept {
     data_ = o.data_;
     size_ = o.size_;
     class_ = o.class_;
+    tracked_ = o.tracked_;
     o.pool_ = nullptr;
     o.data_ = nullptr;
     o.size_ = 0;
     o.class_ = -1;
+    o.tracked_ = false;
   }
   return *this;
 }
 
 void pool_buffer::release() noexcept {
   if (data_ != nullptr && pool_ != nullptr)
-    pool_->put(data_, size_, class_);
+    pool_->put(data_, size_, class_, tracked_);
   pool_ = nullptr;
   data_ = nullptr;
   size_ = 0;
   class_ = -1;
+  tracked_ = false;
 }
 
 buffer_pool::~buffer_pool() { trim(); }
@@ -43,19 +49,44 @@ int buffer_pool::class_of(std::size_t bytes) {
 pool_buffer buffer_pool::get(std::size_t bytes) {
   const int cls = class_of(bytes);
   const std::size_t class_bytes = std::size_t{1} << (cls + kMinClassLog2);
+  const bool track = invariants_enabled();
   char* data = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    mutex_lock lock(mutex_);
     auto& list = free_lists_[cls];
     if (!list.empty()) {
       data = list.back();
       list.pop_back();
+      // Always clear the poison record (a buffer may be re-issued while the
+      // validator is off; its bytes are then no longer poison), but only
+      // verify when the validator is active end to end.
+      const bool was_poisoned =
+          !poisoned_.empty() && poisoned_.erase(data) != 0;
+      if (track && was_poisoned) {
+        // The buffer was poisoned when it came home; any byte that changed
+        // since means someone wrote through a stale pointer.
+        const char* stale = nullptr;
+        for (std::size_t i = 0; i < class_bytes; ++i) {
+          if (static_cast<unsigned char>(data[i]) != kPoisonByte) {
+            stale = data + i;
+            break;
+          }
+        }
+        FLASHR_ASSERT(stale == nullptr,
+                      "pool buffer written after return to pool "
+                      "(use-after-return)");
+      }
     }
+    if (track && data != nullptr) live_.insert(data);
   }
   if (data == nullptr) {
     // aligned_alloc_bytes rounds up to the alignment; class sizes are already
     // multiples of kBufferAlign for all classes >= 4 KiB.
     data = aligned_alloc_bytes(class_bytes).release();
+    if (track) {
+      mutex_lock lock(mutex_);
+      live_.insert(data);
+    }
   }
   outstanding_count_.fetch_add(1, std::memory_order_relaxed);
   const std::size_t out = outstanding_.fetch_add(class_bytes) + class_bytes;
@@ -63,26 +94,56 @@ pool_buffer buffer_pool::get(std::size_t bytes) {
   while (out > peak &&
          !peak_.compare_exchange_weak(peak, out, std::memory_order_relaxed)) {
   }
-  return pool_buffer(this, data, class_bytes, cls);
+  return pool_buffer(this, data, class_bytes, cls, track);
 }
 
-void buffer_pool::put(char* data, std::size_t size, int cls) noexcept {
+void buffer_pool::track_return_locked(char* data, std::size_t size, int cls,
+                                      bool tracked) noexcept {
+  if (tracked && live_.erase(data) == 0) {
+    // The buffer is not outstanding. Distinguish the two ways that happens:
+    // it is already back on its free list (double return), or the pool never
+    // handed it out at all (a refcount underflow somewhere released a handle
+    // it did not own).
+    const auto& list = free_lists_[cls];
+    const bool on_free_list =
+        std::find(list.begin(), list.end(), data) != list.end();
+    if (on_free_list)
+      detail::assert_fail("double return", __FILE__, __LINE__,
+                          "pool buffer returned twice");
+    detail::assert_fail("refcount underflow", __FILE__, __LINE__,
+                        "returned a buffer the pool never handed out");
+  }
+  std::memset(data, kPoisonByte, size);
+  poisoned_.insert(data);
+}
+
+void buffer_pool::put(char* data, std::size_t size, int cls,
+                      bool tracked) noexcept {
+  {
+    mutex_lock lock(mutex_);
+    if (invariants_enabled())
+      track_return_locked(data, size, cls, tracked);
+    else if (tracked)
+      live_.erase(data);  // validator switched off while we were out
+    free_lists_[cls].push_back(data);
+  }
   outstanding_count_.fetch_sub(1, std::memory_order_relaxed);
   outstanding_.fetch_sub(size);
-  std::lock_guard<std::mutex> lock(mutex_);
-  free_lists_[cls].push_back(data);
 }
 
 void buffer_pool::trim() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  mutex_lock lock(mutex_);
   for (auto& list : free_lists_) {
-    for (char* p : list) std::free(p);
+    for (char* p : list) {
+      poisoned_.erase(p);
+      std::free(p);
+    }
     list.clear();
   }
 }
 
 std::size_t buffer_pool::cached_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  mutex_lock lock(mutex_);
   std::size_t n = 0;
   for (const auto& list : free_lists_) n += list.size();
   return n;

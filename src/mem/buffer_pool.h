@@ -10,18 +10,27 @@
 //
 // The pool also tracks current and peak outstanding bytes, which backs the
 // "peak memory" column of Table 6.
+//
+// When the invariant validator is enabled (common/check.h) the pool
+// additionally tracks every live buffer and poisons returned memory, so a
+// double return, a return of memory the pool never handed out (refcount
+// underflow) and a write into a returned buffer each abort with a
+// diagnostic instead of corrupting a later pass.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
 #include <mutex>
+#include <unordered_set>
 #include <vector>
 
 #include "common/align.h"
+#include "common/thread_safety.h"
 
 namespace flashr {
 
 class buffer_pool;
+struct pool_debug;
 
 /// RAII handle for a pooled buffer. Movable, not copyable; returns the
 /// buffer to its pool on destruction.
@@ -43,13 +52,19 @@ class pool_buffer {
 
  private:
   friend class buffer_pool;
-  pool_buffer(buffer_pool* pool, char* data, std::size_t size, int cls)
-      : pool_(pool), data_(data), size_(size), class_(cls) {}
+  friend struct pool_debug;
+  pool_buffer(buffer_pool* pool, char* data, std::size_t size, int cls,
+              bool tracked)
+      : pool_(pool), data_(data), size_(size), class_(cls),
+        tracked_(tracked) {}
 
   buffer_pool* pool_ = nullptr;
   char* data_ = nullptr;
   std::size_t size_ = 0;
   int class_ = -1;
+  /// Whether the invariant validator was active when this buffer was handed
+  /// out (so put() only checks buffers it actually registered).
+  bool tracked_ = false;
 };
 
 class buffer_pool {
@@ -88,14 +103,26 @@ class buffer_pool {
 
  private:
   friend class pool_buffer;
-  void put(char* data, std::size_t size, int cls) noexcept;
+  /// Invariant-seeding test seams (core/validate.h).
+  friend struct pool_debug;
+
+  void put(char* data, std::size_t size, int cls, bool tracked) noexcept;
+  /// Lifecycle bookkeeping for one returning buffer; aborts on double
+  /// return / underflow and poisons the memory. Lock-held core of put().
+  void track_return_locked(char* data, std::size_t size, int cls,
+                           bool tracked) noexcept REQUIRES(mutex_);
 
   static constexpr int kMinClassLog2 = 9;   // 512 B
   static constexpr int kMaxClassLog2 = 31;  // 2 GiB
   static int class_of(std::size_t bytes);
 
-  mutable std::mutex mutex_;
-  std::vector<char*> free_lists_[kMaxClassLog2 - kMinClassLog2 + 1];
+  mutable mutex mutex_;
+  std::vector<char*> free_lists_[kMaxClassLog2 - kMinClassLog2 + 1]
+      GUARDED_BY(mutex_);
+  /// Buffers currently handed out while the validator was active.
+  std::unordered_set<const char*> live_ GUARDED_BY(mutex_);
+  /// Buffers poisoned on return and not yet re-issued; verified on reuse.
+  std::unordered_set<const char*> poisoned_ GUARDED_BY(mutex_);
   std::atomic<std::size_t> outstanding_{0};
   std::atomic<std::size_t> outstanding_count_{0};
   std::atomic<std::size_t> peak_{0};

@@ -14,14 +14,6 @@ dense_matrix with_intercept(const dense_matrix& X, bool add) {
   return cbind({X, dense_matrix::constant(X.nrow(), 1, 1.0)});
 }
 
-/// Row-wise softmax probabilities of a lazy score matrix (numerically
-/// stable: shift by the row max).
-dense_matrix softmax_rows(const dense_matrix& scores) {
-  dense_matrix m = agg_row(scores, agg_id::max_v);  // n x 1
-  dense_matrix e = exp(scores - m);                 // col-broadcast
-  return e / row_sums(e);
-}
-
 }  // namespace
 
 softmax_model softmax_regression(const dense_matrix& X, const dense_matrix& y,

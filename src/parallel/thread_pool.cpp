@@ -17,11 +17,15 @@ thread_pool::thread_pool(int num_threads)
 
 thread_pool::~thread_pool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    mutex_lock lock(mutex_);
     stop_ = true;
   }
   cv_start_.notify_all();
   for (auto& t : threads_) t.join();
+}
+
+void thread_pool::record_error_locked(std::exception_ptr e) {
+  if (!first_error_) first_error_ = std::move(e);
 }
 
 void thread_pool::worker_loop(int idx) {
@@ -29,8 +33,8 @@ void thread_pool::worker_loop(int idx) {
   for (;;) {
     const std::function<void(int)>* job = nullptr;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_start_.wait(lock, [&] { return stop_ || job_seq_ != seen_seq; });
+      mutex_lock lock(mutex_);
+      while (!stop_ && job_seq_ == seen_seq) cv_start_.wait(lock);
       if (stop_) return;
       seen_seq = job_seq_;
       job = job_;
@@ -38,11 +42,11 @@ void thread_pool::worker_loop(int idx) {
     try {
       (*job)(idx);
     } catch (...) {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (!first_error_) first_error_ = std::current_exception();
+      mutex_lock lock(mutex_);
+      record_error_locked(std::current_exception());
     }
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      mutex_lock lock(mutex_);
       if (--remaining_ == 0) cv_done_.notify_all();
     }
   }
@@ -50,7 +54,7 @@ void thread_pool::worker_loop(int idx) {
 
 void thread_pool::run_all(const std::function<void(int)>& fn) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    mutex_lock lock(mutex_);
     FLASHR_ASSERT(job_ == nullptr, "thread_pool::run_all is not reentrant");
     job_ = &fn;
     remaining_ = num_threads_ - 1;
@@ -62,13 +66,13 @@ void thread_pool::run_all(const std::function<void(int)>& fn) {
   try {
     fn(0);
   } catch (...) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (!first_error_) first_error_ = std::current_exception();
+    mutex_lock lock(mutex_);
+    record_error_locked(std::current_exception());
   }
   std::exception_ptr err;
   {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_done_.wait(lock, [&] { return remaining_ == 0; });
+    mutex_lock lock(mutex_);
+    while (remaining_ != 0) cv_done_.wait(lock);
     job_ = nullptr;
     err = first_error_;
     first_error_ = nullptr;

@@ -3,14 +3,19 @@
 // "jobs": a job runs the same callable on every worker, passing the worker
 // index; the submitting thread participates as worker 0 so a pool of size 1
 // degenerates to serial execution with no synchronization overhead.
+//
+// The job handshake (publish job -> workers run -> last worker signals done)
+// is annotated for clang thread-safety analysis: every shared field is
+// GUARDED_BY(mutex_), so an unlocked access fails the FLASHR_THREAD_SAFETY
+// build.
 #pragma once
 
-#include <condition_variable>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/thread_safety.h"
 
 namespace flashr {
 
@@ -37,18 +42,21 @@ class thread_pool {
 
  private:
   void worker_loop(int idx);
+  /// Record a worker exception; first one wins. Lock-held core shared by
+  /// the caller (worker 0) and spawned workers.
+  void record_error_locked(std::exception_ptr e) REQUIRES(mutex_);
 
   int num_threads_;
   std::vector<std::thread> threads_;
 
-  std::mutex mutex_;
-  std::condition_variable cv_start_;
-  std::condition_variable cv_done_;
-  const std::function<void(int)>* job_ = nullptr;
-  std::uint64_t job_seq_ = 0;
-  int remaining_ = 0;
-  bool stop_ = false;
-  std::exception_ptr first_error_;
+  mutex mutex_;
+  cond_var cv_start_;
+  cond_var cv_done_;
+  const std::function<void(int)>* job_ GUARDED_BY(mutex_) = nullptr;
+  std::uint64_t job_seq_ GUARDED_BY(mutex_) = 0;
+  int remaining_ GUARDED_BY(mutex_) = 0;
+  bool stop_ GUARDED_BY(mutex_) = false;
+  std::exception_ptr first_error_ GUARDED_BY(mutex_);
 };
 
 }  // namespace flashr

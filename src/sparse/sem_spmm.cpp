@@ -26,10 +26,15 @@ std::string next_sparse_name() {
 }
 
 /// On-disk block layout: [uint64 nnz][uint64 row_counts[rows]]
-/// [uint32 col_idx[nnz]][double values[nnz]], padded to 4 KiB.
+/// [uint32 col_idx[nnz]][double values[nnz]], padded to 4 KiB. The column
+/// section is padded to 8 bytes so the values stay aligned for odd nnz.
+std::size_t cols_bytes(std::size_t nnz) {
+  return round_up(sizeof(std::uint32_t) * nnz, sizeof(double));
+}
+
 std::size_t block_bytes(std::size_t rows, std::size_t nnz) {
-  return round_up(sizeof(std::uint64_t) * (1 + rows) +
-                      sizeof(std::uint32_t) * nnz + sizeof(double) * nnz,
+  return round_up(sizeof(std::uint64_t) * (1 + rows) + cols_bytes(nnz) +
+                      sizeof(double) * nnz,
                   4096);
 }
 
@@ -74,8 +79,8 @@ std::shared_ptr<em_csr> em_csr::create(const csr_matrix& m,
                                                           (1 + b.row_count));
     const std::size_t e0 = m.row_ptr()[b.row_begin];
     std::memcpy(cols, m.col_idx().data() + e0, sizeof(std::uint32_t) * b.nnz);
-    auto* vals = reinterpret_cast<double*>(
-        reinterpret_cast<char*>(cols) + sizeof(std::uint32_t) * b.nnz);
+    auto* vals = reinterpret_cast<double*>(reinterpret_cast<char*>(cols) +
+                                           cols_bytes(b.nnz));
     std::memcpy(vals, m.values().data() + e0, sizeof(double) * b.nnz);
     em->file_->write(b.offset, b.bytes, buf.data());
     auto& stats = io_stats::global();
@@ -118,8 +123,7 @@ smat em_csr::spmm(const smat& d) const {
         const auto* cols = reinterpret_cast<const std::uint32_t*>(
             r + sizeof(std::uint64_t) * (1 + blk.row_count));
         const auto* vals = reinterpret_cast<const double*>(
-            reinterpret_cast<const char*>(cols) +
-            sizeof(std::uint32_t) * blk.nnz);
+            reinterpret_cast<const char*>(cols) + cols_bytes(blk.nnz));
         std::size_t e = 0;
         for (std::size_t i = 0; i < blk.row_count; ++i) {
           const std::size_t row = blk.row_begin + i;

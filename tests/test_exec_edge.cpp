@@ -79,8 +79,9 @@ TEST_P(ExecEdgeTest, ManySinksOnePass) {
     sinks.push_back(sum(x * static_cast<double>(i + 1)));
   io_stats::global().reset();
   materialize_all(sinks);
-  if (GetParam() != exec_mode::eager)
+  if (GetParam() != exec_mode::eager) {
     EXPECT_EQ(io_stats::global().read_ops.load(), 6u);
+  }
   const double base = sinks[0].scalar();
   for (int i = 0; i < 12; ++i)
     EXPECT_NEAR(sinks[static_cast<std::size_t>(i)].scalar(),

@@ -41,7 +41,9 @@ void clobber_file(const std::string& path) {
   const long n = std::ftell(f);
   std::fseek(f, 0, SEEK_SET);
   std::vector<char> junk(static_cast<std::size_t>(n), '\xFF');
-  ASSERT_EQ(std::fwrite(junk.data(), 1, junk.size(), f), junk.size());
+  if (!junk.empty()) {
+    ASSERT_EQ(std::fwrite(junk.data(), 1, junk.size(), f), junk.size());
+  }
   std::fclose(f);
 }
 

@@ -1,0 +1,13 @@
+// Lint fixture: a bare std::mutex member must trip rule `mutex-ann`.
+#pragma once
+
+#include <mutex>
+
+class counter {
+ public:
+  void bump();
+
+ private:
+  std::mutex mutex_;  // violation: invisible to clang thread-safety analysis
+  long count_ = 0;
+};

@@ -1,0 +1,11 @@
+// Lint fixture: naked array new / malloc in the engine core must trip rule
+// `naked-new`.
+#include <cstdlib>
+
+double* make_scratch(unsigned long n) {
+  double* a = new double[n];          // violation: naked array new
+  void* b = malloc(n);                // violation: malloc
+  static_cast<char*>(b)[0] = 0;
+  std::free(b);
+  return a;
+}

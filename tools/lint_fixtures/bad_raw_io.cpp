@@ -1,0 +1,11 @@
+// Lint fixture: raw POSIX I/O outside src/io/ must trip rule `raw-io`.
+#include <fcntl.h>
+#include <unistd.h>
+
+int read_header(const char* path, char* buf) {
+  int fd = open(path, O_RDONLY);  // violation: raw open outside src/io/
+  if (fd < 0) return -1;
+  long n = pread(fd, buf, 4096, 0);  // violation: raw pread
+  close(fd);
+  return static_cast<int>(n);
+}

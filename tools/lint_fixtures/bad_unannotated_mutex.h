@@ -1,0 +1,14 @@
+// Lint fixture: a flashr::mutex member with no GUARDED_BY/REQUIRES in the
+// header must trip rule `mutex-ann` (the mutex protects nothing on paper).
+#pragma once
+
+#include "common/thread_safety.h"
+
+class registry {
+ public:
+  void insert(int v);
+
+ private:
+  mutex mutex_;
+  int last_ = 0;  // violation: not annotated with what guards it
+};

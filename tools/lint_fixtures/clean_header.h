@@ -1,0 +1,15 @@
+// Lint fixture: a properly annotated header no rule should flag.
+#pragma once
+
+#include "common/thread_safety.h"
+
+class annotated_registry {
+ public:
+  void insert(int v);
+
+ private:
+  void insert_locked(int v) REQUIRES(mutex_);
+
+  mutex mutex_;
+  int last_ GUARDED_BY(mutex_) = 0;
+};

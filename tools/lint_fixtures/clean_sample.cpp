@@ -1,0 +1,23 @@
+// Lint fixture: idiomatic engine-core code no rule should flag — pooled
+// buffers, stream I/O via member .open(), mentions of the banned names in
+// comments and strings only, and an explicit suppression.
+#include <fstream>
+#include <string>
+#include <vector>
+
+// Words like open( pread( malloc( in comments are fine.
+static const char* kDoc = "call open( or pread( through src/io/ only";
+
+int copy_rows(const std::string& path) {
+  std::ifstream in;
+  in.open(path);  // method call, not raw POSIX open
+  std::vector<double> buf(256);  // container, not naked new[]
+  int fd = -1;  (void)kDoc;
+  (void)fd;
+  return static_cast<int>(buf.size());
+}
+
+void* low_level_probe(unsigned long n);
+void* low_level_probe_caller() {
+  return low_level_probe(16);  // lint-ok: naked-new
+}
