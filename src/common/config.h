@@ -75,6 +75,19 @@ struct options {
   /// I/O partitions handed to a worker per dispatch at the start of a pass
   /// (§3.3: contiguous partitions read in a single asynchronous I/O).
   int dispatch_batch = 4;
+  /// Read-ahead window of the shared prefetch pipeline (core/
+  /// prefetch_pipeline.h): partitions with reads in flight or completed and
+  /// waiting for a worker. -1 = auto (2 * io_threads * dispatch_batch);
+  /// 0 = no read-ahead (workers issue reads synchronously — the ablation
+  /// baseline of bench_pipeline). With simulated NUMA, each node gets its
+  /// own window of this depth.
+  int prefetch_depth = -1;
+  /// Bounded write-behind: submit of an asynchronous partition write blocks
+  /// while this many bytes of write data are queued or in flight, so a
+  /// compute phase that outruns the SSDs cannot exhaust the buffer pool.
+  /// 0 = unbounded. A single write larger than the budget is still admitted
+  /// once the write queue is empty (the bound never deadlocks).
+  std::size_t max_inflight_write_bytes = std::size_t{256} << 20;
 
   // --- Resilience (io/fault.h, io/safs.cpp) --------------------------------
   /// Retries for transient syscall failures (EAGAIN/EIO) before the error

@@ -13,8 +13,10 @@
 #include "common/log.h"
 #include "common/thread_safety.h"
 #include "core/kernels.h"
+#include "core/prefetch_pipeline.h"
 #include "core/validate.h"
 #include "core/virtual_store.h"
+#include "io/async_io.h"
 #include "matrix/em_store.h"
 #include "matrix/generated_store.h"
 #include "matrix/mem_store.h"
@@ -78,6 +80,9 @@ struct dag_info {
   /// Distinct external-memory leaves (for prefetching).
   std::vector<const em_readable*> em_leaves;
   std::size_t max_ncol = 1;
+  /// Widest element in the DAG (bytes); sizes Pcache chunks so an all-i32
+  /// DAG gets twice the rows of an f64 one instead of assuming 8 B.
+  std::size_t max_elem = 1;
   bool has_cum = false;
 };
 
@@ -92,6 +97,7 @@ void note_space(dag_info& dag, const matrix_store* s) {
         "matrices in one DAG must share the partition dimension");
   }
   dag.max_ncol = std::max(dag.max_ncol, s->ncol());
+  dag.max_elem = std::max(dag.max_elem, s->elem_size());
 }
 
 void collect_node(dag_info& dag, const matrix_store::ptr& store,
@@ -341,9 +347,17 @@ class pass_runner {
   kern::view leaf_view(thread_ctx& ctx, const matrix_store* leaf);
   void eval_virtual(thread_ctx& ctx, virtual_store* v, chunk_buf& out);
 
-  /// Worker dispatch loops (bodies of the pass; run on every pool thread).
-  void numa_worker(thread_ctx& ctx);
-  void batch_worker(thread_ctx& ctx, part_scheduler& sched);
+  /// Worker dispatch loop (body of the pass; runs on every pool thread):
+  /// drain the home pipeline's completed partitions, then steal from other
+  /// nodes' pipelines.
+  void pipeline_worker(thread_ctx& ctx);
+  /// Build the prefetch pipelines (one, or one per NUMA node) and start
+  /// their read-ahead.
+  void build_pipelines();
+  /// Settle every pipeline and destroy them, folding their counters into
+  /// the pass statistics; after this the window buffers are back in the
+  /// pool. Safe to call on both the success and the cancellation path.
+  void teardown_pipelines() noexcept;
 
   // --- Cooperative cancellation -------------------------------------------
   /// First unrecoverable error wins: record it, raise the cancel flag, and
@@ -371,9 +385,29 @@ class pass_runner {
   /// Pool buffers outstanding after output allocation; the post-pass audit
   /// (validate::audit_pool) asserts the pass returned to this baseline.
   std::size_t pool_baseline_count_ = 0;
-  /// Shared NUMA-aware dispatcher (only when conf().numa_nodes > 1).
+  /// Partition sources feeding the pipelines. Declared BEFORE pipelines_ so
+  /// the pipelines (whose refill lambdas capture them) are destroyed first.
+  std::optional<part_scheduler> part_sched_;
   std::optional<numa_scheduler> numa_sched_;
+  /// Prefetch pipelines: one shared, or one per simulated NUMA node.
+  /// Built before workers start, read-only during the pass (each pipeline
+  /// is internally synchronized), destroyed by teardown_pipelines().
+  std::vector<std::unique_ptr<prefetch_pipeline>> pipelines_;
 };
+
+/// Accumulates pipeline/pass counters across the passes of one
+/// materialize() call (eager mode runs several). Written between passes on
+/// the driver thread only; exposed via last_pass_stats().
+struct pass_stats_acc {
+  std::size_t passes = 0;
+  std::size_t sequential_passes = 0;
+  std::uint64_t read_wait_ns = 0;
+  std::uint64_t occupancy_sum = 0;
+  std::uint64_t pops = 0;
+  std::size_t reads_issued = 0;
+};
+pass_stats_acc g_stats_acc;
+pass_stats g_last_stats;
 
 void pass_runner::allocate_outputs() {
   for (virtual_store* v : dag_.tall_outputs) {
@@ -401,8 +435,8 @@ void pass_runner::init_cum_chains() {
   }
 }
 
-std::size_t chunk_rows_for(std::size_t max_ncol, std::size_t part_rows) {
-  return pcache_rows(max_ncol, part_rows);
+std::size_t chunk_rows_for(const dag_info& dag) {
+  return pcache_rows(dag.max_ncol, dag.space.part_rows, dag.max_elem);
 }
 
 void pass_runner::fail(std::exception_ptr e) noexcept {
@@ -415,100 +449,90 @@ void pass_runner::fail(std::exception_ptr e) noexcept {
     (void)node;
     chain.cancel();
   }
+  // Wake workers parked in pop(); pipelines stop refilling, in-flight reads
+  // settle in teardown_pipelines().
+  for (auto& pl : pipelines_)
+    if (pl) pl->cancel();
 }
 
-void pass_runner::numa_worker(thread_ctx& ctx) {
-  const int home = ctx.thread_idx % conf().numa_nodes;
-  std::size_t p = 0;
-  while (!cancelled() && numa_sched_->fetch(home, p)) {
-    for (const em_readable* leaf : dag_.em_leaves) {
-      pool_buffer buf =
-          buffer_pool::global().get(leaf->geom().part_bytes(p, leaf->type()));
-      leaf->read_part_async(p, buf.data()).get();
-      ctx.em_bufs[leaf] = std::move(buf);
-    }
-    numa_tracker::global().record_access(p, home, conf().numa_nodes);
-    ctx.part = p;
-    ctx.part_row0 = dag_.space.part_row_begin(p);
-    ctx.part_rows = dag_.space.rows_in_part(p);
-    process_partition(ctx);
-    ctx.em_bufs.clear();
+void pass_runner::build_pipelines() {
+  const std::size_t num_parts = dag_.space.num_parts();
+  thread_pool& pool = thread_pool::global();
+  // Cumulative ops need strictly increasing partition dispatch: under
+  // completion-order claims, every worker could end up holding a partition
+  // later than an unclaimed one and block on its carry — so cum DAGs run
+  // one sequential pipeline (reads still overlap; only claims are ordered).
+  const bool sequential = dag_.has_cum;
+  const int nodes =
+      (conf().numa_nodes > 1 && !sequential) ? conf().numa_nodes : 1;
+  // Read-ahead across the whole pass: enough in-flight partitions to keep
+  // every I/O thread busy through a full dispatch batch per worker refill.
+  std::size_t depth = conf().prefetch_depth < 0
+                          ? 2 * static_cast<std::size_t>(conf().io_threads) *
+                                static_cast<std::size_t>(conf().dispatch_batch)
+                          : static_cast<std::size_t>(conf().prefetch_depth);
+  // NUMA: per-node windows share the global read-ahead budget.
+  if (nodes > 1 && depth > 0)
+    depth = std::max<std::size_t>(1, depth / static_cast<std::size_t>(nodes));
+
+  if (nodes > 1) {
+    numa_sched_.emplace(num_parts, nodes);
+    for (int n = 0; n < nodes; ++n)
+      pipelines_.push_back(std::make_unique<prefetch_pipeline>(
+          dag_.em_leaves,
+          [this, n](std::size_t& p) { return numa_sched_->fetch_local(n, p); },
+          depth, /*sequential=*/false));
+  } else {
+    part_sched_.emplace(num_parts, pool.size(), conf().dispatch_batch);
+    pipelines_.push_back(std::make_unique<prefetch_pipeline>(
+        dag_.em_leaves,
+        [this](std::size_t& p) { return part_sched_->fetch_one(p); }, depth,
+        sequential));
   }
 }
 
-void pass_runner::batch_worker(thread_ctx& ctx, part_scheduler& sched) {
-  using leaf_reads =
-      std::unordered_map<const em_readable*,
-                         std::pair<pool_buffer, std::future<void>>>;
-  auto& pool_mem = buffer_pool::global();
-  // Every submitted read must be awaited before its buffer unwinds: an
-  // un-awaited future would let the I/O service write into recycled memory.
-  auto settle = [](std::vector<std::pair<std::size_t, leaf_reads>>& pf) {
-    for (auto& [p, reads] : pf) {
-      (void)p;
-      for (auto& [leaf, br] : reads) {
-        (void)leaf;
-        if (br.second.valid()) {
-          try {
-            br.second.get();
-          } catch (...) {
-            // The pass is already unwinding; the settling wait only exists
-            // to keep the buffers alive until the I/O completed.
-          }
-        }
-      }
-    }
-  };
+void pass_runner::teardown_pipelines() noexcept {
+  for (auto& pl : pipelines_) {
+    if (!pl) continue;
+    pl->settle();
+    const prefetch_pipeline::stats s = pl->pipeline_stats();
+    g_stats_acc.read_wait_ns += s.read_wait_ns;
+    g_stats_acc.occupancy_sum += s.occupancy_sum;
+    g_stats_acc.pops += s.pops;
+    g_stats_acc.reads_issued += s.reads_issued;
+  }
+  // Destruction releases completed-but-unclaimed window buffers; with all
+  // reads settled nothing can still write into them.
+  pipelines_.clear();
+}
 
-  std::size_t begin = 0, end = 0;
-  while (!cancelled() && sched.fetch(begin, end)) {
-    // Prefetch: one asynchronous read per EM leaf covering the batch's
-    // partitions (issued per partition; SAFS merges contiguity).
-    std::vector<std::pair<std::size_t, leaf_reads>> prefetch;
-    for (std::size_t p = begin; p < end; ++p) {
-      leaf_reads reads;
-      for (const em_readable* leaf : dag_.em_leaves) {
-        pool_buffer buf =
-            pool_mem.get(leaf->geom().part_bytes(p, leaf->type()));
-        auto fut = leaf->read_part_async(p, buf.data());
-        reads.emplace(leaf, std::make_pair(std::move(buf), std::move(fut)));
-      }
-      prefetch.emplace_back(p, std::move(reads));
+void pass_runner::pipeline_worker(thread_ctx& ctx) {
+  const int nodes = static_cast<int>(pipelines_.size());
+  const int home = ctx.thread_idx % nodes;
+  // Drain the home node's pipeline first, then steal from the others
+  // (§3.3); with one pipeline this is plain shared dispatch.
+  for (int probe = 0; probe < nodes; ++probe) {
+    prefetch_pipeline& pl = *pipelines_[(home + probe) % nodes];
+    prefetch_pipeline::slot s;
+    while (!cancelled() && pl.pop(s)) {
+      ctx.em_bufs = std::move(s.bufs);
+      numa_tracker::global().record_access(
+          s.part, ctx.thread_idx % conf().numa_nodes, conf().numa_nodes);
+      ctx.part = s.part;
+      ctx.part_row0 = dag_.space.part_row_begin(s.part);
+      ctx.part_rows = dag_.space.rows_in_part(s.part);
+      process_partition(ctx);
+      ctx.em_bufs.clear();
     }
-    try {
-      for (auto& [p, reads] : prefetch) {
-        // Wait for this partition's data.
-        for (auto& [leaf, br] : reads) {
-          br.second.get();
-          ctx.em_bufs[leaf] = std::move(br.first);
-        }
-        if (cancelled()) break;  // reads settled; skip the compute
-        numa_tracker::global().record_access(
-            p, ctx.thread_idx % conf().numa_nodes, conf().numa_nodes);
-        ctx.part = p;
-        ctx.part_row0 = dag_.space.part_row_begin(p);
-        ctx.part_rows = dag_.space.rows_in_part(p);
-        process_partition(ctx);
-        ctx.em_bufs.clear();
-      }
-    } catch (...) {
-      settle(prefetch);
-      throw;
-    }
-    settle(prefetch);  // leftovers after a cancellation break
-    ctx.em_bufs.clear();
   }
 }
 
 void pass_runner::run() {
-  const std::size_t num_parts = dag_.space.num_parts();
   thread_pool& pool = thread_pool::global();
-  part_scheduler sched(num_parts, pool.size(), conf().dispatch_batch);
-  // Cumulative ops need strictly increasing partition dispatch (a worker
-  // draining only its node's queue could deadlock on a carry owned by an
-  // undrained queue), so they keep the sequential scheduler.
-  const bool numa_dispatch = conf().numa_nodes > 1 && !dag_.has_cum;
-  if (numa_dispatch) numa_sched_.emplace(num_parts, conf().numa_nodes);
+  build_pipelines();
+  ++g_stats_acc.passes;
+  if (pipelines_.size() == 1 && pipelines_[0]->sequential())
+    ++g_stats_acc.sequential_passes;
 
   pool.run_all([&](int thread_idx) {
     thread_ctx ctx;
@@ -527,14 +551,12 @@ void pass_runner::run() {
     }
 
     try {
-      // NUMA-aware dispatch: with more than one (simulated) node, workers
-      // drain their home node's partition queue before stealing (§3.3).
-      if (numa_dispatch)
-        numa_worker(ctx);
-      else
-        batch_worker(ctx, sched);
+      pipeline_worker(ctx);
     } catch (const pass_cancelled&) {
       // A peer recorded the pass error; this worker unwound cooperatively.
+    } catch (const pipeline_cancelled&) {
+      // Likewise: fail() cancelled the pipelines while this worker was
+      // blocked in (or about to call) pop().
     } catch (...) {
       fail(std::current_exception());
     }
@@ -544,6 +566,11 @@ void pass_runner::run() {
     all_sink_acc_[static_cast<std::size_t>(thread_idx)] =
         std::move(ctx.sink_acc);
   });
+
+  // All workers joined. Settle in-flight window reads and destroy the
+  // pipelines on BOTH paths, so the pool audits below see every read-ahead
+  // buffer home regardless of how the pass ended.
+  teardown_pipelines();
 
   if (cancelled()) {
     // Writes submitted before the failure still hold pool buffers; wait for
@@ -917,8 +944,7 @@ void run_fused(dag_info& dag, storage st, bool cache_fuse) {
   if (dag.order.empty()) return;
   pass_config cfg;
   cfg.st = st;
-  cfg.chunk_rows =
-      cache_fuse ? chunk_rows_for(dag.max_ncol, dag.space.part_rows) : 0;
+  cfg.chunk_rows = cache_fuse ? chunk_rows_for(dag) : 0;
   pass_runner runner(dag, cfg);
   runner.run();
 }
@@ -945,20 +971,64 @@ void run_eager(dag_info& dag, storage st,
 
 }  // namespace
 
-std::size_t pcache_rows(std::size_t max_ncol, std::size_t part_rows) {
-  const std::size_t bytes_per_row = std::max<std::size_t>(max_ncol, 1) * 8;
+std::size_t pcache_rows(std::size_t max_ncol, std::size_t part_rows,
+                        std::size_t elem_bytes) {
+  const std::size_t bytes_per_row =
+      std::max<std::size_t>(max_ncol, 1) * std::max<std::size_t>(elem_bytes, 1);
   std::size_t rows = conf().pcache_bytes / bytes_per_row;
   rows = std::max<std::size_t>(rows, 16);
   rows = std::bit_floor(rows);
   return std::min(rows, part_rows);
 }
 
+pass_stats last_pass_stats() { return g_last_stats; }
+
 void materialize(const std::vector<matrix_store::ptr>& targets, storage st) {
   // Structural validation (shape/orientation consistency, dangling nodes,
   // cycles) before any buffer is touched; no-op unless invariants are on.
   validate::check_dag(targets);
   dag_info dag = collect(targets);
+  // A no-op materialization (every target already materialized) keeps the
+  // previous stats: callers commonly read results back (to_smat and friends
+  // re-enter materialize) before inspecting last_pass_stats().
   if (dag.order.empty()) return;
+  g_stats_acc = {};
+  g_last_stats = {};
+
+  // Bracket the passes with global-counter snapshots so last_pass_stats()
+  // reports this materialization's I/O only. Runs even when a pass throws:
+  // a cancelled pass's partial stats are still meaningful to callers.
+  auto& ios = io_stats::global();
+  auto& aio = async_io::global();
+  const std::uint64_t rb0 = ios.read_bytes.load(std::memory_order_relaxed);
+  const std::uint64_t wb0 = ios.write_bytes.load(std::memory_order_relaxed);
+  aio.reset_throttle_hwm();
+  const auto th0 = aio.throttle_stats();
+  struct stats_finalizer {
+    io_stats& ios;
+    async_io& aio;
+    std::uint64_t rb0, wb0;
+    async_io::write_throttle_stats th0;
+    ~stats_finalizer() {
+      g_last_stats.passes = g_stats_acc.passes;
+      g_last_stats.sequential_passes = g_stats_acc.sequential_passes;
+      g_last_stats.read_bytes =
+          ios.read_bytes.load(std::memory_order_relaxed) - rb0;
+      g_last_stats.write_bytes =
+          ios.write_bytes.load(std::memory_order_relaxed) - wb0;
+      g_last_stats.read_wait_ns = g_stats_acc.read_wait_ns;
+      g_last_stats.reads_issued = g_stats_acc.reads_issued;
+      g_last_stats.occupancy_x100 =
+          g_stats_acc.pops == 0
+              ? 0
+              : g_stats_acc.occupancy_sum * 100 / g_stats_acc.pops;
+      const auto th1 = aio.throttle_stats();
+      g_last_stats.write_throttle_stalls = th1.stalls - th0.stalls;
+      g_last_stats.write_throttle_ns = th1.stall_ns - th0.stall_ns;
+      g_last_stats.write_inflight_hwm = th1.hwm_bytes;
+    }
+  } finalize{ios, aio, rb0, wb0, th0};
+
   switch (conf().mode) {
     case exec_mode::eager:
       run_eager(dag, st, targets);

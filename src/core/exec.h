@@ -18,6 +18,7 @@
 // default, giving the small memory footprint of Table 6).
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "common/config.h"
@@ -30,8 +31,32 @@ namespace flashr::exec {
 /// virtual_store has its result() set.
 void materialize(const std::vector<matrix_store::ptr>& targets, storage st);
 
+/// Per-materialize() I/O accounting, accumulated over every pass the call
+/// ran (eager mode runs one pass per node). Snapshot with last_pass_stats()
+/// right after materialize() returns; the next materialize() resets it.
+struct pass_stats {
+  std::size_t passes = 0;             ///< parallel passes executed
+  std::size_t sequential_passes = 0;  ///< of which forced sequential (cum)
+  std::uint64_t read_bytes = 0;       ///< EM bytes read by the passes
+  std::uint64_t write_bytes = 0;      ///< EM bytes written by the passes
+  std::uint64_t read_wait_ns = 0;     ///< worker time blocked on reads
+  std::size_t reads_issued = 0;       ///< async partition-leaf reads issued
+  /// Mean prefetch-window occupancy at claim time (completed + in-flight
+  /// partitions), in 1/100ths of a partition; 0 when no pipeline popped.
+  std::uint64_t occupancy_x100 = 0;
+  std::size_t write_throttle_stalls = 0;  ///< submit_write calls that blocked
+  std::uint64_t write_throttle_ns = 0;    ///< total write-throttle stall time
+  std::size_t write_inflight_hwm = 0;     ///< in-flight write bytes high-water
+};
+
+/// Stats of the most recent materialize() on this thread's engine (global,
+/// not thread-local: read it between materializations, not concurrently
+/// with one).
+pass_stats last_pass_stats();
+
 /// Rows per Pcache chunk for a DAG whose widest matrix has `max_ncol`
-/// columns (exposed for tests).
-std::size_t pcache_rows(std::size_t max_ncol, std::size_t part_rows);
+/// columns of `elem_bytes`-byte elements (exposed for tests).
+std::size_t pcache_rows(std::size_t max_ncol, std::size_t part_rows,
+                        std::size_t elem_bytes = 8);
 
 }  // namespace flashr::exec

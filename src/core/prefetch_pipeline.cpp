@@ -1,0 +1,207 @@
+#include "core/prefetch_pipeline.h"
+
+#include <chrono>
+#include <utility>
+
+namespace flashr::exec {
+
+namespace {
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace
+
+prefetch_pipeline::prefetch_pipeline(std::vector<const em_readable*> leaves,
+                                     part_source source, std::size_t depth,
+                                     bool sequential)
+    : leaves_(std::move(leaves)),
+      source_(std::move(source)),
+      depth_(depth),
+      sequential_(sequential),
+      st_(std::make_shared<pf_state>()) {
+  if (depth_ == 0) return;
+  // Prime the window: the first `depth` partition reads overlap with
+  // whatever setup the caller still has to do before workers start popping.
+  mutex_lock lock(st_->mtx);
+  refill(*st_);
+}
+
+prefetch_pipeline::~prefetch_pipeline() {
+  cancel();
+  settle();  // also drains window-held buffers back to the pool
+}
+
+void prefetch_pipeline::refill(pf_state& s) {
+  while (!s.cancelled && !s.source_done && s.window.size() < depth_) {
+    std::size_t part = 0;
+    if (!source_(part)) {
+      s.source_done = true;
+      s.cv.notify_all();
+      break;
+    }
+    auto fl = std::make_shared<pf_inflight>();
+    fl->part = part;
+    fl->remaining = leaves_.size();
+    for (const em_readable* leaf : leaves_)
+      fl->bufs.emplace(leaf, buffer_pool::global().get(leaf->geom().part_bytes(
+                                 part, leaf->type())));
+    s.window.push_back(fl);
+    if (leaves_.empty()) continue;  // nothing to read; claimable at once
+    s.outstanding_reads += leaves_.size();
+    s.st.reads_issued += leaves_.size();
+    // Submitting under the pipeline lock is safe: the I/O service takes its
+    // own mutex only briefly to enqueue, and completion callbacks run with
+    // no I/O-service lock held, so there is no lock-order cycle.
+    auto st = st_;
+    for (const em_readable* leaf : leaves_) {
+      leaf->read_part_notify(
+          part, fl->bufs.at(leaf).data(), [st, fl](std::exception_ptr err) {
+            mutex_lock cb_lock(st->mtx);
+            if (err && !fl->error) fl->error = err;
+            if (--fl->remaining == 0 && st->cancelled) {
+              // Last leaf of a cancelled partition: no read can touch these
+              // buffers any more. Release them under the lock, BEFORE the
+              // outstanding-reads decrement below can unblock settle(), so
+              // the pass's pool audit never observes them as leaked.
+              fl->bufs.clear();
+            }
+            --st->outstanding_reads;
+            st->cv.notify_all();
+          });
+    }
+  }
+}
+
+bool prefetch_pipeline::pop(slot& out) {
+  if (depth_ == 0) return pop_sync(out);
+  pf_state& s = *st_;
+  mutex_lock lock(s.mtx);
+  std::uint64_t waited_ns = 0;
+  for (;;) {
+    if (s.cancelled) throw pipeline_cancelled{};
+    // Claimable = all leaf reads landed. Sequential mode only ever claims
+    // the head, preserving strictly increasing dispatch order for cum
+    // carry chains; completion-order mode claims the first finished slot.
+    std::shared_ptr<pf_inflight> claimed;
+    if (!s.window.empty()) {
+      if (sequential_) {
+        if (s.window.front()->remaining == 0) {
+          claimed = s.window.front();
+          s.window.pop_front();
+        }
+      } else {
+        for (auto it = s.window.begin(); it != s.window.end(); ++it) {
+          if ((*it)->remaining == 0) {
+            claimed = *it;
+            s.window.erase(it);
+            break;
+          }
+        }
+      }
+    }
+    if (claimed) {
+      s.st.occupancy_sum += s.window.size() + 1;  // window as of this claim
+      ++s.st.pops;
+      s.st.read_wait_ns += waited_ns;
+      if (claimed->error) {
+        // Release the buffers here, under the lock, not via `claimed`'s
+        // destructor: a completion closure on an I/O thread may still hold
+        // a shared_ptr to this entry, and the pass's pool audit must not
+        // race its destruction. All reads landed (remaining == 0), so
+        // nothing can still write into them.
+        claimed->bufs.clear();
+        std::rethrow_exception(claimed->error);
+      }
+      refill(s);
+      out.part = claimed->part;
+      out.bufs = std::move(claimed->bufs);
+      return true;
+    }
+    if (s.window.empty() && s.source_done) {
+      s.st.read_wait_ns += waited_ns;
+      return false;
+    }
+    const std::uint64_t t0 = now_ns();
+    s.cv.wait(lock);
+    waited_ns += now_ns() - t0;
+  }
+}
+
+bool prefetch_pipeline::pop_sync(slot& out) {
+  // Depth 0: the pre-pipeline behavior (and the ablation baseline) — claim
+  // a partition, issue its reads, and wait for them right here.
+  pf_state& s = *st_;
+  std::size_t part = 0;
+  {
+    mutex_lock lock(s.mtx);
+    if (s.cancelled) throw pipeline_cancelled{};
+    if (s.source_done) return false;
+    if (!source_(part)) {
+      s.source_done = true;
+      return false;
+    }
+    s.st.reads_issued += leaves_.size();
+    ++s.st.pops;
+  }
+  out.part = part;
+  out.bufs.clear();
+  std::vector<std::future<void>> reads;
+  reads.reserve(leaves_.size());
+  for (const em_readable* leaf : leaves_) {
+    auto buf =
+        buffer_pool::global().get(leaf->geom().part_bytes(part, leaf->type()));
+    reads.push_back(leaf->read_part_async(part, buf.data()));
+    out.bufs.emplace(leaf, std::move(buf));
+  }
+  const std::uint64_t t0 = now_ns();
+  // Drain EVERY read before surfacing an error: a failed leaf must not free
+  // buffers a sibling read is still writing into.
+  std::exception_ptr err;
+  for (auto& f : reads) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!err) err = std::current_exception();
+    }
+  }
+  {
+    mutex_lock lock(s.mtx);
+    s.st.read_wait_ns += now_ns() - t0;
+  }
+  if (err) {
+    out.bufs.clear();  // all reads drained; safe to return to the pool
+    std::rethrow_exception(err);
+  }
+  return true;
+}
+
+void prefetch_pipeline::cancel() noexcept {
+  pf_state& s = *st_;
+  mutex_lock lock(s.mtx);
+  s.cancelled = true;
+  s.cv.notify_all();
+}
+
+void prefetch_pipeline::settle() noexcept {
+  pf_state& s = *st_;
+  mutex_lock lock(s.mtx);
+  while (s.outstanding_reads != 0) s.cv.wait(lock);
+  // Release window-held buffers here, on the settling thread, not in the
+  // pf_state destructor: completion closures hold shared_ptrs to st_ that
+  // the I/O threads drop asynchronously after their final notify, so st_
+  // can briefly outlive this object — but the pass's pool audit runs as
+  // soon as settle() returns. All reads have landed (outstanding == 0), so
+  // nothing can still write into these buffers.
+  for (auto& fl : s.window) fl->bufs.clear();
+  s.window.clear();
+}
+
+prefetch_pipeline::stats prefetch_pipeline::pipeline_stats() const {
+  mutex_lock lock(st_->mtx);
+  return st_->st;
+}
+
+}  // namespace flashr::exec

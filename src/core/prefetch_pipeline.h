@@ -1,0 +1,140 @@
+// Shared asynchronous partition prefetch pipeline (§3.2.1, §3.3).
+//
+// The paper's core performance claim is that SSD-backed execution approaches
+// in-memory speed because asynchronous I/O fully overlaps with compute. This
+// module is that overlap: one pipeline per pass (or per NUMA node) keeps a
+// window of `depth` partition reads in flight across the WHOLE pass, pulling
+// partition ids from a scheduler source and issuing completion-notified reads
+// for every external-memory leaf of the DAG. Workers pop *completed*
+// partitions:
+//
+//  * completion-order mode (default): pop() returns whichever windowed
+//    partition finished first, so one slow read never stalls a worker while
+//    later reads have already landed;
+//  * sequential mode (DAGs with cumulative ops): pop() returns partitions in
+//    strictly increasing dispatch order, preserving the carry-chain protocol
+//    of core/exec (a worker blocked on partition p's carry is guaranteed that
+//    p is owned by a peer);
+//  * depth 0 (the pre-pipeline behavior, kept for the ablation benchmark):
+//    pop() issues the reads on demand and waits for them synchronously.
+//
+// Every pop refills the window, so reads stay `depth` partitions ahead of
+// compute for the whole pass instead of overlapping only within one worker's
+// dispatch batch. Cancellation: cancel() stops refilling and wakes blocked
+// poppers with pipeline_cancelled; settle() blocks until no read is in
+// flight, after which destroying the pipeline provably returns every window
+// buffer to the pool (the zero-leak guarantee of the pass audit).
+//
+// Shared state lives in a shared_ptr'd block captured by the I/O completion
+// callbacks, so a callback can never touch a destroyed pipeline; all of it
+// is GUARDED_BY the block's mutex for the FLASHR_THREAD_SAFETY build.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/thread_safety.h"
+#include "matrix/em_store.h"
+#include "mem/buffer_pool.h"
+
+namespace flashr::exec {
+
+/// Thrown out of pop() when the pipeline was cancelled while (or before) a
+/// worker waited. Caught at the worker's top level, never escapes a pass.
+struct pipeline_cancelled {};
+
+class prefetch_pipeline {
+ public:
+  /// Pulls the next partition id to prefetch; returns false when the
+  /// schedule is exhausted. Called under the pipeline lock, so sources may
+  /// be plain scheduler wrappers.
+  using part_source = std::function<bool(std::size_t&)>;
+
+  /// A completed partition handed to a worker: the partition id and one
+  /// filled read buffer per EM leaf (empty when the DAG has no EM leaves).
+  struct slot {
+    std::size_t part = 0;
+    std::unordered_map<const em_readable*, pool_buffer> bufs;
+  };
+
+  /// Pipeline-side counters feeding exec::pass_stats.
+  struct stats {
+    std::uint64_t read_wait_ns = 0;    ///< worker time blocked in pop()
+    std::uint64_t occupancy_sum = 0;   ///< window size sampled at each pop
+    std::uint64_t pops = 0;            ///< completed partitions handed out
+    std::size_t reads_issued = 0;      ///< async partition reads submitted
+  };
+
+  /// `depth` is the maximum number of partitions with reads in flight or
+  /// completed-but-unclaimed; 0 selects the synchronous (no read-ahead)
+  /// path. `sequential` forces dispatch in source order. Reads for the
+  /// first `depth` partitions are issued before the constructor returns.
+  prefetch_pipeline(std::vector<const em_readable*> leaves,
+                    part_source source, std::size_t depth, bool sequential);
+  /// Cancels and settles; afterwards every window buffer is back in the
+  /// pool.
+  ~prefetch_pipeline();
+  prefetch_pipeline(const prefetch_pipeline&) = delete;
+  prefetch_pipeline& operator=(const prefetch_pipeline&) = delete;
+
+  /// Block until a completed partition is available and claim it. Returns
+  /// false when the source is exhausted and the window drained; throws
+  /// pipeline_cancelled after cancel(), and rethrows a partition's read
+  /// error to the claiming worker.
+  bool pop(slot& out);
+
+  /// Stop refilling and wake every blocked pop() with pipeline_cancelled.
+  /// Completed-but-unclaimed buffers are released when the pipeline is
+  /// destroyed (after settle()).
+  void cancel() noexcept;
+
+  /// Block until no read is in flight (their buffers are then safely
+  /// releasable). Cheap no-op on a drained pipeline.
+  void settle() noexcept;
+
+  bool sequential() const { return sequential_; }
+  stats pipeline_stats() const;
+
+ private:
+  /// One windowed partition: its read buffers, the count of its outstanding
+  /// leaf reads, and the first read error. Fields are protected by the
+  /// owning pf_state's mutex (shared_ptr-held, so unannotatable).
+  struct pf_inflight {
+    std::size_t part = 0;
+    std::unordered_map<const em_readable*, pool_buffer> bufs;
+    std::size_t remaining = 0;
+    std::exception_ptr error;
+  };
+
+  /// Shared queue state, co-owned by the I/O completion callbacks.
+  struct pf_state {
+    mutable mutex mtx;
+    cond_var cv;
+    /// Window in dispatch (source) order; completed slots may sit behind
+    /// still-reading ones in completion-order mode.
+    std::deque<std::shared_ptr<pf_inflight>> window GUARDED_BY(mtx);
+    bool cancelled GUARDED_BY(mtx) = false;
+    bool source_done GUARDED_BY(mtx) = false;
+    /// Leaf reads submitted and not yet notified; settle() waits on this.
+    std::size_t outstanding_reads GUARDED_BY(mtx) = 0;
+    stats st GUARDED_BY(mtx);
+  };
+
+  /// Issue reads until the window holds `depth_` partitions or the source
+  /// runs dry.
+  void refill(pf_state& s) REQUIRES(s.mtx);
+  bool pop_sync(slot& out);
+
+  std::vector<const em_readable*> leaves_;
+  part_source source_;
+  const std::size_t depth_;
+  const bool sequential_;
+  std::shared_ptr<pf_state> st_;
+};
+
+}  // namespace flashr::exec

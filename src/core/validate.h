@@ -1,0 +1,54 @@
+// Debug invariant validator for the engine core (common/check.h is the
+// switch; this module holds the validators).
+//
+//  * check_dag()  — structural validation of a DAG before materialization:
+//    arity and shape/orientation consistency along every edge, no dangling
+//    (null or consumed-sink) children, no cycles. Catches the lifecycle bugs
+//    lazy-evaluation engines accumulate — stale virtual nodes, mis-shaped
+//    rewrites — before they become wrong answers or crashes mid-pass.
+//  * audit_pool() — post-pass audit that every transient pool buffer came
+//    home (worker chunk buffers, EM read buffers, staged outputs, in-flight
+//    write requests).
+//  * pool_debug   — seams that deliberately violate the buffer-pool
+//    lifecycle so the death tests can prove each check fires (double
+//    return, refcount underflow, use-after-return-to-pool).
+//
+// All validators abort with a diagnostic on failure (programming error, not
+// an environmental one) and are no-ops unless flashr::invariants_enabled().
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "matrix/matrix_store.h"
+
+namespace flashr {
+
+class buffer_pool;
+
+namespace validate {
+
+/// Validate the DAG reachable from `targets`. No-op when invariants are
+/// disabled; aborts with a diagnostic naming the offending node otherwise.
+void check_dag(const std::vector<matrix_store::ptr>& targets);
+
+/// Assert the pool's outstanding-buffer count returned to `baseline_count`
+/// (captured after pass outputs were allocated). No-op when invariants are
+/// disabled.
+void audit_pool(const buffer_pool& pool, std::size_t baseline_count);
+
+}  // namespace validate
+
+/// Test seams seeding buffer-pool lifecycle violations; each aborts when the
+/// validator is enabled. Friend of buffer_pool (declared in its header).
+struct pool_debug {
+  /// Return the same buffer twice.
+  static void seed_double_return(buffer_pool& pool);
+  /// Return memory the pool never handed out.
+  static void seed_refcount_underflow(buffer_pool& pool);
+  /// Write through a stale pointer after the buffer returned to the pool,
+  /// then re-acquire it (trips the poison check).
+  static void seed_use_after_return(buffer_pool& pool);
+};
+
+}  // namespace flashr

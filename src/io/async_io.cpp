@@ -1,9 +1,20 @@
 #include "io/async_io.h"
 
+#include <chrono>
+
 #include "common/config.h"
 #include "common/error.h"
 
 namespace flashr {
+
+namespace {
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace
 
 async_io::async_io(int num_threads) {
   if (num_threads < 1) num_threads = 1;
@@ -44,9 +55,27 @@ std::future<void> async_io::submit_read(std::shared_ptr<const safs_file> file,
   return fut;
 }
 
+void async_io::submit_read_notify(std::shared_ptr<const safs_file> file,
+                                  std::size_t offset, std::size_t len,
+                                  char* buf, completion_fn done) {
+  request req;
+  req.rfile = std::move(file);
+  req.offset = offset;
+  req.len = len;
+  req.rbuf = buf;
+  req.notify = std::move(done);
+  req.is_write = false;
+  {
+    mutex_lock lock(mutex_);
+    enqueue_locked(std::move(req));
+  }
+  cv_.notify_one();
+}
+
 void async_io::submit_write(std::shared_ptr<safs_file> file,
                             std::size_t offset, std::size_t len,
                             pool_buffer buf) {
+  const std::size_t budget = conf().max_inflight_write_bytes;
   request req;
   req.wfile = std::move(file);
   req.offset = offset;
@@ -55,6 +84,22 @@ void async_io::submit_write(std::shared_ptr<safs_file> file,
   req.is_write = true;
   {
     mutex_lock lock(mutex_);
+    // Bounded write-behind: admit the write only when it fits the budget.
+    // An oversized write is admitted once nothing else is in flight, so the
+    // bound cannot deadlock; the effective high-water mark is then
+    // max(budget, largest single write).
+    if (budget != 0 && inflight_write_bytes_ != 0 &&
+        inflight_write_bytes_ + len > budget) {
+      ++throttle_stalls_;
+      const std::uint64_t t0 = now_ns();
+      while (inflight_write_bytes_ != 0 &&
+             inflight_write_bytes_ + len > budget)
+        cv_write_budget_.wait(lock);
+      throttle_stall_ns_ += now_ns() - t0;
+    }
+    inflight_write_bytes_ += len;
+    if (inflight_write_bytes_ > write_hwm_bytes_)
+      write_hwm_bytes_ = inflight_write_bytes_;
     enqueue_locked(std::move(req));
   }
   cv_.notify_one();
@@ -70,8 +115,25 @@ void async_io::drain_writes() {
   }
 }
 
-void async_io::complete_write_locked(std::exception_ptr err) {
+async_io::write_throttle_stats async_io::throttle_stats() const {
+  mutex_lock lock(mutex_);
+  write_throttle_stats s;
+  s.stalls = throttle_stalls_;
+  s.stall_ns = throttle_stall_ns_;
+  s.hwm_bytes = write_hwm_bytes_;
+  s.inflight_bytes = inflight_write_bytes_;
+  return s;
+}
+
+void async_io::reset_throttle_hwm() {
+  mutex_lock lock(mutex_);
+  write_hwm_bytes_ = inflight_write_bytes_;
+}
+
+void async_io::complete_write_locked(std::size_t len, std::exception_ptr err) {
   if (err && !write_error_) write_error_ = std::move(err);
+  inflight_write_bytes_ -= len;
+  cv_write_budget_.notify_all();
   if (--pending_writes_ == 0) cv_drained_.notify_all();
 }
 
@@ -101,15 +163,26 @@ void async_io::io_loop() {
       }
       req.wbuf.release();
       mutex_lock lock(mutex_);
-      complete_write_locked(std::move(err));
+      complete_write_locked(req.len, std::move(err));
     } else {
+      std::exception_ptr err;
       try {
         req.rfile->read(req.offset, req.len, req.rbuf);
         stats.read_ops.fetch_add(1, std::memory_order_relaxed);
         stats.read_bytes.fetch_add(req.len, std::memory_order_relaxed);
-        req.done.set_value();
       } catch (...) {
-        req.done.set_exception(std::current_exception());
+        err = std::current_exception();
+      }
+      if (req.notify) {
+        // Completion-order dispatch: hand the result to the prefetch
+        // pipeline on this thread, then drop the closure immediately so any
+        // buffers it references are not pinned past the notification.
+        completion_fn notify = std::move(req.notify);
+        notify(err);
+      } else if (err) {
+        req.done.set_exception(err);
+      } else {
+        req.done.set_value();
       }
     }
   }

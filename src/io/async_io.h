@@ -1,20 +1,30 @@
 // Asynchronous I/O service (§3.2.1, §3.3).
 //
-// FlashR reads I/O partitions asynchronously: the scheduler hands a worker a
-// batch of contiguous partitions, the worker issues one asynchronous read for
-// the batch and computes on partitions as they arrive; writes of materialized
-// partitions are likewise issued asynchronously so compute never stalls on
-// the SSDs. We implement this with a small pool of dedicated I/O threads
-// draining a FIFO of requests against safs_files. Reads complete a future the
-// compute thread waits on; writes carry their buffer's ownership and are
+// FlashR reads I/O partitions asynchronously: the executor's prefetch
+// pipeline keeps a window of partition reads in flight and computes on
+// partitions as they complete; writes of materialized partitions are likewise
+// issued asynchronously so compute never stalls on the SSDs. We implement
+// this with a small pool of dedicated I/O threads draining a FIFO of requests
+// against safs_files. Reads either complete a future the compute thread waits
+// on (synchronous consumers: import, tests, depth-0 mode) or invoke a
+// completion callback on the I/O thread (the prefetch pipeline's
+// completion-order dispatch); writes carry their buffer's ownership and are
 // tracked so a pass can drain them before finishing.
 //
-// The queue, the pending-write counter and the deferred write error are all
+// Write-behind is bounded: submit_write blocks once
+// conf().max_inflight_write_bytes of write data is queued or in flight, so a
+// compute phase that outruns the SSDs cannot exhaust the buffer pool. The
+// throttle keeps a high-water mark and stall counters (surfaced per pass via
+// exec::last_pass_stats) proving the bound holds.
+//
+// The queue, the write accounting and the deferred write error are all
 // GUARDED_BY(mutex_); the FLASHR_THREAD_SAFETY build proves no path touches
 // them unlocked.
 #pragma once
 
+#include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <thread>
@@ -28,6 +38,10 @@ namespace flashr {
 
 class async_io {
  public:
+  /// Invoked on an I/O thread when a notify-read completes; the argument is
+  /// null on success, the I/O error otherwise. Must not block on I/O.
+  using completion_fn = std::function<void(std::exception_ptr)>;
+
   explicit async_io(int num_threads);
   ~async_io();
   async_io(const async_io&) = delete;
@@ -40,9 +54,19 @@ class async_io {
                                 std::size_t offset, std::size_t len,
                                 char* buf);
 
+  /// Like submit_read, but instead of completing a future, `done` is invoked
+  /// on the I/O thread once the data landed (or the read failed). The caller
+  /// must keep `buf` alive until `done` runs.
+  void submit_read_notify(std::shared_ptr<const safs_file> file,
+                          std::size_t offset, std::size_t len, char* buf,
+                          completion_fn done);
+
   /// Write [offset, offset+len) of `file` from `buf`. Ownership of `buf`
   /// moves to the request; the buffer returns to its pool when the write
   /// completes. Errors are deferred and rethrown by the next drain().
+  /// Blocks while the in-flight write volume exceeds
+  /// conf().max_inflight_write_bytes (a single over-budget write is always
+  /// admitted once the queue is empty, so the bound never deadlocks).
   void submit_write(std::shared_ptr<safs_file> file, std::size_t offset,
                     std::size_t len, pool_buffer buf);
 
@@ -58,6 +82,18 @@ class async_io {
     return pending_writes_;
   }
 
+  /// Write-behind bound accounting (exec snapshots these around a pass).
+  struct write_throttle_stats {
+    std::size_t stalls = 0;         ///< submit_write calls that blocked
+    std::uint64_t stall_ns = 0;     ///< total time spent blocked
+    std::size_t hwm_bytes = 0;      ///< in-flight write bytes high-water mark
+    std::size_t inflight_bytes = 0; ///< current in-flight write bytes
+  };
+  write_throttle_stats throttle_stats() const;
+  /// Reset the high-water mark to the current in-flight volume (start of a
+  /// pass); stall counters are cumulative and diffed by the caller.
+  void reset_throttle_hwm();
+
   /// Service sized to conf().io_threads.
   static async_io& global();
 
@@ -70,22 +106,30 @@ class async_io {
     char* rbuf = nullptr;
     pool_buffer wbuf;
     std::promise<void> done;
+    completion_fn notify;
     bool is_write = false;
   };
 
   void io_loop();
   /// Enqueue one request. Lock-held core of the submit entry points.
   void enqueue_locked(request req) REQUIRES(mutex_);
-  /// Account one finished write: record its deferred error (first wins) and
-  /// wake drainers when the last write lands.
-  void complete_write_locked(std::exception_ptr err) REQUIRES(mutex_);
+  /// Account one finished write: record its deferred error (first wins),
+  /// release its byte budget and wake drainers/throttled submitters.
+  void complete_write_locked(std::size_t len, std::exception_ptr err)
+      REQUIRES(mutex_);
 
   std::vector<std::thread> threads_;
   mutable mutex mutex_;
   cond_var cv_;
   cond_var cv_drained_;
+  /// Signalled when in-flight write bytes drop (throttled submitters wait).
+  cond_var cv_write_budget_;
   std::deque<request> queue_ GUARDED_BY(mutex_);
   int pending_writes_ GUARDED_BY(mutex_) = 0;
+  std::size_t inflight_write_bytes_ GUARDED_BY(mutex_) = 0;
+  std::size_t write_hwm_bytes_ GUARDED_BY(mutex_) = 0;
+  std::size_t throttle_stalls_ GUARDED_BY(mutex_) = 0;
+  std::uint64_t throttle_stall_ns_ GUARDED_BY(mutex_) = 0;
   std::exception_ptr write_error_ GUARDED_BY(mutex_);
   bool stop_ GUARDED_BY(mutex_) = false;
 };

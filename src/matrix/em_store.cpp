@@ -8,6 +8,7 @@
 #include "common/config.h"
 #include "common/crc32.h"
 #include "common/error.h"
+#include "common/thread_safety.h"
 #include "io/async_io.h"
 
 namespace flashr {
@@ -87,6 +88,35 @@ std::future<void> em_store::read_part_async(std::size_t pidx,
                     });
 }
 
+void em_store::read_part_notify(std::size_t pidx, char* buf,
+                                read_callback done) const {
+  const std::size_t off = part_offset(pidx);
+  const std::size_t len = geom_.part_bytes(pidx, type_);
+  if (conf().io_checksum == checksum_policy::off ||
+      has_crc_[pidx].load(std::memory_order_acquire) == 0) {
+    async_io::global().submit_read_notify(file_, off, len, buf,
+                                          std::move(done));
+    return;
+  }
+  // Verify on the I/O thread before notifying, so completion-order
+  // consumers see exactly the same checksum guarantees as future waiters.
+  // A repair re-read is a direct synchronous pread, not a queued request,
+  // so running it here cannot deadlock the I/O service.
+  auto self = std::static_pointer_cast<const em_store>(shared_from_this());
+  async_io::global().submit_read_notify(
+      file_, off, len, buf,
+      [self, pidx, buf, done = std::move(done)](std::exception_ptr err) {
+        if (!err) {
+          try {
+            self->verify_part(pidx, buf);
+          } catch (...) {
+            err = std::current_exception();
+          }
+        }
+        done(err);
+      });
+}
+
 em_col_view::ptr em_col_view::create(std::shared_ptr<const em_store> base,
                                      std::vector<std::size_t> cols) {
   FLASHR_CHECK(!cols.empty(), "column view of nothing");
@@ -116,6 +146,40 @@ std::future<void> em_col_view::read_part_async(std::size_t pidx,
   return std::async(std::launch::deferred, [futures] {
     for (auto& f : *futures) f.get();
   });
+}
+
+void em_col_view::read_part_notify(std::size_t pidx, char* buf,
+                                   read_callback done) const {
+  // One notify-read per selected column (same layout as read_part_async);
+  // a shared join invokes `done` once the last column lands, first error
+  // wins.
+  struct join_state {
+    mutex mtx;
+    std::size_t remaining GUARDED_BY(mtx) = 0;
+    std::exception_ptr error GUARDED_BY(mtx);
+    read_callback done;
+  };
+  const std::size_t rows = geom_.rows_in_part(pidx);
+  const std::size_t col_bytes = rows * elem_size();
+  const std::size_t base_off = base_->part_offset(pidx);
+  const std::size_t base_rows = base_->geom().rows_in_part(pidx);
+  auto join = std::make_shared<join_state>();
+  join->remaining = cols_.size();
+  join->done = std::move(done);
+  for (std::size_t j = 0; j < cols_.size(); ++j)
+    async_io::global().submit_read_notify(
+        base_->file(), base_off + cols_[j] * base_rows * elem_size(),
+        col_bytes, buf + j * col_bytes, [join](std::exception_ptr err) {
+          bool last = false;
+          std::exception_ptr first;
+          {
+            mutex_lock lock(join->mtx);
+            if (err && !join->error) join->error = err;
+            last = --join->remaining == 0;
+            if (last) first = join->error;
+          }
+          if (last) join->done(first);
+        });
 }
 
 void em_store::write_part_async(std::size_t pidx, pool_buffer buf) {

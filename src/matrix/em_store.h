@@ -8,6 +8,7 @@
 #pragma once
 
 #include <atomic>
+#include <functional>
 #include <future>
 #include <vector>
 
@@ -24,11 +25,22 @@ class em_readable : public matrix_store {
  public:
   using matrix_store::matrix_store;
 
+  /// Completion callback for read_part_notify; runs on an I/O thread with a
+  /// null pointer on success, the I/O error otherwise.
+  using read_callback = std::function<void(std::exception_ptr)>;
+
   /// Asynchronously read partition `pidx` into `buf` (which must hold
   /// geom().part_bytes(pidx, type())). The future resolves when data is
   /// ready and rethrows I/O errors.
   virtual std::future<void> read_part_async(std::size_t pidx,
                                             char* buf) const = 0;
+
+  /// Completion-notified variant feeding the prefetch pipeline: `done` is
+  /// invoked on an I/O thread once the partition landed in `buf` (checksum
+  /// verification included), instead of a future the caller must poll. The
+  /// caller keeps `buf` alive until `done` runs.
+  virtual void read_part_notify(std::size_t pidx, char* buf,
+                                read_callback done) const = 0;
 
   /// Synchronous partition read (tests, import, host gathers).
   void read_part(std::size_t pidx, char* buf) const {
@@ -49,7 +61,12 @@ class em_store final : public em_readable {
   std::future<void> read_part_async(std::size_t pidx,
                                     char* buf) const override;
 
+  void read_part_notify(std::size_t pidx, char* buf,
+                        read_callback done) const override;
+
   /// Asynchronously write partition `pidx`, taking ownership of `buf`.
+  /// Submission is throttled by conf().max_inflight_write_bytes (bounded
+  /// write-behind; see io/async_io.h).
   void write_part_async(std::size_t pidx, pool_buffer buf);
 
   /// Synchronous partition write.
@@ -103,6 +120,9 @@ class em_col_view final : public em_readable {
 
   std::future<void> read_part_async(std::size_t pidx,
                                     char* buf) const override;
+
+  void read_part_notify(std::size_t pidx, char* buf,
+                        read_callback done) const override;
 
   const std::vector<std::size_t>& cols() const { return cols_; }
   const std::shared_ptr<const em_store>& base() const { return base_; }

@@ -1,0 +1,11 @@
+// Fixture: a prefetch-pipeline-style file issuing vectored/AIO reads
+// directly instead of going through the async_io service. The raw-io rule
+// must fire on every call below.
+#include <sys/uio.h>
+
+void prefetch_window_refill(int fd, iovec* iov, int n, long off) {
+  preadv(fd, iov, n, off);
+  pwritev(fd, iov, n, off);
+  readv(fd, iov, n);
+  writev(fd, iov, n);
+}

@@ -1,0 +1,27 @@
+// Fixture: a correctly annotated shared prefetch queue — flashr::mutex
+// member plus GUARDED_BY'd state. The mutex-ann rule must stay quiet.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+#include "common/thread_safety.h"
+
+namespace flashr {
+
+class clean_pipeline_queue {
+ public:
+  void push(std::size_t part) {
+    mutex_lock lock(mtx_);
+    window_.push_back(part);
+    cv_.notify_all();
+  }
+
+ private:
+  mutex mtx_;
+  cond_var cv_;
+  std::deque<std::size_t> window_ GUARDED_BY(mtx_);
+  std::size_t outstanding_ GUARDED_BY(mtx_) = 0;
+};
+
+}  // namespace flashr

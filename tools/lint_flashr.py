@@ -38,7 +38,10 @@ import sys
 SRC_EXTS = {".cpp", ".h", ".hpp", ".cc"}
 
 RAW_IO_RE = re.compile(
-    r"(?<![\w.>:])(?:open|pread|pwrite|pread64|pwrite64)\s*\("
+    r"(?<![\w.>:])(?:open|pread|pwrite|pread64|pwrite64"
+    r"|preadv|pwritev|preadv2|pwritev2|readv|writev"
+    r"|aio_read|aio_write|aio_suspend|io_submit|io_getevents|io_uring_\w+"
+    r")\s*\("
 )
 NAKED_NEW_RE = re.compile(r"\bnew\s+[A-Za-z_][\w:<>]*\s*\[")
 MALLOC_RE = re.compile(r"(?<![\w.>:])(?:malloc|calloc|realloc)\s*\(")
@@ -157,6 +160,7 @@ def self_test(root: pathlib.Path) -> int:
     fixtures = root / "tools" / "lint_fixtures"
     expect = {
         "bad_raw_io.cpp": "raw-io",
+        "bad_raw_io_pipeline.cpp": "raw-io",
         "bad_naked_new.cpp": "naked-new",
         "bad_mutex_member.h": "mutex-ann",
         "bad_unannotated_mutex.h": "mutex-ann",
@@ -176,6 +180,8 @@ def self_test(root: pathlib.Path) -> int:
     clean = fixtures / "clean_sample.cpp"
     got = lint_file(clean, "src/core/clean_sample.cpp")
     got += lint_file(fixtures / "clean_header.h", "src/core/clean_header.h")
+    got += lint_file(fixtures / "clean_pipeline_queue.h",
+                     "src/core/clean_pipeline_queue.h")
     if got:
         print("SELF-TEST FAIL: clean fixtures produced violations:")
         for v in got:
