@@ -65,6 +65,7 @@ int main() {
   bench_data em = make_data(n, storage::ext_mem);
 
   std::vector<series_row> rows;
+  bench_json out("fig7");
   for (const bench_algo& algo : benchmark_algorithms()) {
     const std::size_t an = static_cast<std::size_t>(
         static_cast<double>(n) * algo.n_scale);
@@ -100,9 +101,16 @@ int main() {
                     {1.0, t_em / t_im, t_rs / t_im}});
     std::printf("  %-12s IM %.2fs  EM %.2fs  rowstream %.2fs\n",
                 algo.name.c_str(), t_im, t_em, t_rs);
+    out.rec()
+        .kv("algo", algo.name)
+        .kv("n", an)
+        .kv("im_seconds", t_im)
+        .kv("em_seconds", t_em)
+        .kv("rowstream_seconds", t_rs);
   }
   print_table({"FlashR-IM", "FlashR-EM", "rowstream"}, rows, "%10.2f");
   std::printf("\nExpected shape (paper): FlashR-EM <= ~2x FlashR-IM; "
               "per-op engine 3-20x slower than FlashR-IM.\n");
+  out.write();
   return 0;
 }

@@ -29,16 +29,22 @@ int main() {
   };
 
   std::vector<series_row> rows;
+  bench_json out("microops");
   for (exec_mode m :
        {exec_mode::eager, exec_mode::mem_fuse, exec_mode::cache_fuse}) {
     set_mode(m);
     const double t1 = time_once(one_op);
     const double t6 = time_once(chain);
     rows.push_back({exec_mode_name(m), {gb / t1, gb / t6}});
+    out.rec()
+        .kv("mode", exec_mode_name(m))
+        .kv("one_op_gbps", gb / t1)
+        .kv("chain_gbps", gb / t6);
   }
   set_mode(exec_mode::cache_fuse);
   print_table({"1 op", "6-op chain"}, rows, "%10.2f");
   std::printf("\nExpected shape: the fused modes hold their throughput on "
               "the chain; eager divides it by the chain length.\n");
+  out.write();
   return 0;
 }

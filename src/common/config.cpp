@@ -3,10 +3,14 @@
 #include <sys/stat.h>
 
 #include <bit>
+#include <cstdlib>
 #include <mutex>
+#include <string_view>
 
 #include "common/error.h"
 #include "common/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace flashr {
 
@@ -56,7 +60,20 @@ void options::validate() const {
                    valid_prob(fault_short_prob),
                "fault probabilities must be in [0, 1]");
   FLASHR_CHECK(fault_latency_us >= 0, "fault_latency_us must be >= 0");
+  FLASHR_CHECK(obs_ring_events >= 16 && std::has_single_bit(obs_ring_events),
+               "obs_ring_events must be a power of two >= 16");
 }
+
+namespace {
+
+/// Flush the configured trace file when the process exits with tracing on
+/// (registered once, on the first init() that arms a trace path).
+void write_trace_at_exit() {
+  if (obs::trace_on() && !conf().obs_trace_path.empty())
+    obs::write_trace(conf().obs_trace_path);
+}
+
+}  // namespace
 
 void init(const options& opts) {
   opts.validate();
@@ -64,6 +81,22 @@ void init(const options& opts) {
   g_options = opts;
   if (g_options.num_threads <= 0) g_options.num_threads = 1;
   ::mkdir(g_options.em_dir.c_str(), 0755);
+  // FLASHR_TRACE=1 turns tracing on; any other non-"0" value is also the
+  // output path, flushed automatically at exit.
+  if (const char* env = std::getenv("FLASHR_TRACE");
+      env != nullptr && *env != '\0' && std::string_view(env) != "0") {
+    g_options.obs_trace = true;
+    if (std::string_view(env) != "1") g_options.obs_trace_path = env;
+  }
+  obs::set_trace_enabled(g_options.obs_trace);
+  obs::set_metrics_enabled(g_options.obs_metrics);
+  if (g_options.obs_trace && !g_options.obs_trace_path.empty()) {
+    static const bool registered = [] {
+      std::atexit(write_trace_at_exit);
+      return true;
+    }();
+    (void)registered;
+  }
   g_initialized = true;
   FLASHR_DEBUG("initialized: threads=%d io_threads=%d part_rows=%zu mode=%s",
                g_options.num_threads, g_options.io_threads,

@@ -116,6 +116,23 @@ struct options {
   /// A finite budget makes transient-fault tests exact: retries == budget.
   std::size_t fault_max_faults = 0;
 
+  // --- Observability (src/obs/) --------------------------------------------
+  /// Collect trace events in the per-thread rings (obs/trace.h). Also
+  /// enabled by a non-empty, non-"0" FLASHR_TRACE environment variable at
+  /// init(); off costs one relaxed load per instrumentation site.
+  bool obs_trace = false;
+  /// Record the extended obs histograms (read latency, partition service
+  /// time, kernel time per GenOp, window occupancy) into the metrics
+  /// registry (obs/metrics.h). Legacy io_stats/pass_stats always accumulate.
+  bool obs_metrics = false;
+  /// Trace ring capacity per thread, in events (32 bytes each); must be a
+  /// power of two. When a ring fills, the oldest events are overwritten and
+  /// counted as dropped.
+  std::size_t obs_ring_events = std::size_t{1} << 16;
+  /// When non-empty, write the trace here automatically at process exit.
+  /// FLASHR_TRACE=<path> (any value other than "0"/"1") sets this too.
+  std::string obs_trace_path;
+
   void validate() const;
 };
 

@@ -1,10 +1,27 @@
 // Wall-clock timing utilities used by the benchmark harness and the engine's
 // internal statistics.
+//
+// This header (and src/obs/) is the only place the engine may read the raw
+// clock — the lint rule `raw-clock` (tools/lint_flashr.py) enforces it, so
+// every timestamp in statistics, traces and logs comes off one steady
+// timeline.
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 
 namespace flashr {
+
+/// Steady-clock nanoseconds since an arbitrary (per-process) epoch. The
+/// engine's single time source: trace events, latency histograms and stall
+/// counters all share this timeline, so durations computed across subsystems
+/// are comparable.
+inline std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 class timer {
  public:

@@ -10,6 +10,7 @@
 #include "matrix/generated_store.h"
 #include "matrix/mem_store.h"
 #include "mem/buffer_pool.h"
+#include "obs/explain.h"
 
 namespace flashr {
 
@@ -255,6 +256,14 @@ double dense_matrix::at(std::size_t i, std::size_t j) const {
     return static_cast<mem_store*>(s.get())->get_d(i, j);
   // EM / generated: go through a host gather of the one partition.
   return store_to_smat(s)(i, j);
+}
+
+std::string dense_matrix::explain() const {
+  return obs::explain_json({store_});
+}
+
+std::string dense_matrix::explain_dot() const {
+  return obs::explain_dot({store_});
 }
 
 // ---- GenOps -------------------------------------------------------------------

@@ -95,6 +95,12 @@ class dense_matrix {
   /// (respect transposition).
   double at(std::size_t i, std::size_t j) const;
 
+  /// Dump the pending lazy DAG beneath this handle — node kinds, shapes,
+  /// element types and the execution plan under the current conf().mode —
+  /// without materializing anything (obs/explain.h). JSON and Graphviz dot.
+  std::string explain() const;
+  std::string explain_dot() const;
+
  private:
   matrix_store::ptr store_;
   bool transposed_ = false;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <bit>
+#include <cinttypes>
+#include <cstdio>
 #include <cstring>
 #include <future>
 #include <optional>
@@ -12,6 +14,7 @@
 #include "common/error.h"
 #include "common/log.h"
 #include "common/thread_safety.h"
+#include "common/timer.h"
 #include "core/kernels.h"
 #include "core/prefetch_pipeline.h"
 #include "core/validate.h"
@@ -21,6 +24,8 @@
 #include "matrix/generated_store.h"
 #include "matrix/mem_store.h"
 #include "mem/numa.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "parallel/scheduler.h"
 #include "parallel/thread_pool.h"
 
@@ -397,7 +402,7 @@ class pass_runner {
 
 /// Accumulates pipeline/pass counters across the passes of one
 /// materialize() call (eager mode runs several). Written between passes on
-/// the driver thread only; exposed via last_pass_stats().
+/// the driver thread only (materialize() itself is single-entry per engine).
 struct pass_stats_acc {
   std::size_t passes = 0;
   std::size_t sequential_passes = 0;
@@ -407,7 +412,55 @@ struct pass_stats_acc {
   std::size_t reads_issued = 0;
 };
 pass_stats_acc g_stats_acc;
-pass_stats g_last_stats;
+/// Snapshot published by the last materialize(); guarded so a monitoring
+/// thread (or an obs probe) can read it concurrently with a running pass.
+mutex g_stats_mutex;
+pass_stats g_last_stats GUARDED_BY(g_stats_mutex);
+
+/// Per-GenOp-kind kernel-time histograms, resolved once so the hot path
+/// costs an array index instead of a registry lookup.
+obs::histogram& kernel_hist(node_kind k) {
+  static constexpr int kKinds =
+      static_cast<int>(node_kind::s_count_groups) + 1;
+  static obs::histogram* const* hists = [] {
+    static obs::histogram* a[kKinds];
+    for (int i = 0; i < kKinds; ++i)
+      a[i] = &obs::metrics_registry::global().get_histogram(
+          std::string("kernel.") +
+          node_kind_name(static_cast<node_kind>(i)) + ".ns");
+    return a;
+  }();
+  return *hists[static_cast<int>(k)];
+}
+
+obs::histogram& partition_service_hist() {
+  static obs::histogram& h = obs::metrics_registry::global().get_histogram(
+      "pass.partition_service_us");
+  return h;
+}
+
+/// Expose every pass_stats field through the metrics registry as probes:
+/// g_last_stats stays the single source of truth and the registry reads it
+/// under the same mutex last_pass_stats() uses.
+void register_pass_probes() {
+  auto& reg = obs::metrics_registry::global();
+  auto probe = [&reg](const char* name, auto pass_stats::*field) {
+    reg.register_probe(name, [field] {
+      mutex_lock lock(g_stats_mutex);
+      return static_cast<std::uint64_t>(g_last_stats.*field);
+    });
+  };
+  probe("pass.passes", &pass_stats::passes);
+  probe("pass.sequential_passes", &pass_stats::sequential_passes);
+  probe("pass.read_bytes", &pass_stats::read_bytes);
+  probe("pass.write_bytes", &pass_stats::write_bytes);
+  probe("pass.read_wait_ns", &pass_stats::read_wait_ns);
+  probe("pass.reads_issued", &pass_stats::reads_issued);
+  probe("pass.occupancy_x100", &pass_stats::occupancy_x100);
+  probe("pass.write_throttle_stalls", &pass_stats::write_throttle_stalls);
+  probe("pass.write_throttle_ns", &pass_stats::write_throttle_ns);
+  probe("pass.write_inflight_hwm", &pass_stats::write_inflight_hwm);
+}
 
 void pass_runner::allocate_outputs() {
   for (virtual_store* v : dag_.tall_outputs) {
@@ -528,6 +581,7 @@ void pass_runner::pipeline_worker(thread_ctx& ctx) {
 }
 
 void pass_runner::run() {
+  OBS_SPAN_ARG("pass", dag_.order.size());
   thread_pool& pool = thread_pool::global();
   build_pipelines();
   ++g_stats_acc.passes;
@@ -603,6 +657,8 @@ void pass_runner::run() {
 }
 
 void pass_runner::process_partition(thread_ctx& ctx) {
+  OBS_SPAN_ARG("partition", ctx.part);
+  const std::uint64_t svc0 = obs::metrics_on() ? now_ns() : 0;
   // A peer may have failed while this worker was between partitions; bail
   // before fetching carries so we never block on a cancelled cum chain.
   if (cancelled()) throw pass_cancelled{};
@@ -655,6 +711,7 @@ void pass_runner::process_partition(thread_ctx& ctx) {
 
   FLASHR_DCHECK(ctx.out_stage.empty(),
                 "staged output buffer survived its partition");
+  if (svc0 != 0) partition_service_hist().record((now_ns() - svc0) / 1000);
 }
 
 kern::view pass_runner::leaf_view(thread_ctx& ctx, const matrix_store* leaf) {
@@ -741,6 +798,11 @@ void pass_runner::eval_virtual(thread_ctx& ctx, virtual_store* v,
   in.reserve(ch.size());
   for (const auto& c : ch) in.push_back(ensure(ctx, c).v);
 
+  // Kernel execution: node_kind_name() returns a string literal, which
+  // satisfies the span's static-storage requirement.
+  obs::span kernel_span(node_kind_name(op.kind), rows);
+  const std::uint64_t k0 = obs::metrics_on() ? now_ns() : 0;
+
   out.owned = buffer_pool::global().get(rows * cols * v->elem_size());
   ++ctx.live_owned;
   char* o = out.owned.data();
@@ -813,11 +875,13 @@ void pass_runner::eval_virtual(thread_ctx& ctx, virtual_store* v,
       FLASHR_ASSERT(false, "sink evaluated as aligned node");
   }
 
+  if (k0 != 0) kernel_hist(op.kind).record(now_ns() - k0);
   out.v = kern::view{o, ostride};
   for (const auto& c : ch) unref(ctx, c);
 }
 
 void pass_runner::process_chunk(thread_ctx& ctx) {
+  OBS_SPAN_ARG("chunk", ctx.chunk_row0);
   ++ctx.gen;
   // Tall outputs: evaluate and copy the chunk into the partition store.
   for (std::size_t i = 0; i < dag_.tall_outputs.size(); ++i) {
@@ -981,9 +1045,33 @@ std::size_t pcache_rows(std::size_t max_ncol, std::size_t part_rows,
   return std::min(rows, part_rows);
 }
 
-pass_stats last_pass_stats() { return g_last_stats; }
+pass_stats last_pass_stats() {
+  mutex_lock lock(g_stats_mutex);
+  return g_last_stats;
+}
+
+std::string pass_stats::to_json() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"passes\": %zu, \"sequential_passes\": %zu, \"read_bytes\": %" PRIu64
+      ", \"write_bytes\": %" PRIu64 ", \"read_wait_ns\": %" PRIu64
+      ", \"reads_issued\": %zu, \"occupancy_x100\": %" PRIu64
+      ", \"write_throttle_stalls\": %zu, \"write_throttle_ns\": %" PRIu64
+      ", \"write_inflight_hwm\": %zu}",
+      passes, sequential_passes, read_bytes, write_bytes, read_wait_ns,
+      reads_issued, occupancy_x100, write_throttle_stalls, write_throttle_ns,
+      write_inflight_hwm);
+  return buf;
+}
 
 void materialize(const std::vector<matrix_store::ptr>& targets, storage st) {
+  OBS_SPAN_ARG("materialize", targets.size());
+  static const bool probes_registered = [] {
+    register_pass_probes();
+    return true;
+  }();
+  (void)probes_registered;
   // Structural validation (shape/orientation consistency, dangling nodes,
   // cycles) before any buffer is touched; no-op unless invariants are on.
   validate::check_dag(targets);
@@ -993,7 +1081,10 @@ void materialize(const std::vector<matrix_store::ptr>& targets, storage st) {
   // re-enter materialize) before inspecting last_pass_stats().
   if (dag.order.empty()) return;
   g_stats_acc = {};
-  g_last_stats = {};
+  {
+    mutex_lock lock(g_stats_mutex);
+    g_last_stats = {};
+  }
 
   // Bracket the passes with global-counter snapshots so last_pass_stats()
   // reports this materialization's I/O only. Runs even when a pass throws:
@@ -1010,22 +1101,25 @@ void materialize(const std::vector<matrix_store::ptr>& targets, storage st) {
     std::uint64_t rb0, wb0;
     async_io::write_throttle_stats th0;
     ~stats_finalizer() {
-      g_last_stats.passes = g_stats_acc.passes;
-      g_last_stats.sequential_passes = g_stats_acc.sequential_passes;
-      g_last_stats.read_bytes =
-          ios.read_bytes.load(std::memory_order_relaxed) - rb0;
-      g_last_stats.write_bytes =
-          ios.write_bytes.load(std::memory_order_relaxed) - wb0;
-      g_last_stats.read_wait_ns = g_stats_acc.read_wait_ns;
-      g_last_stats.reads_issued = g_stats_acc.reads_issued;
-      g_last_stats.occupancy_x100 =
+      // Build the snapshot off-lock, publish it in one assignment so a
+      // concurrent last_pass_stats() never sees a half-written struct.
+      pass_stats s;
+      s.passes = g_stats_acc.passes;
+      s.sequential_passes = g_stats_acc.sequential_passes;
+      s.read_bytes = ios.read_bytes.load(std::memory_order_relaxed) - rb0;
+      s.write_bytes = ios.write_bytes.load(std::memory_order_relaxed) - wb0;
+      s.read_wait_ns = g_stats_acc.read_wait_ns;
+      s.reads_issued = g_stats_acc.reads_issued;
+      s.occupancy_x100 =
           g_stats_acc.pops == 0
               ? 0
               : g_stats_acc.occupancy_sum * 100 / g_stats_acc.pops;
       const auto th1 = aio.throttle_stats();
-      g_last_stats.write_throttle_stalls = th1.stalls - th0.stalls;
-      g_last_stats.write_throttle_ns = th1.stall_ns - th0.stall_ns;
-      g_last_stats.write_inflight_hwm = th1.hwm_bytes;
+      s.write_throttle_stalls = th1.stalls - th0.stalls;
+      s.write_throttle_ns = th1.stall_ns - th0.stall_ns;
+      s.write_inflight_hwm = th1.hwm_bytes;
+      mutex_lock lock(g_stats_mutex);
+      g_last_stats = s;
     }
   } finalize{ios, aio, rb0, wb0, th0};
 

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/config.h"
@@ -47,11 +48,16 @@ struct pass_stats {
   std::size_t write_throttle_stalls = 0;  ///< submit_write calls that blocked
   std::uint64_t write_throttle_ns = 0;    ///< total write-throttle stall time
   std::size_t write_inflight_hwm = 0;     ///< in-flight write bytes high-water
+
+  /// One flat JSON object with every field (benchmark output embeds this).
+  std::string to_json() const;
 };
 
-/// Stats of the most recent materialize() on this thread's engine (global,
-/// not thread-local: read it between materializations, not concurrently
-/// with one).
+/// Stats of the most recent materialize() (global, not thread-local). Safe
+/// to call from any thread at any time: the snapshot is taken under a lock,
+/// so a call concurrent with a running materialize() returns a coherent
+/// copy — either the previous materialization's stats or the new ones,
+/// never a mix.
 pass_stats last_pass_stats();
 
 /// Rows per Pcache chunk for a DAG whose widest matrix has `max_ncol`

@@ -1,16 +1,18 @@
 #include "core/prefetch_pipeline.h"
 
-#include <chrono>
 #include <utility>
+
+#include "common/timer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace flashr::exec {
 
 namespace {
-std::uint64_t now_ns() {
-  return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
+obs::histogram& occupancy_hist() {
+  static obs::histogram& h = obs::metrics_registry::global().get_histogram(
+      "prefetch.window_occupancy");
+  return h;
 }
 }  // namespace
 
@@ -50,6 +52,7 @@ void prefetch_pipeline::refill(pf_state& s) {
                                  part, leaf->type())));
     s.window.push_back(fl);
     if (leaves_.empty()) continue;  // nothing to read; claimable at once
+    OBS_INSTANT("prefetch.issue", part);
     s.outstanding_reads += leaves_.size();
     s.st.reads_issued += leaves_.size();
     // Submitting under the pipeline lock is safe: the I/O service takes its
@@ -77,6 +80,7 @@ void prefetch_pipeline::refill(pf_state& s) {
 
 bool prefetch_pipeline::pop(slot& out) {
   if (depth_ == 0) return pop_sync(out);
+  OBS_SPAN("prefetch.pop");
   pf_state& s = *st_;
   mutex_lock lock(s.mtx);
   std::uint64_t waited_ns = 0;
@@ -104,6 +108,7 @@ bool prefetch_pipeline::pop(slot& out) {
     }
     if (claimed) {
       s.st.occupancy_sum += s.window.size() + 1;  // window as of this claim
+      if (obs::metrics_on()) occupancy_hist().record(s.window.size() + 1);
       ++s.st.pops;
       s.st.read_wait_ns += waited_ns;
       if (claimed->error) {

@@ -1,18 +1,30 @@
 #include "io/async_io.h"
 
-#include <chrono>
+#include <cstdio>
 
 #include "common/config.h"
 #include "common/error.h"
+#include "common/timer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace flashr {
 
 namespace {
-std::uint64_t now_ns() {
-  return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
+obs::histogram& read_hist() {
+  static obs::histogram& h =
+      obs::metrics_registry::global().get_histogram("io.read_us");
+  return h;
+}
+obs::histogram& write_hist() {
+  static obs::histogram& h =
+      obs::metrics_registry::global().get_histogram("io.write_us");
+  return h;
+}
+obs::histogram& throttle_hist() {
+  static obs::histogram& h =
+      obs::metrics_registry::global().get_histogram("io.write_throttle_us");
+  return h;
 }
 }  // namespace
 
@@ -20,7 +32,12 @@ async_io::async_io(int num_threads) {
   if (num_threads < 1) num_threads = 1;
   threads_.reserve(static_cast<std::size_t>(num_threads));
   for (int i = 0; i < num_threads; ++i)
-    threads_.emplace_back([this] { io_loop(); });
+    threads_.emplace_back([this, i] {
+      char name[16];
+      std::snprintf(name, sizeof(name), "io-%d", i);
+      obs::set_thread_name(name);
+      io_loop();
+    });
 }
 
 async_io::~async_io() {
@@ -90,12 +107,15 @@ void async_io::submit_write(std::shared_ptr<safs_file> file,
     // max(budget, largest single write).
     if (budget != 0 && inflight_write_bytes_ != 0 &&
         inflight_write_bytes_ + len > budget) {
+      OBS_SPAN_ARG("io.write_throttle", len);
       ++throttle_stalls_;
       const std::uint64_t t0 = now_ns();
       while (inflight_write_bytes_ != 0 &&
              inflight_write_bytes_ + len > budget)
         cv_write_budget_.wait(lock);
-      throttle_stall_ns_ += now_ns() - t0;
+      const std::uint64_t stalled = now_ns() - t0;
+      throttle_stall_ns_ += stalled;
+      if (obs::metrics_on()) throttle_hist().record(stalled / 1000);
     }
     inflight_write_bytes_ += len;
     if (inflight_write_bytes_ > write_hwm_bytes_)
@@ -154,24 +174,34 @@ void async_io::io_loop() {
     auto& stats = io_stats::global();
     if (req.is_write) {
       std::exception_ptr err;
-      try {
-        req.wfile->write(req.offset, req.len, req.wbuf.data());
-        stats.write_ops.fetch_add(1, std::memory_order_relaxed);
-        stats.write_bytes.fetch_add(req.len, std::memory_order_relaxed);
-      } catch (...) {
-        err = std::current_exception();
+      {
+        OBS_SPAN_ARG("io.write", req.len);
+        const std::uint64_t t0 = obs::metrics_on() ? now_ns() : 0;
+        try {
+          req.wfile->write(req.offset, req.len, req.wbuf.data());
+          stats.write_ops.fetch_add(1, std::memory_order_relaxed);
+          stats.write_bytes.fetch_add(req.len, std::memory_order_relaxed);
+        } catch (...) {
+          err = std::current_exception();
+        }
+        if (t0 != 0) write_hist().record((now_ns() - t0) / 1000);
       }
       req.wbuf.release();
       mutex_lock lock(mutex_);
       complete_write_locked(req.len, std::move(err));
     } else {
       std::exception_ptr err;
-      try {
-        req.rfile->read(req.offset, req.len, req.rbuf);
-        stats.read_ops.fetch_add(1, std::memory_order_relaxed);
-        stats.read_bytes.fetch_add(req.len, std::memory_order_relaxed);
-      } catch (...) {
-        err = std::current_exception();
+      {
+        OBS_SPAN_ARG("io.read", req.len);
+        const std::uint64_t t0 = obs::metrics_on() ? now_ns() : 0;
+        try {
+          req.rfile->read(req.offset, req.len, req.rbuf);
+          stats.read_ops.fetch_add(1, std::memory_order_relaxed);
+          stats.read_bytes.fetch_add(req.len, std::memory_order_relaxed);
+        } catch (...) {
+          err = std::current_exception();
+        }
+        if (t0 != 0) read_hist().record((now_ns() - t0) / 1000);
       }
       if (req.notify) {
         // Completion-order dispatch: hand the result to the prefetch

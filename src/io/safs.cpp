@@ -12,12 +12,35 @@
 #include "common/error.h"
 #include "common/log.h"
 #include "common/rng.h"
+#include "common/timer.h"
 #include "io/fault.h"
+#include "obs/metrics.h"
 
 namespace flashr {
 
 io_stats& io_stats::global() {
   static io_stats stats;
+  // Expose every field through the obs metrics registry as read-through
+  // probes: these atomics stay the single source of truth.
+  static const bool probes_registered = [] {
+    auto& reg = obs::metrics_registry::global();
+    auto probe = [&reg](const char* name,
+                        const std::atomic<std::size_t>& field) {
+      reg.register_probe(name, [f = &field] {
+        return static_cast<std::uint64_t>(f->load(std::memory_order_relaxed));
+      });
+    };
+    probe("io.read_ops", stats.read_ops);
+    probe("io.read_bytes", stats.read_bytes);
+    probe("io.write_ops", stats.write_ops);
+    probe("io.write_bytes", stats.write_bytes);
+    probe("io.retries", stats.retries);
+    probe("io.injected_faults", stats.injected_faults);
+    probe("io.checksum_failures", stats.checksum_failures);
+    probe("io.checksum_repairs", stats.checksum_repairs);
+    return true;
+  }();
+  (void)probes_registered;
   return stats;
 }
 
@@ -271,9 +294,7 @@ std::uint32_t safs_file::read_checksum(std::size_t slot) const {
 void io_throttle::acquire(std::size_t bytes) {
   const double mbps = conf().io_throttle_mbps;
   if (mbps <= 0.0 || bytes == 0) return;
-  const auto now = std::chrono::steady_clock::now().time_since_epoch();
-  const std::int64_t now_ns =
-      std::chrono::duration_cast<std::chrono::nanoseconds>(now).count();
+  const std::int64_t now_ns = static_cast<std::int64_t>(flashr::now_ns());
   const std::int64_t cost_ns = static_cast<std::int64_t>(
       static_cast<double>(bytes) / (mbps * 1e6) * 1e9);
   // Reserve a slot on the shared timeline, then sleep until it arrives.

@@ -1,0 +1,223 @@
+#include "obs/explain.h"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <unordered_map>
+
+#include "common/config.h"
+#include "core/exec.h"
+#include "core/virtual_store.h"
+
+namespace flashr::obs {
+
+namespace {
+
+/// Follow a virtual store to its materialized result (mirrors exec's
+/// resolve: one level of indirection suffices because results are physical).
+const matrix_store* resolve(const matrix_store* s) {
+  if (s->kind() == store_kind::virt) {
+    auto* v = static_cast<const virtual_store*>(s);
+    if (auto r = v->result()) return resolve(r.get());
+  }
+  return s;
+}
+
+const char* store_kind_label(const matrix_store* s) {
+  switch (s->kind()) {
+    case store_kind::mem: return "mem";
+    case store_kind::ext: return "em";
+    case store_kind::generated: return "generated";
+    case store_kind::virt: return "virtual";
+  }
+  return "?";
+}
+
+struct explain_graph {
+  /// Nodes in DFS children-first discovery order; ids are indices.
+  std::vector<const matrix_store*> nodes;
+  std::unordered_map<const matrix_store*, int> ids;
+  std::vector<std::vector<int>> children;  // parallel to nodes
+  std::vector<int> targets;
+  /// Pending virtual node ids in topological (children-first) order.
+  std::vector<int> pending;
+  std::size_t max_ncol = 1;
+  std::size_t max_elem = 1;
+  std::size_t part_rows = 0;
+  bool has_cum = false;
+};
+
+/// Sinks have their own (small) geometry; the shared partition space comes
+/// from any non-sink node.
+bool is_sink_store(const matrix_store* s) {
+  return s->kind() == store_kind::virt &&
+         static_cast<const virtual_store*>(s)->is_sink_node();
+}
+
+int visit(explain_graph& g, const matrix_store* s) {
+  const matrix_store* r = resolve(s);
+  if (auto it = g.ids.find(r); it != g.ids.end()) return it->second;
+  std::vector<int> kids;
+  if (r->kind() == store_kind::virt) {
+    auto* v = static_cast<const virtual_store*>(r);
+    for (const auto& c : v->children()) kids.push_back(visit(g, c.get()));
+  }
+  const int id = static_cast<int>(g.nodes.size());
+  g.ids.emplace(r, id);
+  g.nodes.push_back(r);
+  g.children.push_back(std::move(kids));
+  if (r->kind() == store_kind::virt) {
+    auto* v = static_cast<const virtual_store*>(r);
+    g.pending.push_back(id);
+    if (v->op().kind == node_kind::cum_col) g.has_cum = true;
+  }
+  g.max_ncol = std::max(g.max_ncol, r->ncol());
+  g.max_elem = std::max(g.max_elem, r->elem_size());
+  if (g.part_rows == 0 && !static_cast<bool>(is_sink_store(r)))
+    g.part_rows = r->geom().part_rows;
+  return id;
+}
+
+explain_graph build(const std::vector<matrix_store::ptr>& targets) {
+  explain_graph g;
+  for (const auto& t : targets) {
+    if (!t) continue;
+    g.targets.push_back(visit(g, t.get()));
+  }
+  return g;
+}
+
+void append(std::string& out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+void append(std::string& out, const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  out += buf;
+}
+
+/// The element functions that are meaningful for this GenOp kind (the rest
+/// of the genop struct holds defaults that would only add noise).
+void append_op_fields(std::string& out, const genop& op) {
+  switch (op.kind) {
+    case node_kind::sapply:
+      append(out, ", \"fn\": \"%s\"", uop_name(op.u));
+      break;
+    case node_kind::map2:
+    case node_kind::map_scalar:
+    case node_kind::sweep_rowvec:
+    case node_kind::cum_col:
+    case node_kind::cum_row:
+      append(out, ", \"fn\": \"%s\"", bop_name(op.b));
+      break;
+    case node_kind::inner_prod:
+    case node_kind::s_tmm:
+      append(out, ", \"f1\": \"%s\", \"f2\": \"%s\"", bop_name(op.b),
+             agg_name(op.a));
+      break;
+    case node_kind::agg_row:
+    case node_kind::s_agg_full:
+    case node_kind::s_agg_col:
+      append(out, ", \"fn\": \"%s\"", agg_name(op.a));
+      break;
+    case node_kind::s_groupby_row:
+    case node_kind::groupby_col:
+      append(out, ", \"fn\": \"%s\", \"groups\": %zu", agg_name(op.a),
+             op.num_groups);
+      break;
+    case node_kind::s_count_groups:
+      append(out, ", \"groups\": %zu", op.num_groups);
+      break;
+    case node_kind::cast_type:
+      append(out, ", \"to\": \"%s\"", type_name(op.to_type));
+      break;
+    case node_kind::select_cols:
+      append(out, ", \"ncols\": %zu", op.cols.size());
+      break;
+    case node_kind::cbind2:
+      break;
+  }
+}
+
+void append_exec_plan(std::string& out, const explain_graph& g) {
+  const exec_mode mode = conf().mode;
+  const std::size_t chunk_rows =
+      mode == exec_mode::cache_fuse && g.part_rows > 0
+          ? exec::pcache_rows(g.max_ncol, g.part_rows, g.max_elem)
+          : 0;
+  append(out,
+         "  \"exec\": {\"mode\": \"%s\", \"chunk_rows\": %zu, "
+         "\"sequential_dispatch\": %s, \"groups\": [",
+         exec_mode_name(mode), chunk_rows, g.has_cum ? "true" : "false");
+  // Eager runs one pass per pending node (topological order); the fused
+  // modes evaluate the whole pending DAG in a single pass.
+  if (mode == exec_mode::eager) {
+    for (std::size_t i = 0; i < g.pending.size(); ++i)
+      append(out, "%s[%d]", i == 0 ? "" : ", ", g.pending[i]);
+  } else if (!g.pending.empty()) {
+    out += "[";
+    for (std::size_t i = 0; i < g.pending.size(); ++i)
+      append(out, "%s%d", i == 0 ? "" : ", ", g.pending[i]);
+    out += "]";
+  }
+  out += "]}";
+}
+
+}  // namespace
+
+std::string explain_json(const std::vector<matrix_store::ptr>& targets) {
+  explain_graph g = build(targets);
+  std::string out = "{\n  \"targets\": [";
+  for (std::size_t i = 0; i < g.targets.size(); ++i)
+    append(out, "%s%d", i == 0 ? "" : ", ", g.targets[i]);
+  out += "],\n";
+  append_exec_plan(out, g);
+  out += ",\n  \"nodes\": [\n";
+  for (std::size_t i = 0; i < g.nodes.size(); ++i) {
+    const matrix_store* s = g.nodes[i];
+    append(out, "    {\"id\": %zu, \"store\": \"%s\"", i,
+           store_kind_label(s));
+    if (s->kind() == store_kind::virt) {
+      auto* v = static_cast<const virtual_store*>(s);
+      append(out, ", \"op\": \"%s\"", node_kind_name(v->op().kind));
+      append_op_fields(out, v->op());
+      if (v->is_sink_node()) out += ", \"sink\": true";
+      if (v->cache_flag())
+        append(out, ", \"cache\": \"%s\"",
+               v->cache_storage() == storage::ext_mem ? "ext_mem" : "in_mem");
+    }
+    append(out, ", \"nrow\": %zu, \"ncol\": %zu, \"type\": \"%s\", "
+           "\"part_rows\": %zu, \"children\": [",
+           s->nrow(), s->ncol(), type_name(s->type()), s->geom().part_rows);
+    for (std::size_t c = 0; c < g.children[i].size(); ++c)
+      append(out, "%s%d", c == 0 ? "" : ", ", g.children[i][c]);
+    append(out, "]}%s\n", i + 1 < g.nodes.size() ? "," : "");
+  }
+  out += "  ]\n}";
+  return out;
+}
+
+std::string explain_dot(const std::vector<matrix_store::ptr>& targets) {
+  explain_graph g = build(targets);
+  std::string out = "digraph flashr_dag {\n  rankdir=BT;\n";
+  for (std::size_t i = 0; i < g.nodes.size(); ++i) {
+    const matrix_store* s = g.nodes[i];
+    std::string label;
+    if (s->kind() == store_kind::virt) {
+      auto* v = static_cast<const virtual_store*>(s);
+      label = node_kind_name(v->op().kind);
+    } else {
+      label = store_kind_label(s);
+    }
+    append(out, "  n%zu [label=\"%zu: %s\\n%zux%zu %s\"%s];\n", i, i,
+           label.c_str(), s->nrow(), s->ncol(), type_name(s->type()),
+           s->kind() == store_kind::virt ? "" : ", shape=box");
+    for (int c : g.children[i]) append(out, "  n%d -> n%zu;\n", c, i);
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace flashr::obs

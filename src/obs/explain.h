@@ -1,0 +1,35 @@
+// DAG explain (the third part of src/obs/): dump what a materialization
+// *will* do, before any pass runs.
+//
+// explain_json()/explain_dot() walk the un-materialized DAG beneath a set of
+// requested stores exactly as exec::materialize would collect it (virtual
+// nodes with a result are followed to their physical store and reported as
+// leaves) and emit:
+//
+//  * per node: dense id, store kind (virtual/mem/em/generated), GenOp kind
+//    and element functions, shape, element type, partition rows, sink/cache
+//    flags, child ids;
+//  * the execution plan under the *current* conf().mode: fusion groups
+//    (eager = one pass per node; the fused modes = one pass for the whole
+//    DAG), the Pcache chunk rows cache_fuse would use, and whether the
+//    cumulative-op carry chains force sequential partition dispatch.
+//
+// Node ids are assigned in DFS (children-first) order over the targets, so
+// the output is deterministic for a given construction order — tests pin a
+// golden DAG's output verbatim.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "matrix/matrix_store.h"
+
+namespace flashr::obs {
+
+/// JSON description of the pending DAG beneath `targets`.
+std::string explain_json(const std::vector<matrix_store::ptr>& targets);
+
+/// Graphviz dot, one node per store, edges child -> consumer.
+std::string explain_dot(const std::vector<matrix_store::ptr>& targets);
+
+}  // namespace flashr::obs

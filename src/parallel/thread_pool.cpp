@@ -1,10 +1,12 @@
 #include "parallel/thread_pool.h"
 
+#include <cstdio>
 #include <memory>
 #include <mutex>
 
 #include "common/config.h"
 #include "common/error.h"
+#include "obs/trace.h"
 
 namespace flashr {
 
@@ -29,6 +31,11 @@ void thread_pool::record_error_locked(std::exception_ptr e) {
 }
 
 void thread_pool::worker_loop(int idx) {
+  {
+    char name[24];
+    std::snprintf(name, sizeof(name), "worker-%d", idx);
+    obs::set_thread_name(name);
+  }
   std::uint64_t seen_seq = 0;
   for (;;) {
     const std::function<void(int)>* job = nullptr;

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Validate a FlashR trace file (obs::write_trace / FLASHR_TRACE output).
+
+Checks, in order:
+  1. the file parses as JSON and has a non-empty ``traceEvents`` array;
+  2. every event carries the Chrome trace-event fields Perfetto needs
+     (name, ph, pid, tid; ts for B/E/i);
+  3. span events balance per (pid, tid) track: every E closes an open B,
+     no track ends with an open span, and timestamps within a track are
+     monotonically non-decreasing — i.e. the flush-time re-pairing in
+     src/obs/trace.cpp did its job.
+
+Exit 0 and a one-line summary on success; exit 1 with the first failure
+otherwise. CI runs this over the traced bench_fig7 artifact.
+
+Usage: check_trace.py TRACE.json [--min-events N] [--require-name NAME ...]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"check_trace: FAIL: {msg}")
+    sys.exit(1)
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("trace", help="trace JSON file to validate")
+    ap.add_argument("--min-events", type=int, default=1,
+                    help="minimum number of non-metadata events (default 1)")
+    ap.add_argument("--require-name", action="append", default=[],
+                    help="event name that must appear at least once "
+                         "(repeatable)")
+    args = ap.parse_args()
+
+    try:
+        with open(args.trace, encoding="utf-8") as f:
+            doc = json.load(f)
+    except OSError as e:
+        fail(f"cannot read {args.trace}: {e}")
+    except json.JSONDecodeError as e:
+        fail(f"{args.trace} is not valid JSON: {e}")
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail("no traceEvents array")
+
+    counted = 0
+    names = set()
+    open_spans: dict[tuple, list] = {}
+    last_ts: dict[tuple, float] = {}
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            fail(f"event {i} is not an object")
+        ph = ev.get("ph")
+        name = ev.get("name")
+        if ph is None or name is None:
+            fail(f"event {i} lacks ph/name")
+        if "pid" not in ev or "tid" not in ev:
+            fail(f"event {i} ({name}/{ph}) lacks pid/tid")
+        if ph == "M":
+            continue  # metadata events (thread names) carry no timestamp
+        if ph not in ("B", "E", "i"):
+            fail(f"event {i} has unexpected ph {ph!r}")
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)):
+            fail(f"event {i} ({name}/{ph}) lacks numeric ts")
+        track = (ev["pid"], ev["tid"])
+        if ts < last_ts.get(track, float("-inf")):
+            fail(f"event {i} ({name}/{ph}) goes backwards in time on "
+                 f"track {track}: {ts} < {last_ts[track]}")
+        last_ts[track] = ts
+        counted += 1
+        names.add(name)
+        if ph == "B":
+            open_spans.setdefault(track, []).append(name)
+        elif ph == "E":
+            stack = open_spans.get(track)
+            if not stack:
+                fail(f"event {i}: E ({name}) with no open span on "
+                     f"track {track}")
+            stack.pop()
+
+    for track, stack in open_spans.items():
+        if stack:
+            fail(f"track {track} ends with open span(s): {stack}")
+
+    if counted < args.min_events:
+        fail(f"only {counted} events, expected >= {args.min_events}")
+    for required in args.require_name:
+        if required not in names:
+            fail(f"required event name {required!r} never appears")
+
+    dropped = doc.get("otherData", {}).get("dropped", 0)
+    print(f"check_trace: OK: {counted} events on {len(last_ts)} track(s), "
+          f"{len(names)} distinct names, {dropped} dropped")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,18 @@
+// Lint fixture: raw-clock must fire on direct clock reads outside
+// common/timer.h and src/obs/.
+#include <chrono>
+
+namespace flashr {
+
+std::uint64_t bad_timestamp() {
+  // BAD: bypasses flashr::now_ns(), so this timestamp can drift from every
+  // trace/metric timeline in the process.
+  const auto t = std::chrono::steady_clock::now();
+  const auto w = std::chrono::system_clock::now();
+  const auto h = std::chrono::high_resolution_clock::now();
+  return static_cast<std::uint64_t>(t.time_since_epoch().count() +
+                                    w.time_since_epoch().count() +
+                                    h.time_since_epoch().count());
+}
+
+}  // namespace flashr

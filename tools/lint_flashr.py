@@ -21,6 +21,12 @@ Rules (each with a stable ID used in messages and suppressions):
               REQUIRES so clang's thread-safety analysis has something to
               check.
 
+  raw-clock   Direct ``steady_clock/system_clock/high_resolution_clock
+              ::now()`` calls are only allowed in common/timer.h (the
+              engine's one clock source, flashr::now_ns) and src/obs/ —
+              instrumentation timestamps must all come from the same
+              monotonic clock or trace/metric timelines drift apart.
+
 A line can opt out with a trailing ``// lint-ok: <rule-id>`` comment.
 
 Usage:
@@ -45,6 +51,9 @@ RAW_IO_RE = re.compile(
 )
 NAKED_NEW_RE = re.compile(r"\bnew\s+[A-Za-z_][\w:<>]*\s*\[")
 MALLOC_RE = re.compile(r"(?<![\w.>:])(?:malloc|calloc|realloc)\s*\(")
+RAW_CLOCK_RE = re.compile(
+    r"\b(?:steady_clock|system_clock|high_resolution_clock)\s*::\s*now\s*\("
+)
 STD_MUTEX_MEMBER_RE = re.compile(r"\bstd::(?:recursive_)?mutex\s+\w+\s*;")
 FLASHR_MUTEX_MEMBER_RE = re.compile(r"(?<![:\w])mutex\s+\w+\s*;")
 ANNOTATION_RE = re.compile(r"\b(?:GUARDED_BY|PT_GUARDED_BY|REQUIRES)\s*\(")
@@ -53,6 +62,9 @@ SUPPRESS_RE = re.compile(r"//\s*lint-ok:\s*([\w-]+)")
 
 # The annotated wrapper itself legitimately holds a std::mutex.
 MUTEX_ALLOWLIST = {"src/common/thread_safety.h"}
+
+# The engine's single clock source, plus the obs layer built on it.
+CLOCK_ALLOWLIST_PREFIXES = ("src/common/timer.h", "src/obs/")
 
 
 def strip_comments_and_strings(line: str) -> str:
@@ -95,6 +107,7 @@ def lint_file(path: pathlib.Path, rel: str) -> list[Violation]:
 
     lines = text.splitlines()
     in_io_layer = rel.startswith("src/io/")
+    clock_allowed = rel.startswith(CLOCK_ALLOWLIST_PREFIXES)
     in_pool_scope = rel.startswith(("src/core/", "src/matrix/"))
     is_header = path.suffix in {".h", ".hpp"}
 
@@ -112,6 +125,13 @@ def lint_file(path: pathlib.Path, rel: str) -> list[Violation]:
                     rel, lineno, "raw-io",
                     "raw POSIX I/O call outside src/io/; use the "
                     "safs/async_io layer"))
+
+        if not clock_allowed and "raw-clock" not in suppressed:
+            if RAW_CLOCK_RE.search(line):
+                violations.append(Violation(
+                    rel, lineno, "raw-clock",
+                    "direct clock ::now() outside common/timer.h and "
+                    "src/obs/; use flashr::now_ns() / flashr::timer"))
 
         if in_pool_scope and "naked-new" not in suppressed:
             if NAKED_NEW_RE.search(line) or MALLOC_RE.search(line):
@@ -162,6 +182,7 @@ def self_test(root: pathlib.Path) -> int:
         "bad_raw_io.cpp": "raw-io",
         "bad_raw_io_pipeline.cpp": "raw-io",
         "bad_naked_new.cpp": "naked-new",
+        "bad_raw_clock.cpp": "raw-clock",
         "bad_mutex_member.h": "mutex-ann",
         "bad_unannotated_mutex.h": "mutex-ann",
     }
