@@ -13,7 +13,14 @@
 #include "bench_algos.h"
 #include "bench_common.h"
 
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
 #include "baseline/rowstream.h"
+#include "obs/profile.h"
 
 using namespace flashr;
 using namespace flashr::bench;
@@ -50,7 +57,72 @@ double run_rowstream(const bench_algo& algo, const baseline::rs_matrix& X,
   });
 }
 
+std::string json_needle(const char* key) {
+  std::string needle("\"");
+  needle += key;
+  needle += "\": ";
+  return needle;
+}
+
+std::uint64_t json_u64(const std::string& json, const char* key,
+                       std::size_t from = 0) {
+  const std::string needle = json_needle(key);
+  const std::size_t pos = json.find(needle, from);
+  if (pos == std::string::npos) return 0;
+  return std::strtoull(json.c_str() + pos + needle.size(), nullptr, 10);
+}
+
+std::uint64_t json_sum_u64(const std::string& json, const char* key,
+                           std::size_t from) {
+  const std::string needle = json_needle(key);
+  std::uint64_t total = 0;
+  for (std::size_t pos = json.find(needle, from); pos != std::string::npos;
+       pos = json.find(needle, pos + 1))
+    total += std::strtoull(json.c_str() + pos + needle.size(), nullptr, 10);
+  return total;
+}
+
+/// EXPLAIN ANALYZE coverage: profile one representative DAG per exec mode
+/// and report how much of the measured wall time the per-node kernel and
+/// I/O-wait attributions explain. Keeps the profiler honest on the same
+/// workload shape the figure times.
+void explain_analyze_coverage(const dense_matrix& X, bench_json& out) {
+  header("EXPLAIN ANALYZE coverage (per exec mode)",
+         "per-node kernel+io attribution as a share of profiled wall time "
+         "(the acceptance gate tests 1-thread kernel coverage >= 85%)");
+  const exec_mode saved = conf().mode;
+  for (exec_mode m :
+       {exec_mode::eager, exec_mode::mem_fuse, exec_mode::cache_fuse}) {
+    set_mode(m);
+    dense_matrix d = sum(exp(X * 0.5) + sqrt(abs(X)));
+    const std::string json = d.explain_analyze();
+    const std::uint64_t wall = json_u64(json, "wall_ns");
+    const std::size_t totals = json.find("\"totals\":");
+    const std::uint64_t kernel = json_sum_u64(json, "kernel_ns", totals);
+    const std::uint64_t io = json_sum_u64(json, "io_wait_ns", totals);
+    const double cover =
+        wall == 0 ? 0.0
+                  : static_cast<double>(kernel + io) /
+                        static_cast<double>(wall);
+    std::printf("  %-12s wall %8.3f ms  kernel %8.3f ms  io-wait %8.3f ms  "
+                "coverage %5.1f%%\n",
+                exec_mode_name(m), static_cast<double>(wall) / 1e6,
+                static_cast<double>(kernel) / 1e6,
+                static_cast<double>(io) / 1e6, cover * 100.0);
+    out.rec()
+        .kv("explain_mode", exec_mode_name(m))
+        .kv("wall_ns", wall)
+        .kv("kernel_ns", kernel)
+        .kv("coverage", cover);
+  }
+  set_mode(saved);
+}
+
+volatile std::sig_atomic_t g_hold_stop = 0;
+
 }  // namespace
+
+extern "C" void on_hold_signal(int) { g_hold_stop = 1; }
 
 int main() {
   bench_init("fig7");
@@ -111,6 +183,21 @@ int main() {
   print_table({"FlashR-IM", "FlashR-EM", "rowstream"}, rows, "%10.2f");
   std::printf("\nExpected shape (paper): FlashR-EM <= ~2x FlashR-IM; "
               "per-op engine 3-20x slower than FlashR-IM.\n");
+  explain_analyze_coverage(em.criteo.X, out);
   out.write();
+
+  // CI sets FLASHR_HTTP_HOLD=<seconds> to keep the process (and therefore the
+  // FLASHR_HTTP stats server) alive after the figure finishes, so /metrics
+  // can be scraped deterministically.  SIGTERM breaks the hold but still
+  // returns through main so atexit handlers (trace flush) run.
+  if (const char* hold = std::getenv("FLASHR_HTTP_HOLD")) {
+    const int deci = std::atoi(hold) * 10;
+    std::signal(SIGTERM, on_hold_signal);
+    std::signal(SIGINT, on_hold_signal);
+    std::printf("holding for scrape (FLASHR_HTTP_HOLD=%s)\n", hold);
+    std::fflush(stdout);
+    for (int i = 0; i < deci && g_hold_stop == 0; ++i)
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
   return 0;
 }

@@ -10,6 +10,8 @@
 #include "common/error.h"
 #include "common/log.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/stats_server.h"
 #include "obs/trace.h"
 
 namespace flashr {
@@ -62,6 +64,10 @@ void options::validate() const {
   FLASHR_CHECK(fault_latency_us >= 0, "fault_latency_us must be >= 0");
   FLASHR_CHECK(obs_ring_events >= 16 && std::has_single_bit(obs_ring_events),
                "obs_ring_events must be a power of two >= 16");
+  FLASHR_CHECK(obs_profile_history >= 1,
+               "obs_profile_history must be >= 1");
+  FLASHR_CHECK(obs_http_port >= -1 && obs_http_port <= 65535,
+               "obs_http_port must be -1 (off) or a port number");
 }
 
 namespace {
@@ -88,8 +94,32 @@ void init(const options& opts) {
     g_options.obs_trace = true;
     if (std::string_view(env) != "1") g_options.obs_trace_path = env;
   }
+  // FLASHR_PROFILE=1 (any non-"0" value) turns per-node pass profiling on.
+  if (const char* env = std::getenv("FLASHR_PROFILE");
+      env != nullptr && *env != '\0' && std::string_view(env) != "0") {
+    g_options.obs_profile = true;
+  }
+  // FLASHR_HTTP=<port> starts the stats server (0 = ephemeral port).
+  if (const char* env = std::getenv("FLASHR_HTTP");
+      env != nullptr && *env != '\0') {
+    g_options.obs_http_port = std::atoi(env);
+  }
+  // FLASHR_LOG_LEVEL=none|warn|info|debug (or 0..3) filters the log sink.
+  if (const char* env = std::getenv("FLASHR_LOG_LEVEL");
+      env != nullptr && *env != '\0') {
+    log_level lvl;
+    if (log_level_from_name(env, &lvl))
+      set_log_level(lvl);
+    else
+      FLASHR_WARN("FLASHR_LOG_LEVEL: unknown level '%s' (ignored)", env);
+  }
   obs::set_trace_enabled(g_options.obs_trace);
   obs::set_metrics_enabled(g_options.obs_metrics);
+  obs::set_profile_enabled(g_options.obs_profile);
+  if (g_options.obs_http_port >= 0)
+    obs::stats_server::global().start(g_options.obs_http_port);
+  else
+    obs::stats_server::global().stop();
   if (g_options.obs_trace && !g_options.obs_trace_path.empty()) {
     static const bool registered = [] {
       std::atexit(write_trace_at_exit);

@@ -132,6 +132,19 @@ struct options {
   /// When non-empty, write the trace here automatically at process exit.
   /// FLASHR_TRACE=<path> (any value other than "0"/"1") sets this too.
   std::string obs_trace_path;
+  /// Collect per-node pass profiles (obs/profile.h) for explain_analyze(),
+  /// the pass-history ring and the stats server's /passes endpoint. Also
+  /// enabled by a non-empty, non-"0" FLASHR_PROFILE environment variable at
+  /// init(); off costs one relaxed load per materialization.
+  bool obs_profile = false;
+  /// Pass profiles kept in the bounded history ring (most recent N).
+  std::size_t obs_profile_history = 64;
+  /// When >= 0, init() serves /metrics (Prometheus text format), /healthz,
+  /// /passes and /explain/last on 127.0.0.1:<port> from a background thread
+  /// (obs/stats_server.h). 0 binds an ephemeral port (read it back via
+  /// obs::stats_server::global().port()). Also set by FLASHR_HTTP=<port>.
+  /// -1 (default) = no server.
+  int obs_http_port = -1;
 
   void validate() const;
 };

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <utility>
 
 #include "common/timer.h"
@@ -73,6 +74,24 @@ const char* log_level_name(log_level lvl) {
     case log_level::debug: return "debug";
   }
   return "?";
+}
+
+bool log_level_from_name(const char* name, log_level* out) {
+  if (name == nullptr || out == nullptr) return false;
+  const std::string_view s(name);
+  for (int i = static_cast<int>(log_level::none);
+       i <= static_cast<int>(log_level::debug); ++i) {
+    const auto lvl = static_cast<log_level>(i);
+    if (s == log_level_name(lvl)) {
+      *out = lvl;
+      return true;
+    }
+  }
+  if (s.size() == 1 && s[0] >= '0' && s[0] <= '3') {
+    *out = static_cast<log_level>(s[0] - '0');
+    return true;
+  }
+  return false;
 }
 
 void set_log_format(log_format f) { g_format.store(static_cast<int>(f)); }

@@ -21,6 +21,11 @@ log_level get_log_level();
 
 const char* log_level_name(log_level lvl);
 
+/// Parse a level name ("none"/"warn"/"info"/"debug", or "0".."3") into
+/// `*out`. Returns false (leaving `*out` untouched) on anything else. Used
+/// by init() for the FLASHR_LOG_LEVEL environment variable.
+bool log_level_from_name(const char* name, log_level* out);
+
 /// Shape of the built-in stderr sink's output.
 enum class log_format : int {
   text = 0,  ///< "[flashr W] message"

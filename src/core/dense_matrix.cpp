@@ -11,6 +11,7 @@
 #include "matrix/mem_store.h"
 #include "mem/buffer_pool.h"
 #include "obs/explain.h"
+#include "obs/profile.h"
 
 namespace flashr {
 
@@ -264,6 +265,14 @@ std::string dense_matrix::explain() const {
 
 std::string dense_matrix::explain_dot() const {
   return obs::explain_dot({store_});
+}
+
+std::string dense_matrix::explain_analyze(storage st) const {
+  return obs::explain_analyze_json({store_}, st);
+}
+
+std::string dense_matrix::explain_analyze_dot(storage st) const {
+  return obs::explain_analyze_dot({store_}, st);
 }
 
 // ---- GenOps -------------------------------------------------------------------

@@ -25,6 +25,7 @@
 #include "matrix/mem_store.h"
 #include "mem/numa.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 #include "parallel/scheduler.h"
 #include "parallel/thread_pool.h"
@@ -311,6 +312,7 @@ class pass_runner {
   pass_runner(dag_info& dag, pass_config cfg) : dag_(dag), cfg_(cfg) {
     allocate_outputs();
     init_cum_chains();
+    prof_init();
     // Output stores (mem_store partitions) legitimately keep pool buffers
     // beyond the pass; everything acquired after this point must come home.
     pool_baseline_count_ = buffer_pool::global().outstanding_count();
@@ -330,6 +332,10 @@ class pass_runner {
     int live_owned = 0;             // owned buffers not yet recycled
     /// Per-sink partial accumulators.
     std::vector<std::vector<char>> sink_acc;
+    /// Per-node profiling partials, plain u64 (slot * kProfFields + field);
+    /// merged lock-free into prof_acc_ when the worker exits. Empty unless
+    /// profiling is on.
+    std::vector<std::uint64_t> prof;
     /// Per-cum-node running carry for the current partition.
     std::unordered_map<const virtual_store*, std::vector<char>> cum_carry;
     bool cum_has_carry = false;
@@ -364,6 +370,20 @@ class pass_runner {
   /// pool. Safe to call on both the success and the cancellation path.
   void teardown_pipelines() noexcept;
 
+  // --- Per-node profiling (obs/profile.h) ---------------------------------
+  /// Field layout of one profiling slot's accumulators.
+  enum prof_field { pf_kernel = 0, pf_io, pf_parts, pf_rows, pf_bytes,
+                    pf_chunks, kProfFields };
+  /// Resolve the pass's profiling slots: dense dag ids first, then one slot
+  /// per sink (sink targets have no dense id — nothing consumes them).
+  void prof_init();
+  /// Per-pass wrap-up: fold prof_acc_ into a pass_profile and push it into
+  /// the history ring. Success path only.
+  void record_profile();
+  void prof_add(thread_ctx& ctx, int slot, prof_field f, std::uint64_t v) {
+    ctx.prof[static_cast<std::size_t>(slot) * kProfFields + f] += v;
+  }
+
   // --- Cooperative cancellation -------------------------------------------
   /// First unrecoverable error wins: record it, raise the cancel flag, and
   /// wake any workers parked on a cumulative carry. Remaining workers skip
@@ -390,6 +410,18 @@ class pass_runner {
   /// Pool buffers outstanding after output allocation; the post-pass audit
   /// (validate::audit_pool) asserts the pass returned to this baseline.
   std::size_t pool_baseline_count_ = 0;
+  /// Profiling state, armed at construction when obs::profile_on(). The
+  /// per-slot metadata vectors are read-only during the pass; prof_acc_ is
+  /// the lock-free merge target workers fetch_add into as they finish.
+  bool prof_ = false;
+  std::size_t prof_slots_ = 0;
+  std::vector<int> prof_plan_id_;
+  std::vector<obs::plan_node_meta> prof_meta_;
+  std::vector<const char*> prof_label_;
+  std::vector<std::uint8_t> prof_sink_;
+  std::vector<std::uint8_t> prof_leaf_;
+  std::vector<std::atomic<std::uint64_t>> prof_acc_;
+  std::uint64_t prof_t0_ = 0;
   /// Partition sources feeding the pipelines. Declared BEFORE pipelines_ so
   /// the pipelines (whose refill lambdas capture them) are destroyed first.
   std::optional<part_scheduler> part_sched_;
@@ -492,6 +524,76 @@ std::size_t chunk_rows_for(const dag_info& dag) {
   return pcache_rows(dag.max_ncol, dag.space.part_rows, dag.max_elem);
 }
 
+void pass_runner::prof_init() {
+  prof_ = obs::profile_on();
+  if (!prof_) return;
+  prof_slots_ = static_cast<std::size_t>(dag_.num_ids) + sinks_.size();
+  prof_plan_id_.assign(prof_slots_, -1);
+  prof_meta_.assign(prof_slots_, {});
+  prof_label_.assign(prof_slots_, "?");
+  prof_sink_.assign(prof_slots_, 0);
+  prof_leaf_.assign(prof_slots_, 0);
+  for (const auto& [node, id] : dag_.ids) {
+    const auto slot = static_cast<std::size_t>(id);
+    prof_plan_id_[slot] = obs::profile_node_id(node, &prof_meta_[slot]);
+    switch (node->kind()) {
+      case store_kind::virt:
+        prof_label_[slot] = node_kind_name(
+            static_cast<const virtual_store*>(node)->op().kind);
+        break;
+      case store_kind::mem:
+        prof_label_[slot] = "mem";
+        prof_leaf_[slot] = 1;
+        break;
+      case store_kind::ext:
+        prof_label_[slot] = "em";
+        prof_leaf_[slot] = 1;
+        break;
+      case store_kind::generated:
+        prof_label_[slot] = "generated";
+        prof_leaf_[slot] = 1;
+        break;
+    }
+  }
+  for (std::size_t s = 0; s < sinks_.size(); ++s) {
+    const std::size_t slot = static_cast<std::size_t>(dag_.num_ids) + s;
+    prof_plan_id_[slot] =
+        obs::profile_node_id(sinks_[s].node, &prof_meta_[slot]);
+    prof_label_[slot] = node_kind_name(sinks_[s].node->op().kind);
+    prof_sink_[slot] = 1;
+  }
+  prof_acc_ =
+      std::vector<std::atomic<std::uint64_t>>(prof_slots_ * kProfFields);
+}
+
+void pass_runner::record_profile() {
+  obs::pass_profile p;
+  p.mode = exec_mode_name(conf().mode);
+  p.chunk_rows = cfg_.chunk_rows;
+  p.threads = thread_pool::global().size();
+  p.wall_ns = now_ns() - prof_t0_;
+  p.nodes.reserve(prof_slots_);
+  for (std::size_t slot = 0; slot < prof_slots_; ++slot) {
+    obs::node_profile n;
+    n.id = prof_plan_id_[slot];
+    n.op = prof_label_[slot];
+    n.sink = prof_sink_[slot] != 0;
+    n.leaf = prof_leaf_[slot] != 0;
+    n.group = prof_meta_[slot].group;
+    n.est_bytes = prof_meta_[slot].est_bytes;
+    const std::atomic<std::uint64_t>* a = &prof_acc_[slot * kProfFields];
+    n.kernel_ns = a[pf_kernel].load(std::memory_order_relaxed);
+    n.io_wait_ns = a[pf_io].load(std::memory_order_relaxed);
+    n.partitions = a[pf_parts].load(std::memory_order_relaxed);
+    n.rows = a[pf_rows].load(std::memory_order_relaxed);
+    n.bytes = a[pf_bytes].load(std::memory_order_relaxed);
+    n.chunks = a[pf_chunks].load(std::memory_order_relaxed);
+    p.io_wait_ns += n.io_wait_ns;
+    p.nodes.push_back(n);
+  }
+  obs::profile_record(std::move(p));
+}
+
 void pass_runner::fail(std::exception_ptr e) noexcept {
   {
     mutex_lock lock(error_mutex_);
@@ -567,7 +669,23 @@ void pass_runner::pipeline_worker(thread_ctx& ctx) {
   for (int probe = 0; probe < nodes; ++probe) {
     prefetch_pipeline& pl = *pipelines_[(home + probe) % nodes];
     prefetch_pipeline::slot s;
-    while (!cancelled() && pl.pop(s)) {
+    for (;;) {
+      if (cancelled()) break;
+      const std::uint64_t w0 = prof_ ? now_ns() : 0;
+      if (!pl.pop(s)) break;
+      if (prof_ && !s.bufs.empty()) {
+        // Attribute the blocked-in-pop() time evenly across the partition's
+        // EM leaves; bytes/rows are exact per leaf.
+        const std::uint64_t share = (now_ns() - w0) / s.bufs.size();
+        const std::size_t prows = dag_.space.rows_in_part(s.part);
+        for (const auto& [leaf, buf] : s.bufs) {
+          const int slot = dag_.id_of(leaf);
+          prof_add(ctx, slot, pf_io, share);
+          prof_add(ctx, slot, pf_parts, 1);
+          prof_add(ctx, slot, pf_rows, prows);
+          prof_add(ctx, slot, pf_bytes, buf.size());
+        }
+      }
       ctx.em_bufs = std::move(s.bufs);
       numa_tracker::global().record_access(
           s.part, ctx.thread_idx % conf().numa_nodes, conf().numa_nodes);
@@ -582,6 +700,7 @@ void pass_runner::pipeline_worker(thread_ctx& ctx) {
 
 void pass_runner::run() {
   OBS_SPAN_ARG("pass", dag_.order.size());
+  if (prof_) prof_t0_ = now_ns();
   thread_pool& pool = thread_pool::global();
   build_pipelines();
   ++g_stats_acc.passes;
@@ -592,6 +711,7 @@ void pass_runner::run() {
     thread_ctx ctx;
     ctx.thread_idx = thread_idx;
     ctx.chunk.resize(static_cast<std::size_t>(dag_.num_ids));
+    if (prof_) ctx.prof.assign(prof_slots_ * kProfFields, 0);
     // Sink partials start at the aggregation identity.
     ctx.sink_acc.reserve(sinks_.size());
     for (const sink_desc& s : sinks_) {
@@ -614,6 +734,12 @@ void pass_runner::run() {
     } catch (...) {
       fail(std::current_exception());
     }
+    // Merge this worker's profiling partials lock-free: the accumulators
+    // are only read after run_all joins every worker.
+    if (prof_)
+      for (std::size_t i = 0; i < ctx.prof.size(); ++i)
+        if (ctx.prof[i] != 0)
+          prof_acc_[i].fetch_add(ctx.prof[i], std::memory_order_relaxed);
     // ctx destruction returns every worker-held pool buffer (chunk bufs,
     // EM read buffers, staged outputs) whether the pass succeeded or not.
     mutex_lock lock(acc_mutex_);
@@ -650,10 +776,16 @@ void pass_runner::run() {
   em_store::drain_writes();
   validate::audit_pool(buffer_pool::global(), pool_baseline_count_);
 
-  // Assign tall output stores to their nodes.
-  for (std::size_t i = 0; i < dag_.tall_outputs.size(); ++i)
+  // Assign tall output stores to their nodes. Alias each result to its
+  // node's plan id so eager-mode follow-up passes (which see the result as
+  // a leaf) keep attributing costs to the original node.
+  for (std::size_t i = 0; i < dag_.tall_outputs.size(); ++i) {
     dag_.tall_outputs[i]->set_result(out_stores_[i]);
+    if (prof_)
+      obs::profile_alias(out_stores_[i].get(), dag_.tall_outputs[i]);
+  }
   merge_sinks();
+  if (prof_) record_profile();
 }
 
 void pass_runner::process_partition(thread_ctx& ctx) {
@@ -758,8 +890,18 @@ chunk_buf& pass_runner::ensure(thread_ctx& ctx,
       cb.owned = buffer_pool::global().get(ctx.chunk_rows * g->ncol() *
                                            g->elem_size());
       ++ctx.live_owned;
+      const std::uint64_t g0 = prof_ ? now_ns() : 0;
       g->generate(ctx.part_row0 + ctx.chunk_row0, ctx.chunk_rows,
                   cb.owned.data(), ctx.chunk_rows);
+      if (prof_) {
+        const int slot = dag_.id_of(key);
+        prof_add(ctx, slot, pf_kernel, now_ns() - g0);
+        prof_add(ctx, slot, pf_rows, ctx.chunk_rows);
+        prof_add(ctx, slot, pf_bytes,
+                 ctx.chunk_rows * g->ncol() * g->elem_size());
+        prof_add(ctx, slot, pf_chunks, 1);
+        if (ctx.chunk_row0 == 0) prof_add(ctx, slot, pf_parts, 1);
+      }
       cb.v = kern::view{cb.owned.data(), ctx.chunk_rows};
       break;
     }
@@ -801,7 +943,7 @@ void pass_runner::eval_virtual(thread_ctx& ctx, virtual_store* v,
   // Kernel execution: node_kind_name() returns a string literal, which
   // satisfies the span's static-storage requirement.
   obs::span kernel_span(node_kind_name(op.kind), rows);
-  const std::uint64_t k0 = obs::metrics_on() ? now_ns() : 0;
+  const std::uint64_t k0 = (obs::metrics_on() || prof_) ? now_ns() : 0;
 
   out.owned = buffer_pool::global().get(rows * cols * v->elem_size());
   ++ctx.live_owned;
@@ -875,7 +1017,18 @@ void pass_runner::eval_virtual(thread_ctx& ctx, virtual_store* v,
       FLASHR_ASSERT(false, "sink evaluated as aligned node");
   }
 
-  if (k0 != 0) kernel_hist(op.kind).record(now_ns() - k0);
+  if (k0 != 0) {
+    const std::uint64_t dt = now_ns() - k0;
+    if (obs::metrics_on()) kernel_hist(op.kind).record(dt);
+    if (prof_) {
+      const int slot = dag_.id_of(v);
+      prof_add(ctx, slot, pf_kernel, dt);
+      prof_add(ctx, slot, pf_rows, rows);
+      prof_add(ctx, slot, pf_bytes, rows * cols * v->elem_size());
+      prof_add(ctx, slot, pf_chunks, 1);
+      if (ctx.chunk_row0 == 0) prof_add(ctx, slot, pf_parts, 1);
+    }
+  }
   out.v = kern::view{o, ostride};
   for (const auto& c : ch) unref(ctx, c);
 }
@@ -888,6 +1041,7 @@ void pass_runner::process_chunk(thread_ctx& ctx) {
     virtual_store* v = dag_.tall_outputs[i];
     chunk_buf& cb = ensure(ctx, v->shared_from_this());
     const std::size_t esz = v->elem_size();
+    const std::uint64_t c0 = prof_ ? now_ns() : 0;
     if (out_stores_[i]->kind() == store_kind::ext) {
       char* dst = ctx.out_stage[v].data() + ctx.chunk_row0 * esz;
       kern::copy(v->type(), cb.v, ctx.chunk_rows, v->ncol(), dst,
@@ -898,6 +1052,9 @@ void pass_runner::process_chunk(thread_ctx& ctx) {
       kern::copy(v->type(), cb.v, ctx.chunk_rows, v->ncol(), dst,
                  m->part_stride(ctx.part));
     }
+    // The output copy is part of producing the node, so it lands on the
+    // node's own kernel time.
+    if (prof_) prof_add(ctx, dag_.id_of(v), pf_kernel, now_ns() - c0);
     unref(ctx, v->shared_from_this());
   }
 
@@ -908,27 +1065,37 @@ void pass_runner::process_chunk(thread_ctx& ctx) {
     const auto& ch = v->children();
     char* acc = ctx.sink_acc[s].data();
     const scalar_type ct = resolve(ch[0].get())->type();
+    // Time ONLY the accumulate kernel: ensure() may evaluate the whole
+    // virtual chain beneath the sink, and those kernels account their own
+    // time — including them here would double-count.
+    std::uint64_t acc_ns = 0;
     switch (op.kind) {
       case node_kind::s_agg_full: {
         chunk_buf& a = ensure(ctx, ch[0]);
+        const std::uint64_t s0 = prof_ ? now_ns() : 0;
         kern::agg_full_acc(ct, op.a, a.v, ctx.chunk_rows,
                            resolve(ch[0].get())->ncol(), acc);
+        if (prof_) acc_ns = now_ns() - s0;
         unref(ctx, ch[0]);
         break;
       }
       case node_kind::s_agg_col: {
         chunk_buf& a = ensure(ctx, ch[0]);
+        const std::uint64_t s0 = prof_ ? now_ns() : 0;
         kern::agg_col_acc(ct, op.a, a.v, ctx.chunk_rows,
                           resolve(ch[0].get())->ncol(), acc);
+        if (prof_) acc_ns = now_ns() - s0;
         unref(ctx, ch[0]);
         break;
       }
       case node_kind::s_tmm: {
         chunk_buf& a = ensure(ctx, ch[0]);
         chunk_buf& b = ensure(ctx, ch[1]);
+        const std::uint64_t s0 = prof_ ? now_ns() : 0;
         kern::tmm_acc(ct, op.b, op.a, a.v, b.v, ctx.chunk_rows,
                       resolve(ch[0].get())->ncol(),
                       resolve(ch[1].get())->ncol(), acc);
+        if (prof_) acc_ns = now_ns() - s0;
         unref(ctx, ch[0]);
         unref(ctx, ch[1]);
         break;
@@ -936,22 +1103,33 @@ void pass_runner::process_chunk(thread_ctx& ctx) {
       case node_kind::s_groupby_row: {
         chunk_buf& a = ensure(ctx, ch[0]);
         chunk_buf& lab = ensure(ctx, ch[1]);
+        const std::uint64_t s0 = prof_ ? now_ns() : 0;
         kern::groupby_row_acc(ct, op.a, a.v, lab.v, ctx.chunk_rows,
                               resolve(ch[0].get())->ncol(), op.num_groups,
                               acc);
+        if (prof_) acc_ns = now_ns() - s0;
         unref(ctx, ch[0]);
         unref(ctx, ch[1]);
         break;
       }
       case node_kind::s_count_groups: {
         chunk_buf& lab = ensure(ctx, ch[0]);
+        const std::uint64_t s0 = prof_ ? now_ns() : 0;
         kern::count_groups_acc(lab.v, ctx.chunk_rows, op.num_groups,
                                reinterpret_cast<std::int64_t*>(acc));
+        if (prof_) acc_ns = now_ns() - s0;
         unref(ctx, ch[0]);
         break;
       }
       default:
         FLASHR_ASSERT(false, "aligned node in sink list");
+    }
+    if (prof_) {
+      const int slot = dag_.num_ids + static_cast<int>(s);
+      prof_add(ctx, slot, pf_kernel, acc_ns);
+      prof_add(ctx, slot, pf_rows, ctx.chunk_rows);
+      prof_add(ctx, slot, pf_chunks, 1);
+      if (ctx.chunk_row0 == 0) prof_add(ctx, slot, pf_parts, 1);
     }
   }
 
@@ -997,6 +1175,7 @@ void pass_runner::merge_sinks() {
     kern::copy(d.out_type, kern::view{total.data(), d.out_rows}, d.out_rows,
                d.out_cols, out->part_data(0), out->part_stride(0));
     d.node->set_result(out);
+    if (prof_) obs::profile_alias(out.get(), d.node);
   }
 }
 
@@ -1080,6 +1259,9 @@ void materialize(const std::vector<matrix_store::ptr>& targets, storage st) {
   // previous stats: callers commonly read results back (to_smat and friends
   // re-enter materialize) before inspecting last_pass_stats().
   if (dag.order.empty()) return;
+  // Arm the per-node profiler: map every store of the pending DAG to the
+  // deterministic DFS plan id explain() would assign it.
+  if (obs::profile_on()) obs::profile_begin(targets);
   g_stats_acc = {};
   {
     mutex_lock lock(g_stats_mutex);

@@ -109,6 +109,7 @@ bool prefetch_pipeline::pop(slot& out) {
     if (claimed) {
       s.st.occupancy_sum += s.window.size() + 1;  // window as of this claim
       if (obs::metrics_on()) occupancy_hist().record(s.window.size() + 1);
+      OBS_COUNTER("prefetch.window", s.window.size() + 1);
       ++s.st.pops;
       s.st.read_wait_ns += waited_ns;
       if (claimed->error) {

@@ -3,6 +3,7 @@
 #include <numeric>
 
 #include "common/error.h"
+#include "obs/explain.h"
 
 namespace flashr {
 
@@ -139,5 +140,23 @@ void block_matrix::materialize(storage st) const {
 }
 
 dense_matrix block_matrix::to_dense() const { return cbind(blocks_); }
+
+namespace {
+std::vector<matrix_store::ptr> block_stores(
+    const std::vector<dense_matrix>& blocks) {
+  std::vector<matrix_store::ptr> targets;
+  targets.reserve(blocks.size());
+  for (const auto& b : blocks) targets.push_back(b.store());
+  return targets;
+}
+}  // namespace
+
+std::string block_matrix::explain() const {
+  return obs::explain_json(block_stores(blocks_));
+}
+
+std::string block_matrix::explain_dot() const {
+  return obs::explain_dot(block_stores(blocks_));
+}
 
 }  // namespace flashr

@@ -60,6 +60,12 @@ class block_matrix {
   /// Materialize all blocks to the given storage in one pass.
   void materialize(storage st) const;
 
+  /// Dump the pending DAG beneath ALL blocks as one plan (obs/explain.h):
+  /// the per-block virtual nodes share leaves, so the output shows the
+  /// single fused pass block operations materialize in.
+  std::string explain() const;
+  std::string explain_dot() const;
+
   /// Reassemble into a single wide dense matrix (cbind).
   dense_matrix to_dense() const;
 

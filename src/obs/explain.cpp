@@ -167,6 +167,44 @@ void append_exec_plan(std::string& out, const explain_graph& g) {
 
 }  // namespace
 
+plan_summary summarize(const std::vector<matrix_store::ptr>& targets) {
+  explain_graph g = build(targets);
+  plan_summary p;
+  p.targets = g.targets;
+  p.mode = exec_mode_name(conf().mode);
+  p.sequential_dispatch = g.has_cum;
+  if (conf().mode == exec_mode::cache_fuse && g.part_rows > 0)
+    p.chunk_rows = exec::pcache_rows(g.max_ncol, g.part_rows, g.max_elem);
+  if (conf().mode == exec_mode::eager) {
+    for (int id : g.pending) p.groups.push_back({id});
+  } else if (!g.pending.empty()) {
+    p.groups.push_back(g.pending);
+  }
+  p.nodes.resize(g.nodes.size());
+  for (std::size_t i = 0; i < g.nodes.size(); ++i) {
+    const matrix_store* s = g.nodes[i];
+    plan_node& n = p.nodes[i];
+    n.store = s;
+    n.id = static_cast<int>(i);
+    n.nrow = s->nrow();
+    n.ncol = s->ncol();
+    n.est_bytes = s->nrow() * s->ncol() * s->elem_size();
+    n.children = g.children[i];
+    if (s->kind() == store_kind::virt) {
+      auto* v = static_cast<const virtual_store*>(s);
+      n.op = node_kind_name(v->op().kind);
+      n.sink = v->is_sink_node();
+    } else {
+      n.op = store_kind_label(s);
+      n.leaf = true;
+    }
+  }
+  for (std::size_t gi = 0; gi < p.groups.size(); ++gi)
+    for (int id : p.groups[gi])
+      p.nodes[static_cast<std::size_t>(id)].group = static_cast<int>(gi);
+  return p;
+}
+
 std::string explain_json(const std::vector<matrix_store::ptr>& targets) {
   explain_graph g = build(targets);
   std::string out = "{\n  \"targets\": [";

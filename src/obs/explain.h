@@ -19,6 +19,7 @@
 // golden DAG's output verbatim.
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -31,5 +32,42 @@ std::string explain_json(const std::vector<matrix_store::ptr>& targets);
 
 /// Graphviz dot, one node per store, edges child -> consumer.
 std::string explain_dot(const std::vector<matrix_store::ptr>& targets);
+
+/// One node of the summarized plan. `id` is the deterministic DFS
+/// (children-first) id — the same id explain_json() prints, and the key the
+/// profiler (obs/profile.h) attributes measured costs to.
+struct plan_node {
+  const matrix_store* store = nullptr;
+  int id = 0;
+  /// GenOp name for virtual nodes ("sapply", "s_tmm", ...), store kind for
+  /// leaves ("mem", "em", "generated"). Static storage duration.
+  const char* op = "?";
+  bool sink = false;
+  bool leaf = false;
+  std::size_t nrow = 0;
+  std::size_t ncol = 0;
+  /// Estimated materialized size (nrow * ncol * elem_size) — the "estimated
+  /// plan" half of explain_analyze's estimate-vs-actual comparison.
+  std::size_t est_bytes = 0;
+  /// Fusion group under the current exec mode (index into
+  /// plan_summary::groups); -1 for leaves.
+  int group = -1;
+  std::vector<int> children;
+};
+
+/// The plan explain_json() would print, in structured form: nodes indexed by
+/// DFS id plus the exec-plan facts under the *current* configuration.
+struct plan_summary {
+  std::vector<plan_node> nodes;  // index == plan_node::id
+  std::vector<int> targets;
+  /// Fusion groups of pending node ids: eager = one group per node
+  /// (topological order), fused modes = a single group for the whole DAG.
+  std::vector<std::vector<int>> groups;
+  const char* mode = "?";
+  std::size_t chunk_rows = 0;
+  bool sequential_dispatch = false;
+};
+
+plan_summary summarize(const std::vector<matrix_store::ptr>& targets);
 
 }  // namespace flashr::obs

@@ -188,6 +188,78 @@ std::string metrics_registry::to_json() const {
   return out;
 }
 
+namespace {
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; everything else becomes '_'.
+std::string prom_name(const std::string& name) {
+  std::string out = "flashr_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+/// HELP text escaping: backslash and newline must be escaped (0.0.4 rules).
+void append_help_escaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+}
+
+void append_prom_scalar(std::string& out, const std::string& raw_name,
+                        const char* type, std::uint64_t v) {
+  const std::string name = prom_name(raw_name);
+  out += "# HELP " + name + " flashr instrument ";
+  append_help_escaped(out, raw_name);
+  out += "\n# TYPE " + name + " ";
+  out += type;
+  out += "\n" + name + " " + u64_str(v) + "\n";
+}
+
+}  // namespace
+
+std::string metrics_registry::to_prometheus() const {
+  std::string out;
+  std::vector<std::pair<std::string, std::function<std::uint64_t()>>> probes;
+  {
+    mutex_lock lock(mtx_);
+    for (const auto& [name, c] : counters_)
+      append_prom_scalar(out, name, "counter", c->value());
+    for (const auto& [name, g] : gauges_)
+      append_prom_scalar(out, name, "gauge", g->value());
+    for (const auto& [name, h] : hists_) {
+      const std::string pname = prom_name(name);
+      out += "# HELP " + pname + " flashr histogram ";
+      append_help_escaped(out, name);
+      out += "\n# TYPE " + pname + " summary\n";
+      char buf[64];
+      const double qs[] = {0.5, 0.95, 0.99};
+      const double ps[] = {50.0, 95.0, 99.0};
+      for (int i = 0; i < 3; ++i) {
+        std::snprintf(buf, sizeof(buf), "{quantile=\"%g\"} %.1f\n", qs[i],
+                      h->percentile(ps[i]));
+        out += pname + buf;
+      }
+      out += pname + "_sum " + u64_str(h->sum()) + "\n";
+      out += pname + "_count " + u64_str(h->count()) + "\n";
+    }
+    probes.reserve(probes_.size());
+    for (const auto& [name, fn] : probes_) probes.emplace_back(name, fn);
+  }
+  // Probe callbacks run outside the registry lock (see value()).
+  for (const auto& [name, fn] : probes)
+    append_prom_scalar(out, name, "gauge", fn());
+  return out;
+}
+
 void metrics_registry::reset() {
   mutex_lock lock(mtx_);
   for (auto& [name, c] : counters_) c->reset();

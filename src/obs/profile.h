@@ -1,0 +1,129 @@
+// Per-node pass profiling (the "actuals" side of explain): EXPLAIN ANALYZE
+// for the materialization engine.
+//
+// When profiling is enabled, exec::materialize arms a map from every store
+// in the pending DAG to its deterministic DFS plan id (the same ids
+// explain_json() prints — obs/explain.h summarize()). Each pass accumulates
+// per-thread, per-node costs in plain per-worker arrays (kernel ns, I/O-wait
+// ns, partitions, rows, bytes, Pcache chunks) and merges them lock-free
+// (atomic fetch_add) when the worker finishes; the merged pass_profile is
+// pushed into a bounded history ring here.
+//
+// explain_analyze_json() ties the two halves together: capture the plan,
+// materialize with profiling on, then emit plan + per-pass actuals +
+// per-node totals. The result of the last analysis is kept for
+// last_explain_analyze_*() and the stats server's /explain/last.
+//
+// Disabled (the default), the whole layer costs one relaxed load per
+// materialization plus one per instrumented site that is not already gated
+// by obs::metrics_on().
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "matrix/matrix_store.h"
+
+namespace flashr::obs {
+
+namespace detail {
+extern std::atomic<bool> g_profile_on;
+}  // namespace detail
+
+/// Whether per-node pass profiles are being collected.
+inline bool profile_on() {
+  return detail::g_profile_on.load(std::memory_order_relaxed);
+}
+
+void set_profile_enabled(bool on);
+
+/// Measured actuals of one DAG node over one pass. `id` is the plan's DFS
+/// node id, or -1 when the store was not part of the armed plan (profiling
+/// enabled without an armed materialization).
+struct node_profile {
+  int id = -1;
+  const char* op = "?";  ///< static storage (node_kind_name / store label)
+  bool sink = false;
+  bool leaf = false;
+  int group = -1;                 ///< fusion group from the armed plan
+  std::uint64_t est_bytes = 0;    ///< planned size, from the armed plan
+  std::uint64_t kernel_ns = 0;    ///< kernel/generate/sink-accumulate time
+  std::uint64_t io_wait_ns = 0;   ///< worker time blocked on this leaf's I/O
+  std::uint64_t partitions = 0;   ///< partitions this node was evaluated in
+  std::uint64_t rows = 0;         ///< rows produced/consumed
+  std::uint64_t bytes = 0;        ///< bytes produced (or read, for leaves)
+  std::uint64_t chunks = 0;       ///< Pcache chunk evaluations
+};
+
+/// One materialization pass, merged across workers.
+struct pass_profile {
+  std::uint64_t seq = 0;  ///< global pass sequence number (assigned on record)
+  const char* mode = "?";
+  std::size_t chunk_rows = 0;
+  int threads = 0;
+  std::uint64_t wall_ns = 0;
+  std::uint64_t io_wait_ns = 0;  ///< sum of per-node io_wait_ns
+  std::vector<node_profile> nodes;
+
+  std::string to_json() const;
+};
+
+// --- exec-side hooks ---------------------------------------------------------
+
+/// Map every store of the pending DAG beneath `targets` to its DFS plan id
+/// and metadata (called by exec::materialize when profile_on()). Replaces
+/// the previous armed plan.
+void profile_begin(const std::vector<matrix_store::ptr>& targets);
+
+/// After a node's result store is assigned, alias the result to the node's
+/// plan id so later (eager-mode) passes that see the result as a leaf keep
+/// attributing to the original node.
+void profile_alias(const matrix_store* result, const matrix_store* node);
+
+/// Plan id of a resolved store under the armed plan; -1 when unknown.
+/// `meta`, when non-null, receives the armed plan's group/est_bytes.
+struct plan_node_meta {
+  int group = -1;
+  std::uint64_t est_bytes = 0;
+};
+int profile_node_id(const matrix_store* s, plan_node_meta* meta = nullptr);
+
+/// Push a finished pass into the history ring; assigns and returns its seq.
+/// The ring keeps the most recent conf().obs_profile_history passes.
+std::uint64_t profile_record(pass_profile&& p);
+
+/// Sequence number of the most recently recorded pass (0 = none yet).
+std::uint64_t profile_pass_seq();
+
+/// Snapshot of the history ring, oldest first.
+std::vector<pass_profile> profile_history();
+
+/// The history ring as a JSON array (the stats server's /passes).
+std::string profile_history_json();
+
+/// Drop the history ring and the armed plan (tests).
+void profile_clear();
+
+// --- EXPLAIN ANALYZE ---------------------------------------------------------
+
+/// Materialize `targets` with profiling enabled and return
+/// {"plan": ..., "wall_ns": ..., "passes": [...], "totals": [...]}: the
+/// estimated plan next to measured per-node actuals, keyed by the same DFS
+/// node ids. Also stored as the "last" analysis. Profiling is restored to
+/// its previous setting afterwards.
+std::string explain_analyze_json(const std::vector<matrix_store::ptr>& targets,
+                                 storage st = storage::in_mem);
+
+/// Same run, returning the annotated Graphviz dot (plan shape + per-node
+/// measured totals in the labels).
+std::string explain_analyze_dot(const std::vector<matrix_store::ptr>& targets,
+                                storage st = storage::in_mem);
+
+/// Results of the most recent explain_analyze (empty when none ran).
+std::string last_explain_analyze_json();
+std::string last_explain_analyze_dot();
+
+}  // namespace flashr::obs

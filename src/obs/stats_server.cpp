@@ -1,0 +1,198 @@
+#include "obs/stats_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "common/log.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
+
+namespace flashr::obs {
+
+namespace {
+
+struct route_response {
+  const char* status = "200 OK";
+  const char* content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+route_response route(const std::string& path) {
+  route_response r;
+  if (path == "/metrics") {
+    // The version parameter is how Prometheus recognizes the 0.0.4 text
+    // exposition format.
+    r.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    r.body = metrics_registry::global().to_prometheus();
+  } else if (path == "/healthz") {
+    r.body = "ok\n";
+  } else if (path == "/passes") {
+    r.content_type = "application/json";
+    r.body = profile_history_json();
+    r.body += "\n";
+  } else if (path == "/explain/last") {
+    r.content_type = "application/json";
+    r.body = last_explain_analyze_json();
+    if (r.body.empty()) r.body = "{}";
+    r.body += "\n";
+  } else {
+    r.status = "404 Not Found";
+    r.body = "not found\n";
+  }
+  return r;
+}
+
+/// First line of an HTTP request -> the path ("GET /metrics HTTP/1.1").
+std::string parse_path(const char* req, std::size_t len) {
+  std::string line(req, len);
+  if (const std::size_t eol = line.find('\r'); eol != std::string::npos)
+    line.resize(eol);
+  const std::size_t sp1 = line.find(' ');
+  if (sp1 == std::string::npos) return "";
+  const std::size_t sp2 = line.find(' ', sp1 + 1);
+  std::string path = sp2 == std::string::npos
+                         ? line.substr(sp1 + 1)
+                         : line.substr(sp1 + 1, sp2 - sp1 - 1);
+  // Strip a query string; the routes take no parameters.
+  if (const std::size_t q = path.find('?'); q != std::string::npos)
+    path.resize(q);
+  return path;
+}
+
+void send_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) return;  // peer went away; a scraper will just retry
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+std::string stats_server::http_response(const std::string& path) {
+  route_response r = route(path);
+  std::string out = "HTTP/1.0 ";
+  out += r.status;
+  out += "\r\nContent-Type: ";
+  out += r.content_type;
+  out += "\r\nContent-Length: " + std::to_string(r.body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += r.body;
+  return out;
+}
+
+bool stats_server::start(int port) {
+  stop_.store(false, std::memory_order_relaxed);
+  {
+    mutex_lock lock(mtx_);
+    if (listen_fd_ >= 0) {
+      if (port == 0 || port_ == port) return true;  // already serving
+    }
+  }
+  stop();  // different port: restart the listener
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    FLASHR_WARN("stats server: socket() failed (errno %d)", errno);
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(fd, 8) < 0) {
+    FLASHR_WARN("stats server: cannot listen on 127.0.0.1:%d (errno %d)",
+                port, errno);
+    ::close(fd);
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t blen = sizeof(bound);
+  int actual = port;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &blen) == 0)
+    actual = static_cast<int>(ntohs(bound.sin_port));
+
+  stop_.store(false, std::memory_order_relaxed);
+  {
+    mutex_lock lock(mtx_);
+    listen_fd_ = fd;
+    port_ = actual;
+    thread_ = std::thread([this] { serve(); });
+  }
+  // The global instance is leaked (monitoring may outlive engine teardown),
+  // so join its serving thread explicitly at process exit.
+  static const bool at_exit = [] {
+    std::atexit([] { stats_server::global().stop(); });
+    return true;
+  }();
+  (void)at_exit;
+  FLASHR_INFO("stats server: serving on 127.0.0.1:%d", actual);
+  return true;
+}
+
+void stats_server::stop() {
+  std::thread t;
+  {
+    mutex_lock lock(mtx_);
+    if (listen_fd_ < 0) return;
+    stop_.store(true, std::memory_order_relaxed);
+    t = std::move(thread_);
+  }
+  if (t.joinable()) t.join();
+  mutex_lock lock(mtx_);
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  listen_fd_ = -1;
+  port_ = 0;
+}
+
+int stats_server::port() const {
+  mutex_lock lock(mtx_);
+  return listen_fd_ >= 0 ? port_ : 0;
+}
+
+bool stats_server::running() const {
+  mutex_lock lock(mtx_);
+  return listen_fd_ >= 0;
+}
+
+void stats_server::serve() {
+  int fd;
+  {
+    mutex_lock lock(mtx_);
+    fd = listen_fd_;
+  }
+  while (!stop_.load(std::memory_order_relaxed)) {
+    pollfd p{fd, POLLIN, 0};
+    const int ready = ::poll(&p, 1, /*timeout_ms=*/200);
+    if (ready <= 0) continue;  // timeout (re-check stop_) or EINTR
+    const int client = ::accept(fd, nullptr, nullptr);
+    if (client < 0) continue;
+    // One short read is enough: the request line fits any sane client's
+    // first segment, and the routes ignore headers and bodies.
+    char req[2048];
+    const ssize_t n = ::recv(client, req, sizeof(req) - 1, 0);
+    if (n > 0)
+      send_all(client, http_response(
+                           parse_path(req, static_cast<std::size_t>(n))));
+    ::close(client);
+  }
+}
+
+stats_server& stats_server::global() {
+  static stats_server* s = new stats_server();  // leaked; start() registers
+  return *s;                                    // an atexit stop()
+}
+
+}  // namespace flashr::obs

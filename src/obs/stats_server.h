@@ -1,0 +1,67 @@
+// Embedded stats HTTP server (no dependencies): a background thread with
+// blocking sockets serving the obs layer to a live scraper.
+//
+// Routes:
+//   /metrics       metrics_registry::global().to_prometheus()
+//                  (text/plain; version=0.0.4 — Prometheus scrape target)
+//   /healthz       200 "ok"
+//   /passes        obs::profile_history_json() — the pass-profile ring
+//   /explain/last  obs::last_explain_analyze_json() — last EXPLAIN ANALYZE
+//
+// The listener binds 127.0.0.1 only (observability, not a public API) and
+// handles one connection at a time: scrapes are rare and tiny, and a serial
+// accept loop keeps the server free of shared mutable state beyond the
+// listen fd. The accept loop polls with a short timeout so stop() (or
+// process exit) joins promptly. Gated by the obs_http_port knob and the
+// FLASHR_HTTP environment variable; not running costs nothing.
+#pragma once
+
+#include <atomic>
+#include <string>
+#include <thread>
+
+#include "common/thread_safety.h"
+
+namespace flashr::obs {
+
+class stats_server {
+ public:
+  stats_server() = default;
+  ~stats_server() { stop(); }
+  stats_server(const stats_server&) = delete;
+  stats_server& operator=(const stats_server&) = delete;
+
+  /// Bind 127.0.0.1:`port` (0 = ephemeral; read the choice back via port())
+  /// and start serving. Returns false (with a warning logged) when the bind
+  /// fails. Idempotent while running: a second start() with the same port
+  /// is a no-op; a different port restarts the listener.
+  bool start(int port);
+
+  /// Close the listener and join the serving thread. Idempotent.
+  void stop();
+
+  /// Actual bound port; 0 when not running.
+  int port() const;
+
+  bool running() const;
+
+  /// The routing core: full HTTP/1.0 response (status line, headers, body)
+  /// for a request path. Static and socket-free so tests can exercise every
+  /// route without a network round trip.
+  static std::string http_response(const std::string& path);
+
+  /// Process-wide instance, started by init() when obs_http_port >= 0.
+  static stats_server& global();
+
+ private:
+  void serve();
+
+  mutable mutex mtx_;
+  int listen_fd_ GUARDED_BY(mtx_) = -1;
+  int port_ GUARDED_BY(mtx_) = 0;
+  std::thread thread_ GUARDED_BY(mtx_);
+  /// Tells the accept loop to exit; the loop re-checks it every poll tick.
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace flashr::obs

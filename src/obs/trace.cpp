@@ -104,9 +104,10 @@ void append_escaped(std::string& out, const char* s) {
 }
 
 void append_event(std::string& out, const event_rec& ev, int tid) {
-  const char* ph = ev.kind == event_kind::begin ? "B"
-                   : ev.kind == event_kind::end ? "E"
-                                                : "i";
+  const char* ph = ev.kind == event_kind::begin     ? "B"
+                   : ev.kind == event_kind::end     ? "E"
+                   : ev.kind == event_kind::counter ? "C"
+                                                    : "i";
   char buf[160];
   out += "{\"name\":\"";
   append_escaped(out, ev.name == nullptr ? "?" : ev.name);

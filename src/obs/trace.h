@@ -49,6 +49,8 @@ enum class event_kind : std::uint64_t {
   begin = 0,    ///< span open  (Chrome "ph":"B")
   end = 1,      ///< span close (Chrome "ph":"E")
   instant = 2,  ///< point event (Chrome "ph":"i")
+  counter = 3,  ///< sampled value (Chrome "ph":"C") — renders as a graph
+                ///< track (prefetch window occupancy, queue depths, ...)
 };
 
 /// Append one record to the calling thread's ring. `name` must have static
@@ -119,4 +121,13 @@ class span {
     if (::flashr::obs::trace_on())                                   \
       ::flashr::obs::emit(::flashr::obs::event_kind::instant, name,  \
                           static_cast<std::uint64_t>(arg));          \
+  } while (0)
+
+/// Counter sample; `name` must be a static string. Shows up as a per-thread
+/// graph track in Perfetto.
+#define OBS_COUNTER(name, value)                                     \
+  do {                                                               \
+    if (::flashr::obs::trace_on())                                   \
+      ::flashr::obs::emit(::flashr::obs::event_kind::counter, name,  \
+                          static_cast<std::uint64_t>(value));        \
   } while (0)

@@ -22,9 +22,11 @@
 #include "core/dense_matrix.h"
 #include "core/exec.h"
 #include "io/safs.h"
+#include "matrix/block_matrix.h"
 #include "obs/explain.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "sparse/sem_spmm.h"
 
 namespace flashr {
 namespace {
@@ -487,6 +489,90 @@ TEST(ObsExplain, GoldenDag) {
   const std::string after = d.explain();
   EXPECT_TRUE(valid_json(after));
   EXPECT_EQ(after.find("\"store\": \"virtual\""), std::string::npos);
+}
+
+// A block matrix's per-block virtual nodes share the wide generated leaf,
+// so the explained plan is one DAG: leaf + a select/mapply pair per block,
+// all in a single cache-fuse group.
+TEST(ObsExplain, GoldenBlockMatrixDag) {
+  options o = obs_options();
+  o.mode = exec_mode::cache_fuse;
+  init(o);
+
+  dense_matrix wide = dense_matrix::runif(4096, 48, 0, 1, 9);
+  block_matrix bm(wide);  // two blocks: 32 + 16 columns
+  ASSERT_EQ(bm.num_blocks(), 2u);
+  block_matrix scaled = bm * 2.0;
+
+  const std::string got = scaled.explain();
+  EXPECT_TRUE(valid_json(got));
+  const std::string want = R"({
+  "targets": [2, 4],
+  "exec": {"mode": "cache-fuse", "chunk_rows": 16, "sequential_dispatch": false, "groups": [[1, 2, 3, 4]]},
+  "nodes": [
+    {"id": 0, "store": "generated", "nrow": 4096, "ncol": 48, "type": "f64", "part_rows": 1024, "children": []},
+    {"id": 1, "store": "virtual", "op": "[,cols]", "ncols": 32, "nrow": 4096, "ncol": 32, "type": "f64", "part_rows": 1024, "children": [0]},
+    {"id": 2, "store": "virtual", "op": "mapply.scalar", "fn": "*", "nrow": 4096, "ncol": 32, "type": "f64", "part_rows": 1024, "children": [1]},
+    {"id": 3, "store": "virtual", "op": "[,cols]", "ncols": 16, "nrow": 4096, "ncol": 16, "type": "f64", "part_rows": 1024, "children": [0]},
+    {"id": 4, "store": "virtual", "op": "mapply.scalar", "fn": "*", "nrow": 4096, "ncol": 16, "type": "f64", "part_rows": 1024, "children": [3]}
+  ]
+})";
+  EXPECT_EQ(got, want);
+  EXPECT_EQ(scaled.explain(), got) << "deterministic";
+
+  const std::string dot = scaled.explain_dot();
+  EXPECT_NE(dot.find("digraph flashr_dag"), std::string::npos);
+  EXPECT_NE(dot.find("[,cols]"), std::string::npos);
+  EXPECT_NE(dot.find("mapply.scalar"), std::string::npos);
+}
+
+// A dense DAG fed by a semi-external sparse product: em_csr::spmm streams
+// the sparse matrix from SSDs into a host smat, which enters the dense DAG
+// as the small side of an inner.prod.
+TEST(ObsExplain, GoldenSparseInputDag) {
+  options o = obs_options();
+  o.mode = exec_mode::cache_fuse;
+  init(o);
+
+  sparse::csr_matrix A = sparse::csr_matrix::random_graph(64, 4.0, 13);
+  auto em = sparse::em_csr::create(A, /*rows_per_block=*/16);
+  smat D(64, 2);
+  for (std::size_t i = 0; i < 64; ++i)
+    for (std::size_t j = 0; j < 2; ++j)
+      D(i, j) = static_cast<double>(i + j) / 64.0;
+  const smat P = em->spmm(D);  // sparse-input operand, 64 x 2
+
+  dense_matrix X = dense_matrix::runif(4096, 64, 0, 1, 17);
+  dense_matrix d = sum(inner_prod(X, P, bop_id::mul, agg_id::sum));
+
+  const std::string got = d.explain();
+  EXPECT_TRUE(valid_json(got));
+  const std::string want = R"({
+  "targets": [2],
+  "exec": {"mode": "cache-fuse", "chunk_rows": 16, "sequential_dispatch": false, "groups": [[1, 2]]},
+  "nodes": [
+    {"id": 0, "store": "generated", "nrow": 4096, "ncol": 64, "type": "f64", "part_rows": 1024, "children": []},
+    {"id": 1, "store": "virtual", "op": "inner.prod", "f1": "*", "f2": "sum", "nrow": 4096, "ncol": 2, "type": "f64", "part_rows": 1024, "children": [0]},
+    {"id": 2, "store": "virtual", "op": "agg", "fn": "sum", "sink": true, "nrow": 1, "ncol": 1, "type": "f64", "part_rows": 1024, "children": [1]}
+  ]
+})";
+  EXPECT_EQ(got, want);
+
+  const std::string dot = d.explain_dot();
+  EXPECT_NE(dot.find("inner.prod"), std::string::npos);
+
+  // The DAG computes what the in-memory reference computes.
+  const smat Pref = A.spmm(D);
+  double want_sum = 0;
+  smat Xs = X.to_smat();
+  for (std::size_t i = 0; i < Xs.nrow(); ++i)
+    for (std::size_t j = 0; j < Pref.ncol(); ++j) {
+      double acc = 0;
+      for (std::size_t k = 0; k < Xs.ncol(); ++k)
+        acc += Xs(i, k) * Pref(k, j);
+      want_sum += acc;
+    }
+  EXPECT_NEAR(d.scalar(), want_sum, std::abs(want_sum) * 1e-10);
 }
 
 // ---------------------------------------------------------------------------
