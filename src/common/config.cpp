@@ -59,9 +59,10 @@ void options::validate() const {
   auto valid_prob = [](double p) { return p >= 0.0 && p <= 1.0; };
   FLASHR_CHECK(valid_prob(fault_pread_prob) && valid_prob(fault_pwrite_prob) &&
                    valid_prob(fault_latency_prob) &&
-                   valid_prob(fault_short_prob),
+                   valid_prob(fault_short_prob) && valid_prob(fault_stall_prob),
                "fault probabilities must be in [0, 1]");
   FLASHR_CHECK(fault_latency_us >= 0, "fault_latency_us must be >= 0");
+  FLASHR_CHECK(fault_stall_us >= 0, "fault_stall_us must be >= 0");
   FLASHR_CHECK(obs_ring_events >= 16 && std::has_single_bit(obs_ring_events),
                "obs_ring_events must be a power of two >= 16");
   FLASHR_CHECK(obs_profile_history >= 1,
@@ -142,6 +143,8 @@ const options& conf() {
   if (!g_initialized) init(options());
   return g_options;
 }
+
+bool initialized() { return g_initialized; }
 
 options& mutable_conf() {
   if (!g_initialized) init(options());

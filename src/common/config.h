@@ -89,6 +89,32 @@ struct options {
   /// once the write queue is empty (the bound never deadlocks).
   std::size_t max_inflight_write_bytes = std::size_t{256} << 20;
 
+  // --- Resource governor (core/governor.h) ---------------------------------
+  /// Process-wide budget of transient pass memory (pool buffers for the
+  /// prefetch window, per-worker chunk state, EM output staging and the
+  /// write-behind queue). A pass must reserve its estimated footprint before
+  /// it starts; on failure it walks the degradation ladder (shrink
+  /// prefetch_depth, shrink Pcache chunk rows, fall back to streaming eager
+  /// execution) and, still over budget, fails with overload_error.
+  /// 0 = unlimited (no memory admission control).
+  std::size_t mem_budget_bytes = 0;
+  /// Process-wide budget of in-flight partition-leaf reads. Reserved like
+  /// mem_budget_bytes; a pass over budget shrinks its prefetch window.
+  /// 0 = unlimited.
+  std::size_t max_inflight_io = 0;
+  /// When the budgets are held by other passes: false (default) queues the
+  /// pass until budget frees (or its deadline fires); true fails fast with
+  /// overload_error, which retry policies classify as transient.
+  bool governor_fail_fast = false;
+  /// Default deadline for one materialize() call, milliseconds; a pass past
+  /// its deadline is cooperatively cancelled by the watchdog and surfaces
+  /// timeout_error. 0 = no deadline. materialize_opts::deadline_ms
+  /// overrides per call.
+  std::uint64_t pass_deadline_ms = 0;
+  /// Hung-I/O detection: a pass with reads in flight but no completion for
+  /// this long is cancelled with timeout_error. 0 = disabled.
+  std::uint64_t watchdog_stall_ms = 0;
+
   // --- Resilience (io/fault.h, io/safs.cpp) --------------------------------
   /// Retries for transient syscall failures (EAGAIN/EIO) before the error
   /// escalates as a typed io_error. EINTR is always retried immediately and
@@ -111,6 +137,15 @@ struct options {
   double fault_latency_prob = 0.0;  ///< syscall delayed by fault_latency_us
   double fault_short_prob = 0.0;    ///< pread hits EOF early / short pwrite
   int fault_latency_us = 200;
+  /// Stall site (io/async_io.cpp): a read's completion delivery — the
+  /// notify/future resolution, after the data landed — is delayed by
+  /// fault_stall_us. Unlike the latency site (which delays the syscall),
+  /// this models an SSD whose completions stop arriving, which is exactly
+  /// what the hung-I/O watchdog (core/governor.h) monitors; tests drive the
+  /// watchdog with it deterministically instead of relying on wall-clock
+  /// thread scheduling.
+  double fault_stall_prob = 0.0;
+  int fault_stall_us = 100000;
   int fault_errno = 5;  // EIO
   /// Total faults the schedule may inject before disarming; 0 = unlimited.
   /// A finite budget makes transient-fault tests exact: retries == budget.
@@ -159,6 +194,12 @@ void shutdown();
 
 /// Current configuration; initializes with defaults on first use.
 const options& conf();
+
+/// Whether init() has run (and shutdown() has not). Lets monitoring paths
+/// (e.g. the stats server's /healthz route) read a consistent "not running"
+/// answer without triggering lazy engine initialization — the serve thread
+/// must never call init(), which (re)starts the stats server itself.
+bool initialized();
 
 /// Mutable access for test/bench knobs that are safe to flip between DAG
 /// executions (mode, throttle, pcache size).

@@ -198,6 +198,12 @@ void dense_matrix::materialize(storage st) const {
   exec::materialize({store_}, st);
 }
 
+void dense_matrix::materialize(storage st,
+                               const exec::materialize_opts& opts) const {
+  FLASHR_CHECK(valid(), "empty matrix");
+  exec::materialize({store_}, st, opts);
+}
+
 void materialize_all(const std::vector<dense_matrix>& targets, storage st) {
   std::vector<matrix_store::ptr> stores;
   stores.reserve(targets.size());

@@ -18,6 +18,7 @@
 
 #include "blas/smat.h"
 #include "common/config.h"
+#include "core/exec.h"
 #include "core/genops.h"
 #include "matrix/matrix_store.h"
 
@@ -72,6 +73,8 @@ class dense_matrix {
 
   /// Force computation; after this the handle is backed by a physical store.
   void materialize(storage st = storage::in_mem) const;
+  /// Same, with per-call execution limits (deadline); see exec::materialize.
+  void materialize(storage st, const exec::materialize_opts& opts) const;
   /// Copy to a host smat (materializes; intended for small matrices).
   smat to_smat() const;
   /// as.vector: flatten (column-major) to a host vector.

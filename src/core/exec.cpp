@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <cstring>
 #include <future>
+#include <map>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
@@ -15,6 +16,7 @@
 #include "common/log.h"
 #include "common/thread_safety.h"
 #include "common/timer.h"
+#include "core/governor.h"
 #include "core/kernels.h"
 #include "core/prefetch_pipeline.h"
 #include "core/validate.h"
@@ -189,6 +191,10 @@ struct sink_desc {
   virtual_store* node = nullptr;
   std::size_t out_rows = 0;
   std::size_t out_cols = 0;
+  /// Elements in a partial accumulator. Usually out_rows*out_cols, but the
+  /// full aggregate carries one accumulator per input column until the
+  /// final agg_finish so its fold order is chunk-size independent.
+  std::size_t acc_elems = 0;
   scalar_type out_type = scalar_type::f64;
   agg_id merge_op = agg_id::sum;
 };
@@ -234,6 +240,8 @@ sink_desc describe_sink(virtual_store* v) {
     default:
       FLASHR_ASSERT(false, "not a sink");
   }
+  d.acc_elems = d.out_rows * d.out_cols;
+  if (op.kind == node_kind::s_agg_full) d.acc_elems = a->ncol();
   return d;
 }
 
@@ -295,7 +303,36 @@ struct cum_chain {
 struct pass_config {
   storage st = storage::in_mem;
   std::size_t chunk_rows = 0;  // 0 = whole partition (mem_fuse)
+  /// Prefetch depth for this pass; -1 = the conf() default. The governor's
+  /// degradation ladder shrinks this below the configured depth to fit the
+  /// memory budget.
+  long prefetch_depth = -1;
 };
+
+/// Per-materialize() resilience state, threaded through every pass of the
+/// call: the deadline/watchdog limits and the degradation record.
+struct pass_ctl {
+  std::uint64_t pass_id = 0;     ///< global materialize() sequence number
+  std::uint64_t start_ns = 0;
+  std::uint64_t deadline_ms = 0; ///< effective (opts override or conf)
+  std::uint64_t deadline_ns = 0; ///< absolute now_ns() instant; 0 = none
+  std::uint64_t stall_ms = 0;    ///< conf().watchdog_stall_ms
+  std::vector<std::string> degrade;  ///< ladder steps taken, in order
+  std::size_t admission_waits = 0;
+  std::uint64_t admission_wait_ns = 0;
+};
+
+/// Ids for error payloads and /passes correlation.
+std::atomic<std::uint64_t> g_pass_id{0};
+
+/// The conf()-derived prefetch depth (the formula of build_pipelines,
+/// before any NUMA split) — the top rung of the degradation ladder.
+long default_prefetch_depth() {
+  return conf().prefetch_depth < 0
+             ? 2 * static_cast<long>(conf().io_threads) *
+                   static_cast<long>(conf().dispatch_batch)
+             : static_cast<long>(conf().prefetch_depth);
+}
 
 /// Per-chunk evaluation state for one node. Entries live in a flat array
 /// indexed by the node's dense id; `gen` marks which chunk the entry belongs
@@ -309,7 +346,8 @@ struct chunk_buf {
 
 class pass_runner {
  public:
-  pass_runner(dag_info& dag, pass_config cfg) : dag_(dag), cfg_(cfg) {
+  pass_runner(dag_info& dag, pass_config cfg, pass_ctl* ctl = nullptr)
+      : dag_(dag), cfg_(cfg), ctl_(ctl) {
     allocate_outputs();
     init_cum_chains();
     prof_init();
@@ -324,6 +362,7 @@ class pass_runner {
   void allocate_outputs();
   void init_cum_chains();
   void merge_sinks();
+  std::vector<char> make_sink_identity(const sink_desc& s) const;
 
   struct thread_ctx {
     int thread_idx = 0;
@@ -362,6 +401,7 @@ class pass_runner {
   /// drain the home pipeline's completed partitions, then steal from other
   /// nodes' pipelines.
   void pipeline_worker(thread_ctx& ctx);
+  void submit_sink_partials(thread_ctx& ctx);
   /// Build the prefetch pipelines (one, or one per NUMA node) and start
   /// their read-ahead.
   void build_pipelines();
@@ -394,6 +434,9 @@ class pass_runner {
 
   dag_info& dag_;
   pass_config cfg_;
+  /// Resilience state of the enclosing materialize(); null in tests that
+  /// drive passes directly. Read-only here except for profile recording.
+  pass_ctl* ctl_ = nullptr;
   std::atomic<bool> cancel_{false};
   mutex error_mutex_;
   std::exception_ptr pass_error_ GUARDED_BY(error_mutex_);
@@ -404,8 +447,17 @@ class pass_runner {
   /// chain carries its own mutex).
   std::unordered_map<const virtual_store*, cum_chain> cum_chains_;
   mutex acc_mutex_;
-  /// Collected per-thread sink partials, merged in thread order.
-  std::vector<std::vector<std::vector<char>>> all_sink_acc_
+  /// Sink partials are produced per PARTITION and merged in ascending
+  /// partition order: neither which worker claimed a partition, the claim
+  /// order, nor the prefetch depth can change the reduction's floating-
+  /// point association — so a degraded run is bit-identical to the
+  /// undegraded one (DESIGN.md §11.2). Out-of-order completions park in
+  /// pending_sink_parts_ (bounded by the claim window) until the frontier
+  /// reaches them.
+  std::vector<std::vector<char>> sink_total_ GUARDED_BY(acc_mutex_);
+  bool sink_total_init_ GUARDED_BY(acc_mutex_) = false;
+  std::size_t next_merge_part_ GUARDED_BY(acc_mutex_) = 0;
+  std::map<std::size_t, std::vector<std::vector<char>>> pending_sink_parts_
       GUARDED_BY(acc_mutex_);
   /// Pool buffers outstanding after output allocation; the post-pass audit
   /// (validate::audit_pool) asserts the pass returned to this baseline.
@@ -492,6 +544,9 @@ void register_pass_probes() {
   probe("pass.write_throttle_stalls", &pass_stats::write_throttle_stalls);
   probe("pass.write_throttle_ns", &pass_stats::write_throttle_ns);
   probe("pass.write_inflight_hwm", &pass_stats::write_inflight_hwm);
+  probe("pass.degrade_steps", &pass_stats::degrade_steps);
+  probe("pass.admission_waits", &pass_stats::admission_waits);
+  probe("pass.admission_wait_ns", &pass_stats::admission_wait_ns);
 }
 
 void pass_runner::allocate_outputs() {
@@ -507,8 +562,52 @@ void pass_runner::allocate_outputs() {
           mem_store::create(g.nrow, g.ncol, v->type(), g.part_rows));
   }
   for (virtual_store* v : dag_.sinks) sinks_.push_back(describe_sink(v));
-  mutex_lock lock(acc_mutex_);
-  all_sink_acc_.resize(static_cast<std::size_t>(thread_pool::global().size()));
+}
+
+std::vector<char> pass_runner::make_sink_identity(const sink_desc& s) const {
+  std::vector<char> buf(s.acc_elems * type_size(s.out_type));
+  if (s.node->op().kind == node_kind::s_count_groups)
+    std::memset(buf.data(), 0, buf.size());
+  else
+    kern::agg_identity(s.out_type, s.merge_op, buf.data(), s.acc_elems);
+  return buf;
+}
+
+/// Called at the end of every processed partition: park this partition's
+/// sink partials and advance the in-order merge frontier as far as it goes.
+/// The worker's accumulators are reset to the identity for its next claim.
+void pass_runner::submit_sink_partials(thread_ctx& ctx) {
+  if (sinks_.empty()) return;
+  {
+    mutex_lock lock(acc_mutex_);
+    pending_sink_parts_.emplace(ctx.part, std::move(ctx.sink_acc));
+    while (!pending_sink_parts_.empty() &&
+           pending_sink_parts_.begin()->first == next_merge_part_) {
+      auto& partial = pending_sink_parts_.begin()->second;
+      if (!sink_total_init_) {
+        sink_total_ = std::move(partial);
+        sink_total_init_ = true;
+      } else {
+        for (std::size_t s = 0; s < sinks_.size(); ++s) {
+          const sink_desc& d = sinks_[s];
+          if (d.node->op().kind == node_kind::s_count_groups) {
+            auto* a = reinterpret_cast<std::int64_t*>(sink_total_[s].data());
+            const auto* b =
+                reinterpret_cast<const std::int64_t*>(partial[s].data());
+            for (std::size_t i = 0; i < d.acc_elems; ++i) a[i] += b[i];
+          } else {
+            kern::agg_merge(d.out_type, d.merge_op, sink_total_[s].data(),
+                            partial[s].data(), d.acc_elems);
+          }
+        }
+      }
+      pending_sink_parts_.erase(pending_sink_parts_.begin());
+      ++next_merge_part_;
+    }
+  }
+  ctx.sink_acc.clear();
+  for (const sink_desc& s : sinks_)
+    ctx.sink_acc.push_back(make_sink_identity(s));
 }
 
 void pass_runner::init_cum_chains() {
@@ -572,6 +671,9 @@ void pass_runner::record_profile() {
   p.chunk_rows = cfg_.chunk_rows;
   p.threads = thread_pool::global().size();
   p.wall_ns = now_ns() - prof_t0_;
+  // Ladder steps of the whole materialize() so far: a degraded eager pass
+  // shows the mode fallback that created it, not just its own rungs.
+  if (ctl_ != nullptr) p.degrade = ctl_->degrade;
   p.nodes.reserve(prof_slots_);
   for (std::size_t slot = 0; slot < prof_slots_; ++slot) {
     obs::node_profile n;
@@ -621,11 +723,11 @@ void pass_runner::build_pipelines() {
   const int nodes =
       (conf().numa_nodes > 1 && !sequential) ? conf().numa_nodes : 1;
   // Read-ahead across the whole pass: enough in-flight partitions to keep
-  // every I/O thread busy through a full dispatch batch per worker refill.
-  std::size_t depth = conf().prefetch_depth < 0
-                          ? 2 * static_cast<std::size_t>(conf().io_threads) *
-                                static_cast<std::size_t>(conf().dispatch_batch)
-                          : static_cast<std::size_t>(conf().prefetch_depth);
+  // every I/O thread busy through a full dispatch batch per worker refill —
+  // unless the governor's degradation ladder pinned a smaller window.
+  std::size_t depth = static_cast<std::size_t>(
+      cfg_.prefetch_depth >= 0 ? cfg_.prefetch_depth
+                               : default_prefetch_depth());
   // NUMA: per-node windows share the global read-ahead budget.
   if (nodes > 1 && depth > 0)
     depth = std::max<std::size_t>(1, depth / static_cast<std::size_t>(nodes));
@@ -694,6 +796,7 @@ void pass_runner::pipeline_worker(thread_ctx& ctx) {
       ctx.part_rows = dag_.space.rows_in_part(s.part);
       process_partition(ctx);
       ctx.em_bufs.clear();
+      submit_sink_partials(ctx);
     }
   }
 }
@@ -707,22 +810,42 @@ void pass_runner::run() {
   if (pipelines_.size() == 1 && pipelines_[0]->sequential())
     ++g_stats_acc.sequential_passes;
 
+  // Supervise the pass: pipelines_ is read-only from here until teardown,
+  // so the watchdog's probe can walk it lock-free; fail() is the same
+  // cooperative cancellation any worker error takes, so a trip drains and
+  // audits exactly like an I/O failure. The watch ends before
+  // teardown_pipelines() — settle() must wait out an injected stall anyway
+  // (zero-leak: the read still owns its buffer until the completion lands).
+  std::uint64_t wtoken = 0;
+  if (ctl_ != nullptr) {
+    const std::uint64_t stall_ns = ctl_->stall_ms * 1000000ull;
+    wtoken = pass_watchdog::global().watch(
+        ctl_->pass_id, ctl_->deadline_ns, ctl_->deadline_ms, stall_ns,
+        ctl_->stall_ms,
+        [this] {
+          pass_watchdog::io_progress p;
+          for (const auto& pl : pipelines_) {
+            if (!pl) continue;
+            const prefetch_pipeline::io_progress q = pl->progress();
+            p.inflight += q.inflight_reads;
+            p.last_completion_ns =
+                std::max(p.last_completion_ns, q.last_completion_ns);
+          }
+          return p;
+        },
+        [this](std::exception_ptr e) { fail(e); });
+  }
+
   pool.run_all([&](int thread_idx) {
     thread_ctx ctx;
     ctx.thread_idx = thread_idx;
     ctx.chunk.resize(static_cast<std::size_t>(dag_.num_ids));
     if (prof_) ctx.prof.assign(prof_slots_ * kProfFields, 0);
-    // Sink partials start at the aggregation identity.
+    // Sink partials start at the aggregation identity; they are re-armed
+    // after every partition by submit_sink_partials().
     ctx.sink_acc.reserve(sinks_.size());
-    for (const sink_desc& s : sinks_) {
-      std::vector<char> buf(s.out_rows * s.out_cols * type_size(s.out_type));
-      if (s.node->op().kind == node_kind::s_count_groups)
-        std::memset(buf.data(), 0, buf.size());
-      else
-        kern::agg_identity(s.out_type, s.merge_op, buf.data(),
-                           s.out_rows * s.out_cols);
-      ctx.sink_acc.push_back(std::move(buf));
-    }
+    for (const sink_desc& s : sinks_)
+      ctx.sink_acc.push_back(make_sink_identity(s));
 
     try {
       pipeline_worker(ctx);
@@ -742,14 +865,19 @@ void pass_runner::run() {
           prof_acc_[i].fetch_add(ctx.prof[i], std::memory_order_relaxed);
     // ctx destruction returns every worker-held pool buffer (chunk bufs,
     // EM read buffers, staged outputs) whether the pass succeeded or not.
-    mutex_lock lock(acc_mutex_);
-    all_sink_acc_[static_cast<std::size_t>(thread_idx)] =
-        std::move(ctx.sink_acc);
+    // Sink partials were already submitted per partition; whatever is left
+    // in ctx.sink_acc is an untouched identity (or a cancelled partition's
+    // partial, discarded with the pass).
   });
 
-  // All workers joined. Settle in-flight window reads and destroy the
-  // pipelines on BOTH paths, so the pool audits below see every read-ahead
-  // buffer home regardless of how the pass ended.
+  // All workers joined. End supervision BEFORE teardown destroys the
+  // pipelines the watchdog's probe reads; unwatch() returns only once no
+  // callback can still be running.
+  if (wtoken != 0) pass_watchdog::global().unwatch(wtoken);
+
+  // Settle in-flight window reads and destroy the pipelines on BOTH paths,
+  // so the pool audits below see every read-ahead buffer home regardless of
+  // how the pass ended.
   teardown_pipelines();
 
   if (cancelled()) {
@@ -1147,28 +1275,24 @@ void pass_runner::process_chunk(thread_ctx& ctx) {
 }
 
 void pass_runner::merge_sinks() {
+  if (sinks_.empty()) return;
   mutex_lock lock(acc_mutex_);
+  // submit_sink_partials() merged every partition in ascending order as the
+  // pass ran; a successful pass must have drained the frontier completely.
+  FLASHR_ASSERT(sink_total_init_ && pending_sink_parts_.empty() &&
+                    next_merge_part_ == dag_.space.num_parts(),
+                "sink partials incomplete at merge");
   for (std::size_t s = 0; s < sinks_.size(); ++s) {
     const sink_desc& d = sinks_[s];
-    const std::size_t n = d.out_rows * d.out_cols;
-    std::vector<char> total;
-    bool first = true;
-    // Merge in thread order for determinism at a fixed thread count.
-    for (auto& per_thread : all_sink_acc_) {
-      if (per_thread.empty()) continue;
-      if (first) {
-        total = per_thread[s];
-        first = false;
-      } else if (d.node->op().kind == node_kind::s_count_groups) {
-        auto* a = reinterpret_cast<std::int64_t*>(total.data());
-        auto* b = reinterpret_cast<const std::int64_t*>(per_thread[s].data());
-        for (std::size_t i = 0; i < n; ++i) a[i] += b[i];
-      } else {
-        kern::agg_merge(d.out_type, d.merge_op, total.data(),
-                        per_thread[s].data(), n);
-      }
+    std::vector<char> total = std::move(sink_total_[s]);
+    // The full aggregate kept one accumulator per input column for chunk-
+    // size-independent folding; collapse them (in column order) now.
+    if (d.node->op().kind == node_kind::s_agg_full) {
+      std::vector<char> one(type_size(d.out_type));
+      kern::agg_finish(d.out_type, d.merge_op, total.data(), d.acc_elems,
+                       one.data());
+      total = std::move(one);
     }
-    FLASHR_ASSERT(!first, "no sink partials produced");
     // Sinks always land in memory (§3.5).
     auto out = mem_store::create(d.out_rows, d.out_cols, d.out_type);
     FLASHR_ASSERT(out->num_parts() == 1, "sink result must fit a partition");
@@ -1180,15 +1304,175 @@ void pass_runner::merge_sinks() {
 }
 
 // ---------------------------------------------------------------------------
+// Admission + degradation ladder (core/governor.h)
+// ---------------------------------------------------------------------------
+
+/// Estimated peak TRANSIENT pool demand of one pass. Covers the terms a
+/// pass releases at its end: the prefetch window, each worker's claimed
+/// partition buffers, per-worker chunk evaluation state, EM-output staging
+/// and the bounded write-behind. Persistent in-memory outputs (mem_store
+/// partitions that outlive the pass) are deliberately excluded — they are
+/// the caller's data, not pass overhead. Deterministic for a fixed DAG and
+/// configuration, so the degradation ladder converges.
+resource_governor::footprint estimate_footprint(const dag_info& dag,
+                                                long depth,
+                                                std::size_t chunk_rows,
+                                                storage st) {
+  resource_governor::footprint fp;
+  const auto threads = static_cast<std::size_t>(thread_pool::global().size());
+  const std::size_t d = depth > 0 ? static_cast<std::size_t>(depth) : 0;
+
+  // Partition 0 is a full-height partition (only the last may be short).
+  std::size_t leaf_part_bytes = 0;
+  for (const em_readable* l : dag.em_leaves)
+    leaf_part_bytes += l->geom().part_bytes(0, l->type());
+  // Window reads plus one claimed partition per worker.
+  fp.bytes += (d + threads) * leaf_part_bytes;
+
+  // Chunk evaluation state: every node that owns a chunk buffer (virtual
+  // and generated; mem/ext leaves are views into existing storage).
+  const std::size_t crows =
+      chunk_rows == 0 ? dag.space.part_rows : chunk_rows;
+  std::size_t node_row_bytes = 0;
+  for (const auto& [node, id] : dag.ids) {
+    (void)id;
+    if (node->kind() == store_kind::mem || node->kind() == store_kind::ext)
+      continue;
+    node_row_bytes += node->ncol() * node->elem_size();
+  }
+  fp.bytes += threads * crows * node_row_bytes;
+
+  // EM outputs: one staged partition per worker, plus the write-behind
+  // allowance (bounded by conf, or one more partition per worker unbounded).
+  std::size_t out_part_bytes = 0;
+  for (const virtual_store* v : dag.tall_outputs) {
+    const storage s =
+        dag.requested_talls.count(v) ? st : v->cache_storage();
+    if (s == storage::ext_mem)
+      out_part_bytes += v->geom().part_bytes(0, v->type());
+  }
+  if (out_part_bytes != 0) {
+    fp.bytes += threads * out_part_bytes;
+    const std::size_t wb = conf().max_inflight_write_bytes;
+    fp.bytes += wb != 0 ? wb : threads * out_part_bytes;
+  }
+
+  if (!dag.em_leaves.empty())
+    fp.inflight_io = (d > 0 ? d : threads) * dag.em_leaves.size();
+  return fp;
+}
+
+/// RAII /healthz accounting for a pass running in a degraded configuration.
+struct degraded_scope {
+  explicit degraded_scope(bool on) : on_(on) {
+    if (on_) resource_governor::global().note_degraded_begin();
+  }
+  ~degraded_scope() {
+    if (on_) resource_governor::global().note_degraded_end();
+  }
+  degraded_scope(const degraded_scope&) = delete;
+  degraded_scope& operator=(const degraded_scope&) = delete;
+  bool on_;
+};
+
+/// Admit one pass, walking the degradation ladder until its footprint fits
+/// the budgets: halve the prefetch window (…→1→0, each rung strictly
+/// smaller), then shrink the Pcache chunk (converting a whole-partition
+/// pass to chunked evaluation first). Fits-but-contended footprints queue
+/// (bounded by the deadline) or fail fast per conf(). Every step lands in
+/// ctl->degrade and the governor metrics. Returns with the reservation
+/// held and cfg updated; throws typed overload/timeout errors.
+resource_governor::reservation admit_with_degradation(const dag_info& dag,
+                                                      pass_config& cfg,
+                                                      pass_ctl* ctl) {
+  auto& gov = resource_governor::global();
+  const std::uint64_t pass_id = ctl != nullptr ? ctl->pass_id : 0;
+  long depth = default_prefetch_depth();
+  auto record_step = [&](std::string step) {
+    if (ctl != nullptr) ctl->degrade.push_back(std::move(step));
+    gov.count_degrade_step();
+  };
+  for (;;) {
+    const resource_governor::footprint fp =
+        estimate_footprint(dag, depth, cfg.chunk_rows, cfg.st);
+    resource_governor::reservation res;
+    const resource_governor::verdict v = gov.try_admit(fp, res);
+    if (v == resource_governor::verdict::admitted) {
+      cfg.prefetch_depth = depth;
+      return res;
+    }
+    if (v == resource_governor::verdict::busy) {
+      if (conf().governor_fail_fast) {
+        gov.count_reject();
+        throw overload_error(
+            "resource budget held by other passes (fail-fast)", pass_id,
+            fp.bytes, conf().mem_budget_bytes);
+      }
+      const std::uint64_t t0 = now_ns();
+      res = gov.admit(pass_id, fp,
+                      ctl != nullptr ? ctl->deadline_ns : 0,
+                      ctl != nullptr ? ctl->deadline_ms : 0);
+      if (ctl != nullptr) {
+        ++ctl->admission_waits;
+        ctl->admission_wait_ns += now_ns() - t0;
+      }
+      cfg.prefetch_depth = depth;
+      return res;
+    }
+    // too_large: degrade. Depth first (read-ahead is pure overhead), then
+    // chunking (trades kernel efficiency, never results).
+    if (depth > 1) {
+      record_step("depth:" + std::to_string(depth) + "->" +
+                  std::to_string(depth / 2));
+      depth /= 2;
+    } else if (depth == 1) {
+      record_step("depth:1->0");
+      depth = 0;
+    } else if (cfg.chunk_rows == 0 && dag.space.part_rows > 16) {
+      // Whole-partition evaluation -> Pcache chunking. Start from the
+      // pcache_bytes-derived chunk; make sure the rung actually shrinks.
+      std::size_t c = chunk_rows_for(dag);
+      if (c >= dag.space.part_rows)
+        c = std::max<std::size_t>(16, std::bit_floor(dag.space.part_rows) / 2);
+      if (c >= dag.space.part_rows) {
+        gov.count_reject();
+        throw overload_error(
+            "pass footprint exceeds the memory budget even fully degraded",
+            pass_id, fp.bytes, conf().mem_budget_bytes);
+      }
+      record_step("chunk:0->" + std::to_string(c));
+      cfg.chunk_rows = c;
+    } else if (cfg.chunk_rows > 16) {
+      record_step("chunk:" + std::to_string(cfg.chunk_rows) + "->" +
+                  std::to_string(cfg.chunk_rows / 2));
+      cfg.chunk_rows /= 2;
+    } else {
+      gov.count_reject();
+      const bool mem_exceeded = conf().mem_budget_bytes != 0 &&
+                                fp.bytes > conf().mem_budget_bytes;
+      throw overload_error(
+          "pass footprint exceeds the resource budget even fully degraded",
+          pass_id, mem_exceeded ? fp.bytes : fp.inflight_io,
+          mem_exceeded ? conf().mem_budget_bytes : conf().max_inflight_io);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Mode selection
 // ---------------------------------------------------------------------------
 
-void run_fused(dag_info& dag, storage st, bool cache_fuse) {
+void run_fused(dag_info& dag, storage st, bool cache_fuse, pass_ctl* ctl) {
   if (dag.order.empty()) return;
   pass_config cfg;
   cfg.st = st;
   cfg.chunk_rows = cache_fuse ? chunk_rows_for(dag) : 0;
-  pass_runner runner(dag, cfg);
+  const std::size_t steps_before = ctl != nullptr ? ctl->degrade.size() : 0;
+  resource_governor::reservation res =
+      admit_with_degradation(dag, cfg, ctl);
+  degraded_scope degraded(ctl != nullptr &&
+                          ctl->degrade.size() > steps_before);
+  pass_runner runner(dag, cfg, ctl);
   runner.run();
 }
 
@@ -1198,7 +1482,7 @@ void run_fused(dag_info& dag, storage st, bool cache_fuse) {
 /// the main bottleneck"); only requested targets honour the caller's
 /// storage. Sinks always land in memory regardless.
 void run_eager(dag_info& dag, storage st,
-               const std::vector<matrix_store::ptr>& targets) {
+               const std::vector<matrix_store::ptr>& targets, pass_ctl* ctl) {
   const storage intermediate_st =
       dag.em_leaves.empty() ? st : storage::ext_mem;
   std::unordered_set<const matrix_store*> requested;
@@ -1208,7 +1492,7 @@ void run_eager(dag_info& dag, storage st,
     if (v->has_result()) continue;
     std::vector<matrix_store::ptr> single{v->shared_from_this()};
     dag_info sub = collect(single);
-    run_fused(sub, requested.count(v) ? st : intermediate_st, false);
+    run_fused(sub, requested.count(v) ? st : intermediate_st, false, ctl);
   }
 }
 
@@ -1230,21 +1514,33 @@ pass_stats last_pass_stats() {
 }
 
 std::string pass_stats::to_json() const {
-  char buf[512];
+  char buf[640];
   std::snprintf(
       buf, sizeof(buf),
       "{\"passes\": %zu, \"sequential_passes\": %zu, \"read_bytes\": %" PRIu64
       ", \"write_bytes\": %" PRIu64 ", \"read_wait_ns\": %" PRIu64
       ", \"reads_issued\": %zu, \"occupancy_x100\": %" PRIu64
       ", \"write_throttle_stalls\": %zu, \"write_throttle_ns\": %" PRIu64
-      ", \"write_inflight_hwm\": %zu}",
+      ", \"write_inflight_hwm\": %zu, \"degrade_steps\": %zu"
+      ", \"admission_waits\": %zu, \"admission_wait_ns\": %" PRIu64
+      ", \"degrade_path\": \"",
       passes, sequential_passes, read_bytes, write_bytes, read_wait_ns,
       reads_issued, occupancy_x100, write_throttle_stalls, write_throttle_ns,
-      write_inflight_hwm);
-  return buf;
+      write_inflight_hwm, degrade_steps, admission_waits, admission_wait_ns);
+  // Ladder steps are [a-z0-9:>,-] only — no JSON escaping needed, but the
+  // path length is unbounded (one entry per halving), so append unbuffered.
+  std::string s = buf;
+  s += degrade_path;
+  s += "\"}";
+  return s;
 }
 
 void materialize(const std::vector<matrix_store::ptr>& targets, storage st) {
+  materialize(targets, st, materialize_opts{});
+}
+
+void materialize(const std::vector<matrix_store::ptr>& targets, storage st,
+                 const materialize_opts& opts) {
   OBS_SPAN_ARG("materialize", targets.size());
   static const bool probes_registered = [] {
     register_pass_probes();
@@ -1268,6 +1564,18 @@ void materialize(const std::vector<matrix_store::ptr>& targets, storage st) {
     g_last_stats = {};
   }
 
+  // Per-call resilience limits: the deadline (opts override, else conf) is
+  // one absolute instant covering every pass of this call, admission waits
+  // included.
+  pass_ctl ctl;
+  ctl.pass_id = g_pass_id.fetch_add(1, std::memory_order_relaxed) + 1;
+  ctl.start_ns = now_ns();
+  ctl.deadline_ms =
+      opts.deadline_ms != 0 ? opts.deadline_ms : conf().pass_deadline_ms;
+  ctl.deadline_ns =
+      ctl.deadline_ms != 0 ? ctl.start_ns + ctl.deadline_ms * 1000000ull : 0;
+  ctl.stall_ms = conf().watchdog_stall_ms;
+
   // Bracket the passes with global-counter snapshots so last_pass_stats()
   // reports this materialization's I/O only. Runs even when a pass throws:
   // a cancelled pass's partial stats are still meaningful to callers.
@@ -1282,6 +1590,7 @@ void materialize(const std::vector<matrix_store::ptr>& targets, storage st) {
     async_io& aio;
     std::uint64_t rb0, wb0;
     async_io::write_throttle_stats th0;
+    const pass_ctl& ctl;
     ~stats_finalizer() {
       // Build the snapshot off-lock, publish it in one assignment so a
       // concurrent last_pass_stats() never sees a half-written struct.
@@ -1300,20 +1609,38 @@ void materialize(const std::vector<matrix_store::ptr>& targets, storage st) {
       s.write_throttle_stalls = th1.stalls - th0.stalls;
       s.write_throttle_ns = th1.stall_ns - th0.stall_ns;
       s.write_inflight_hwm = th1.hwm_bytes;
+      s.degrade_steps = ctl.degrade.size();
+      for (const std::string& step : ctl.degrade) {
+        if (!s.degrade_path.empty()) s.degrade_path += ",";
+        s.degrade_path += step;
+      }
+      s.admission_waits = ctl.admission_waits;
+      s.admission_wait_ns = ctl.admission_wait_ns;
       mutex_lock lock(g_stats_mutex);
       g_last_stats = s;
     }
-  } finalize{ios, aio, rb0, wb0, th0};
+  } finalize{ios, aio, rb0, wb0, th0, ctl};
 
   switch (conf().mode) {
     case exec_mode::eager:
-      run_eager(dag, st, targets);
+      run_eager(dag, st, targets, &ctl);
       break;
     case exec_mode::mem_fuse:
-      run_fused(dag, st, false);
-      break;
     case exec_mode::cache_fuse:
-      run_fused(dag, st, true);
+      try {
+        run_fused(dag, st, conf().mode == exec_mode::cache_fuse, &ctl);
+      } catch (const overload_error&) {
+        // The fused pass cannot fit the budget even fully degraded, but
+        // admission precedes execution, so nothing ran: the final ladder
+        // rung retries node-at-a-time (eager) passes, whose sub-DAGs are
+        // strictly smaller. A single-node DAG would just re-fail with the
+        // identical footprint — surface the overload instead.
+        if (dag.order.size() <= 1) throw;
+        ctl.degrade.push_back(std::string("mode:") +
+                              exec_mode_name(conf().mode) + "->eager");
+        resource_governor::global().count_degrade_step();
+        run_eager(dag, st, targets, &ctl);
+      }
       break;
   }
 }

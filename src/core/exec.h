@@ -27,10 +27,28 @@
 
 namespace flashr::exec {
 
+/// Per-call execution limits (the conf() knobs give the process-wide
+/// defaults; a non-zero field here overrides them for one call).
+struct materialize_opts {
+  /// Wall-clock budget in ms for the whole materialization, admission waits
+  /// included. Exceeding it cancels the running pass cooperatively and
+  /// surfaces timeout_error. 0 defers to conf().pass_deadline_ms.
+  std::uint64_t deadline_ms = 0;
+};
+
 /// Materialize every virtual store in `targets` (non-virtual entries are
 /// ignored; already-materialized nodes are skipped). On return, each target
 /// virtual_store has its result() set.
+///
+/// Resilience: each pass is admitted by the resource governor
+/// (core/governor.h) against conf().mem_budget_bytes / max_inflight_io,
+/// degrading read-ahead, Pcache chunking and finally the fusion mode to fit
+/// — bit-identical results, slower. Throws overload_error (transient) when
+/// the budget cannot be met even fully degraded or in fail-fast mode, and
+/// timeout_error when the deadline or the hung-I/O watchdog fires.
 void materialize(const std::vector<matrix_store::ptr>& targets, storage st);
+void materialize(const std::vector<matrix_store::ptr>& targets, storage st,
+                 const materialize_opts& opts);
 
 /// Per-materialize() I/O accounting, accumulated over every pass the call
 /// ran (eager mode runs one pass per node). Snapshot with last_pass_stats()
@@ -48,6 +66,12 @@ struct pass_stats {
   std::size_t write_throttle_stalls = 0;  ///< submit_write calls that blocked
   std::uint64_t write_throttle_ns = 0;    ///< total write-throttle stall time
   std::size_t write_inflight_hwm = 0;     ///< in-flight write bytes high-water
+  std::size_t degrade_steps = 0;      ///< degradation-ladder steps taken
+  std::size_t admission_waits = 0;    ///< passes that queued for budget
+  std::uint64_t admission_wait_ns = 0;///< total time queued for budget
+  /// The ladder's steps in order ("depth:32->16,chunk:0->4096,...");
+  /// empty when the call ran at full configuration.
+  std::string degrade_path;
 
   /// One flat JSON object with every field (benchmark output embeds this).
   std::string to_json() const;

@@ -1,0 +1,369 @@
+#include "core/governor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/config.h"
+#include "common/error.h"
+#include "common/timer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace flashr::exec {
+
+namespace {
+
+obs::counter& admitted_counter() {
+  static obs::counter& c =
+      obs::metrics_registry::global().get_counter("governor.admitted");
+  return c;
+}
+obs::counter& queue_wait_counter() {
+  static obs::counter& c =
+      obs::metrics_registry::global().get_counter("governor.queue_waits");
+  return c;
+}
+obs::counter& degrade_counter() {
+  static obs::counter& c =
+      obs::metrics_registry::global().get_counter("governor.degrade_steps");
+  return c;
+}
+obs::counter& reject_counter() {
+  static obs::counter& c =
+      obs::metrics_registry::global().get_counter("governor.rejects");
+  return c;
+}
+obs::counter& deadline_trip_counter() {
+  static obs::counter& c =
+      obs::metrics_registry::global().get_counter("governor.deadline_trips");
+  return c;
+}
+obs::counter& stall_trip_counter() {
+  static obs::counter& c =
+      obs::metrics_registry::global().get_counter("governor.stall_trips");
+  return c;
+}
+obs::histogram& queue_wait_hist() {
+  static obs::histogram& h =
+      obs::metrics_registry::global().get_histogram("governor.queue_wait_us");
+  return h;
+}
+
+/// Poll period for hung-I/O checks: fine enough to trip within a fraction
+/// of the stall bound, coarse enough to keep the watchdog invisible.
+std::uint64_t stall_poll_ns(std::uint64_t stall_ns) {
+  return std::clamp<std::uint64_t>(stall_ns / 4, 1000000ull, 100000000ull);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// resource_governor
+// ---------------------------------------------------------------------------
+
+void resource_governor::reservation::release() noexcept {
+  if (!gov_) return;
+  gov_->do_release(fp_);
+  gov_ = nullptr;
+}
+
+void resource_governor::do_release(const footprint& fp) noexcept {
+  {
+    mutex_lock lock(mtx_);
+    release_locked(fp);
+  }
+  cv_.notify_all();
+}
+
+void resource_governor::release_locked(const footprint& fp) {
+  FLASHR_ASSERT(reserved_bytes_ >= fp.bytes && reserved_io_ >= fp.inflight_io,
+                "governor reservation released twice");
+  reserved_bytes_ -= fp.bytes;
+  reserved_io_ -= fp.inflight_io;
+  --active_;
+}
+
+resource_governor::verdict resource_governor::try_admit(const footprint& fp,
+                                                        reservation& out) {
+  const std::size_t mem_budget = conf().mem_budget_bytes;
+  const std::size_t io_budget = conf().max_inflight_io;
+  mutex_lock lock(mtx_);
+  if ((mem_budget != 0 && fp.bytes > mem_budget) ||
+      (io_budget != 0 && fp.inflight_io > io_budget))
+    return verdict::too_large;
+  if ((mem_budget != 0 && reserved_bytes_ + fp.bytes > mem_budget) ||
+      (io_budget != 0 && reserved_io_ + fp.inflight_io > io_budget))
+    return verdict::busy;
+  reserved_bytes_ += fp.bytes;
+  reserved_io_ += fp.inflight_io;
+  ++active_;
+  admitted_counter().add(1);
+  out = reservation(this, fp);
+  return verdict::admitted;
+}
+
+resource_governor::reservation resource_governor::admit(
+    std::uint64_t pass_id, const footprint& fp, std::uint64_t deadline_ns,
+    std::uint64_t deadline_ms) {
+  const std::size_t mem_budget = conf().mem_budget_bytes;
+  const std::size_t io_budget = conf().max_inflight_io;
+  if ((mem_budget != 0 && fp.bytes > mem_budget) ||
+      (io_budget != 0 && fp.inflight_io > io_budget)) {
+    count_reject();
+    throw overload_error("pass footprint exceeds the resource budget",
+                         pass_id,
+                         mem_budget != 0 && fp.bytes > mem_budget
+                             ? fp.bytes
+                             : fp.inflight_io,
+                         mem_budget != 0 && fp.bytes > mem_budget
+                             ? mem_budget
+                             : io_budget);
+  }
+  const std::uint64_t t0 = now_ns();
+  queue_wait_counter().add(1);
+  mutex_lock lock(mtx_);
+  ++queued_;
+  for (;;) {
+    const bool fits =
+        (mem_budget == 0 || reserved_bytes_ + fp.bytes <= mem_budget) &&
+        (io_budget == 0 || reserved_io_ + fp.inflight_io <= io_budget);
+    if (fits) {
+      reserved_bytes_ += fp.bytes;
+      reserved_io_ += fp.inflight_io;
+      ++active_;
+      --queued_;
+      admitted_counter().add(1);
+      queue_wait_hist().record((now_ns() - t0) / 1000);
+      return reservation(this, fp);
+    }
+    if (deadline_ns != 0) {
+      const std::uint64_t now = now_ns();
+      if (now >= deadline_ns) {
+        --queued_;
+        throw timeout_error(
+            "pass deadline expired while queued for the resource budget",
+            pass_id, now - t0, deadline_ms);
+      }
+      cv_.wait_for(lock, std::chrono::nanoseconds(deadline_ns - now));
+    } else {
+      cv_.wait(lock);
+    }
+  }
+}
+
+resource_governor::health_snapshot resource_governor::health() const {
+  health_snapshot h;
+  // Guarded conf() access: this runs on the stats server's serve thread,
+  // which must never trigger lazy engine init (init() restarts the stats
+  // server — a self-join). Before init() the budgets read as unlimited.
+  if (initialized()) {
+    h.mem_budget_bytes = conf().mem_budget_bytes;
+    h.max_inflight_io = conf().max_inflight_io;
+  }
+  {
+    mutex_lock lock(mtx_);
+    h.reserved_bytes = reserved_bytes_;
+    h.reserved_io = reserved_io_;
+    h.active_passes = active_;
+    h.queued_passes = queued_;
+  }
+  h.degraded_passes = degraded_.load(std::memory_order_relaxed);
+  h.tripped_passes = tripped_.load(std::memory_order_relaxed);
+  if (h.queued_passes > 0)
+    h.reason = "passes queued for the resource budget";
+  else if (h.tripped_passes > 0)
+    h.reason = "watchdog tripped a running pass";
+  else if (h.degraded_passes > 0)
+    h.reason = "passes running degraded";
+  h.ok = h.reason.empty();
+  return h;
+}
+
+std::string resource_governor::health_snapshot::to_json() const {
+  std::string s = "{\"ok\": ";
+  s += ok ? "true" : "false";
+  s += ", \"reason\": \"" + reason + "\"";
+  s += ", \"reserved_bytes\": " + std::to_string(reserved_bytes);
+  s += ", \"mem_budget_bytes\": " + std::to_string(mem_budget_bytes);
+  s += ", \"reserved_io\": " + std::to_string(reserved_io);
+  s += ", \"max_inflight_io\": " + std::to_string(max_inflight_io);
+  s += ", \"active_passes\": " + std::to_string(active_passes);
+  s += ", \"queued_passes\": " + std::to_string(queued_passes);
+  s += ", \"degraded_passes\": " + std::to_string(degraded_passes);
+  s += ", \"tripped_passes\": " + std::to_string(tripped_passes);
+  s += "}";
+  return s;
+}
+
+void resource_governor::count_degrade_step() { degrade_counter().add(1); }
+void resource_governor::count_reject() { reject_counter().add(1); }
+
+resource_governor& resource_governor::global() {
+  // Leaked (monitoring probes may read it at process exit); the probes keep
+  // the governor's own state canonical and the registry a view of it.
+  static resource_governor* g = [] {
+    auto* gov = new resource_governor();
+    auto& reg = obs::metrics_registry::global();
+    reg.register_probe("governor.reserved_bytes", [gov] {
+      mutex_lock lock(gov->mtx_);
+      return static_cast<std::uint64_t>(gov->reserved_bytes_);
+    });
+    reg.register_probe("governor.reserved_io", [gov] {
+      mutex_lock lock(gov->mtx_);
+      return static_cast<std::uint64_t>(gov->reserved_io_);
+    });
+    reg.register_probe("governor.active_passes", [gov] {
+      mutex_lock lock(gov->mtx_);
+      return static_cast<std::uint64_t>(gov->active_);
+    });
+    reg.register_probe("governor.queued_passes", [gov] {
+      mutex_lock lock(gov->mtx_);
+      return static_cast<std::uint64_t>(gov->queued_);
+    });
+    reg.register_probe("governor.degraded_passes", [gov] {
+      return static_cast<std::uint64_t>(
+          gov->degraded_.load(std::memory_order_relaxed));
+    });
+    reg.register_probe("governor.tripped_passes", [gov] {
+      return static_cast<std::uint64_t>(
+          gov->tripped_.load(std::memory_order_relaxed));
+    });
+    return gov;
+  }();
+  return *g;
+}
+
+// ---------------------------------------------------------------------------
+// pass_watchdog
+// ---------------------------------------------------------------------------
+
+pass_watchdog::pass_watchdog() {
+  // The supervision thread lives for the process (the singleton is leaked);
+  // with no entries it parks on the cv and touches nothing else.
+  std::thread([this] { loop(); }).detach();
+}
+
+std::uint64_t pass_watchdog::watch(std::uint64_t pass_id,
+                                   std::uint64_t deadline_ns,
+                                   std::uint64_t deadline_ms,
+                                   std::uint64_t stall_ns,
+                                   std::uint64_t stall_ms,
+                                   progress_fn progress, cancel_fn cancel) {
+  if (deadline_ns == 0 && stall_ns == 0) return 0;
+  entry e;
+  e.pass_id = pass_id;
+  e.start_ns = now_ns();
+  e.deadline_ns = deadline_ns;
+  e.deadline_ms = deadline_ms;
+  e.stall_ns = stall_ns;
+  e.stall_ms = stall_ms;
+  e.progress = std::move(progress);
+  e.cancel = std::move(cancel);
+  std::uint64_t token;
+  {
+    mutex_lock lock(mtx_);
+    token = next_token_++;
+    entries_.emplace(token, std::move(e));
+  }
+  cv_.notify_all();
+  return token;
+}
+
+void pass_watchdog::unwatch(std::uint64_t token) {
+  if (token == 0) return;
+  mutex_lock lock(mtx_);
+  // If the watchdog is mid-cancel on this very entry (lock dropped for the
+  // callback), wait it out: after erase the callbacks' referents may die.
+  while (cancelling_ == token) cv_.wait(lock);
+  auto it = entries_.find(token);
+  if (it == entries_.end()) return;
+  if (it->second.tripped) resource_governor::global().note_tripped_end();
+  entries_.erase(it);
+}
+
+void pass_watchdog::loop() {
+  obs::set_thread_name("watchdog");
+  mutex_lock lock(mtx_);
+  for (;;) {
+    // Next instant any entry needs attention: deadlines exactly, stall
+    // checks on a poll grid a quarter of their bound.
+    std::uint64_t now = now_ns();
+    std::uint64_t wake = 0;
+    for (const auto& [tok, e] : entries_) {
+      (void)tok;
+      if (e.tripped) continue;
+      if (e.deadline_ns != 0 && (wake == 0 || e.deadline_ns < wake))
+        wake = e.deadline_ns;
+      if (e.stall_ns != 0) {
+        const std::uint64_t poll = now + stall_poll_ns(e.stall_ns);
+        if (wake == 0 || poll < wake) wake = poll;
+      }
+    }
+    if (wake == 0) {
+      cv_.wait(lock);
+      continue;
+    }
+    if (wake > now)
+      cv_.wait_for(lock, std::chrono::nanoseconds(wake - now));
+
+    // Trip at most one entry per iteration: the cancel callback runs with
+    // the lock dropped, so the entry map may change under it.
+    for (;;) {
+      now = now_ns();
+      std::uint64_t fire_tok = 0;
+      cancel_fn cancel;
+      std::exception_ptr err;
+      for (auto& [tok, e] : entries_) {
+        if (e.tripped) continue;
+        if (e.deadline_ns != 0 && now >= e.deadline_ns) {
+          // Elapsed is measured from the deadline's own epoch (the
+          // materialize call), not from watch registration — admission
+          // queueing happens in between, and callers reasonably expect
+          // elapsed >= limit on a deadline trip.
+          err = std::make_exception_ptr(timeout_error(
+              "pass deadline exceeded", e.pass_id,
+              now - e.deadline_ns + e.deadline_ms * 1000000ull,
+              e.deadline_ms));
+          deadline_trip_counter().add(1);
+        } else if (e.stall_ns != 0 && e.progress) {
+          // Polling the pipeline under the watchdog lock is safe: the
+          // pipeline never calls back into the watchdog, so the
+          // watchdog->pipeline lock order is acyclic.
+          const io_progress p = e.progress();
+          if (p.inflight > 0) {
+            const std::uint64_t base =
+                std::max(p.last_completion_ns, e.start_ns);
+            if (now > base && now - base >= e.stall_ns) {
+              err = std::make_exception_ptr(timeout_error(
+                  "hung I/O: reads in flight with no completion", e.pass_id,
+                  now - base, e.stall_ms));
+              stall_trip_counter().add(1);
+            }
+          }
+        }
+        if (err) {
+          e.tripped = true;
+          fire_tok = tok;
+          cancel = e.cancel;
+          resource_governor::global().note_tripped_begin();
+          break;
+        }
+      }
+      if (fire_tok == 0) break;
+      cancelling_ = fire_tok;
+      lock.unlock();
+      cancel(err);
+      lock.lock();
+      cancelling_ = 0;
+      cv_.notify_all();  // unwatch() may be waiting on the cancel
+    }
+  }
+}
+
+pass_watchdog& pass_watchdog::global() {
+  static pass_watchdog* w = new pass_watchdog();  // leaked; see ctor comment
+  return *w;
+}
+
+}  // namespace flashr::exec

@@ -1,0 +1,206 @@
+// Overload-resilient execution: admission control and pass supervision.
+//
+// Two cooperating services keep the engine well-behaved when demand exceeds
+// the machine (§4.6 runs FlashR near the memory wall; this layer is what
+// lets a misconfigured or contended run degrade instead of thrash or hang):
+//
+//  * resource_governor — before a pass starts, exec estimates its peak
+//    footprint (prefetch window + per-worker partition claims + Pcache chunk
+//    state + EM-output staging and write-behind) and must reserve it against
+//    the process-wide budgets (conf().mem_budget_bytes, max_inflight_io).
+//    A footprint too large to EVER fit tells the caller to degrade (shrink
+//    the prefetch window, then the Pcache chunk, then fall back to eager
+//    mode); a footprint that fits but contends with running passes either
+//    queues until capacity frees (bounded by the pass deadline) or — with
+//    governor_fail_fast — surfaces a typed, transient overload_error.
+//    Reservations are RAII, so every exit path (success, cancellation,
+//    exception) releases the budget.
+//
+//  * pass_watchdog — one lazy, process-lifetime thread supervising running
+//    passes. A pass past its absolute deadline, or one with reads in flight
+//    but no completion for watchdog_stall_ms (an SSD whose completions stop
+//    arriving — injectable via the deterministic `stall` fault site), is
+//    cancelled through the pass's own cooperative path (pass_runner::fail),
+//    so the zero-leak teardown and pool audit run exactly as for any other
+//    pass error, and the caller sees a typed timeout_error.
+//
+// Degradation never changes results: the ladder only shrinks read-ahead and
+// chunking, both of which are bit-identical by construction (sinks merge in
+// thread order; chunked accumulation visits rows in the same order).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "common/thread_safety.h"
+
+namespace flashr::exec {
+
+class resource_governor {
+ public:
+  /// Estimated peak resource demand of one pass.
+  struct footprint {
+    std::size_t bytes = 0;        ///< pool-buffer bytes the pass may pin
+    std::size_t inflight_io = 0;  ///< concurrent partition-leaf reads
+  };
+
+  /// Outcome of a non-blocking admission check.
+  enum class verdict {
+    admitted,   ///< reservation taken; run the pass
+    too_large,  ///< exceeds a budget even on an idle engine — degrade
+    busy,       ///< fits alone but contends with live passes — queue/fail
+  };
+
+  /// RAII hold on reserved budget. Movable; releasing (or destroying) wakes
+  /// queued passes.
+  class reservation {
+   public:
+    reservation() = default;
+    reservation(reservation&& o) noexcept : gov_(o.gov_), fp_(o.fp_) {
+      o.gov_ = nullptr;
+    }
+    reservation& operator=(reservation&& o) noexcept {
+      if (this != &o) {
+        release();
+        gov_ = o.gov_;
+        fp_ = o.fp_;
+        o.gov_ = nullptr;
+      }
+      return *this;
+    }
+    ~reservation() { release(); }
+    reservation(const reservation&) = delete;
+    reservation& operator=(const reservation&) = delete;
+
+    void release() noexcept;
+    bool held() const { return gov_ != nullptr; }
+
+   private:
+    friend class resource_governor;
+    reservation(resource_governor* g, footprint fp) : gov_(g), fp_(fp) {}
+    resource_governor* gov_ = nullptr;
+    footprint fp_{};
+  };
+
+  /// Non-blocking admission: on `admitted`, `out` holds the reservation.
+  /// Budgets are read from conf() at call time; a zero budget is unlimited.
+  verdict try_admit(const footprint& fp, reservation& out);
+
+  /// Blocking admission for a `busy` footprint: queue until capacity frees.
+  /// `deadline_ns` (absolute flashr::now_ns instant, 0 = wait indefinitely)
+  /// bounds the wait — a queued pass cannot be cancelled by the watchdog,
+  /// so the deadline is enforced here, surfacing the same timeout_error a
+  /// running pass would. Throws overload_error for a footprint that could
+  /// never fit (callers should have degraded first).
+  reservation admit(std::uint64_t pass_id, const footprint& fp,
+                    std::uint64_t deadline_ns, std::uint64_t deadline_ms);
+
+  /// Point-in-time health for /healthz: not ok while passes are queued for
+  /// budget, running degraded, or tripped by the watchdog.
+  struct health_snapshot {
+    bool ok = true;
+    std::size_t reserved_bytes = 0;
+    std::size_t mem_budget_bytes = 0;
+    std::size_t reserved_io = 0;
+    std::size_t max_inflight_io = 0;
+    std::size_t active_passes = 0;
+    std::size_t queued_passes = 0;
+    std::size_t degraded_passes = 0;
+    std::size_t tripped_passes = 0;
+    std::string reason;  ///< empty when ok
+
+    std::string to_json() const;
+  };
+  health_snapshot health() const;
+
+  /// Degraded/tripped pass accounting (drives /healthz). Begin/end pairs
+  /// are called by exec around a degraded pass and by the watchdog around a
+  /// tripped watch's remaining lifetime.
+  void note_degraded_begin() {
+    degraded_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void note_degraded_end() { degraded_.fetch_sub(1, std::memory_order_relaxed); }
+  void note_tripped_begin() { tripped_.fetch_add(1, std::memory_order_relaxed); }
+  void note_tripped_end() { tripped_.fetch_sub(1, std::memory_order_relaxed); }
+  /// Count one degradation-ladder step (exec records the step itself in the
+  /// pass profile; this feeds the cumulative governor.degrade_steps metric).
+  void count_degrade_step();
+  /// Count one overload_error surfaced to a caller.
+  void count_reject();
+
+  static resource_governor& global();
+
+ private:
+  void release_locked(const footprint& fp) REQUIRES(mtx_);
+  void do_release(const footprint& fp) noexcept;
+
+  friend class reservation;
+  mutable mutex mtx_;
+  cond_var cv_;
+  std::size_t reserved_bytes_ GUARDED_BY(mtx_) = 0;
+  std::size_t reserved_io_ GUARDED_BY(mtx_) = 0;
+  std::size_t active_ GUARDED_BY(mtx_) = 0;
+  std::size_t queued_ GUARDED_BY(mtx_) = 0;
+  std::atomic<std::size_t> degraded_{0};
+  std::atomic<std::size_t> tripped_{0};
+};
+
+class pass_watchdog {
+ public:
+  /// I/O progress of a watched pass, polled by the watchdog thread.
+  struct io_progress {
+    std::size_t inflight = 0;             ///< leaf reads in flight
+    std::uint64_t last_completion_ns = 0; ///< 0 before the first completion
+  };
+  using progress_fn = std::function<io_progress()>;
+  /// Cooperative cancellation hook (pass_runner::fail): must be safe to
+  /// call from the watchdog thread while workers run, and must not block.
+  using cancel_fn = std::function<void(std::exception_ptr)>;
+
+  /// Start supervising a pass. `deadline_ns` is the absolute now_ns()
+  /// instant the pass must finish by (0 = no deadline); `stall_ns` is the
+  /// max time with reads in flight but no completion (0 = stall detection
+  /// off). The pass is cancelled with a typed timeout_error when either
+  /// fires; `deadline_ms`/`stall_ms` label the error. Returns a token for
+  /// unwatch(); returns 0 (and watches nothing) when both limits are 0.
+  std::uint64_t watch(std::uint64_t pass_id, std::uint64_t deadline_ns,
+                      std::uint64_t deadline_ms, std::uint64_t stall_ns,
+                      std::uint64_t stall_ms, progress_fn progress,
+                      cancel_fn cancel);
+
+  /// Stop supervising. Must be called before the progress/cancel callbacks'
+  /// referents die; returns after the watchdog can no longer invoke them.
+  void unwatch(std::uint64_t token);
+
+  static pass_watchdog& global();
+
+ private:
+  struct entry {
+    std::uint64_t pass_id = 0;
+    std::uint64_t start_ns = 0;
+    std::uint64_t deadline_ns = 0;
+    std::uint64_t deadline_ms = 0;
+    std::uint64_t stall_ns = 0;
+    std::uint64_t stall_ms = 0;
+    progress_fn progress;
+    cancel_fn cancel;
+    bool tripped = false;
+  };
+
+  pass_watchdog();
+  void loop();
+
+  mutable mutex mtx_;
+  cond_var cv_;
+  std::unordered_map<std::uint64_t, entry> entries_ GUARDED_BY(mtx_);
+  std::uint64_t next_token_ GUARDED_BY(mtx_) = 1;
+  /// Token whose cancel callback is executing (watchdog lock dropped);
+  /// unwatch() of that token waits until the call returns.
+  std::uint64_t cancelling_ GUARDED_BY(mtx_) = 0;
+};
+
+}  // namespace flashr::exec

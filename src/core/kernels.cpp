@@ -456,15 +456,25 @@ void agg_full_acc(scalar_type t, agg_id op, view a, std::size_t rows,
                   std::size_t cols, char* acc) {
   dispatch_type(t, [&]<typename T>() {
     dispatch_agg(op, [&]<agg_id OP>() {
-      T total = *reinterpret_cast<T*>(acc);
+      T* o = reinterpret_cast<T*>(acc);
       for (std::size_t j = 0; j < cols; ++j) {
         const T* ac = col_of<T>(a, j);
-        T local = agg_identity_of<OP, T>();
-        for (std::size_t i = 0; i < rows; ++i)
-          local = agg_step<OP>(local, ac[i]);
-        total = agg_combine<OP>(total, local);
+        T v = o[j];
+        for (std::size_t i = 0; i < rows; ++i) v = agg_step<OP>(v, ac[i]);
+        o[j] = v;
       }
-      *reinterpret_cast<T*>(acc) = total;
+    });
+  });
+}
+
+void agg_finish(scalar_type t, agg_id op, const char* acc, std::size_t n,
+                char* out) {
+  dispatch_type(t, [&]<typename T>() {
+    dispatch_agg(op, [&]<agg_id OP>() {
+      const T* a = reinterpret_cast<const T*>(acc);
+      T v = agg_identity_of<OP, T>();
+      for (std::size_t i = 0; i < n; ++i) v = agg_combine<OP>(v, a[i]);
+      *reinterpret_cast<T*>(out) = v;
     });
   });
 }
@@ -476,10 +486,9 @@ void agg_col_acc(scalar_type t, agg_id op, view a, std::size_t rows,
       T* o = reinterpret_cast<T*>(acc);
       for (std::size_t j = 0; j < cols; ++j) {
         const T* ac = col_of<T>(a, j);
-        T local = agg_identity_of<OP, T>();
-        for (std::size_t i = 0; i < rows; ++i)
-          local = agg_step<OP>(local, ac[i]);
-        o[j] = agg_combine<OP>(o[j], local);
+        T v = o[j];
+        for (std::size_t i = 0; i < rows; ++i) v = agg_step<OP>(v, ac[i]);
+        o[j] = v;
       }
     });
   });
@@ -488,9 +497,11 @@ void agg_col_acc(scalar_type t, agg_id op, view a, std::size_t rows,
 void tmm_acc(scalar_type t, bop_id f1, agg_id f2, view a, view b,
              std::size_t rows, std::size_t m, std::size_t k, char* acc) {
   if (f1 == bop_id::mul && f2 == agg_id::sum && t == scalar_type::f64) {
-    blas::gemm_tn(m, k, rows, 1.0, reinterpret_cast<const double*>(a.data),
-                  a.stride, reinterpret_cast<const double*>(b.data), b.stride,
-                  1.0, reinterpret_cast<double*>(acc), m);
+    // gemm_tn_acc, not gemm_tn: its strictly sequential k-fold makes the
+    // accumulated C independent of how the rows were chunked.
+    blas::gemm_tn_acc(m, k, rows, reinterpret_cast<const double*>(a.data),
+                      a.stride, reinterpret_cast<const double*>(b.data),
+                      b.stride, reinterpret_cast<double*>(acc), m);
     return;
   }
   dispatch_type(t, [&]<typename T>() {

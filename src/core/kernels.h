@@ -90,11 +90,20 @@ void agg_identity(scalar_type t, agg_id op, char* out, std::size_t n);
 void agg_merge(scalar_type t, agg_id op, char* into, const char* from,
                std::size_t n);
 
-/// acc[0] = op-combine(acc[0], all elements of the chunk).
+/// acc[j] = op-fold(acc[j], elements of column j in row order). The full
+/// aggregate keeps one accumulator PER COLUMN until agg_finish so the fold
+/// order never depends on the Pcache chunk size: splitting a partition's
+/// rows across any number of chunked calls yields bit-identical acc — the
+/// invariant exec's degradation ladder relies on (DESIGN.md §11.2).
 void agg_full_acc(scalar_type t, agg_id op, view a, std::size_t rows,
                   std::size_t cols, char* acc);
 
-/// acc[j] = op-combine(acc[j], all elements of column j).
+/// Combine `n` per-column accumulators (in column order) into out[0].
+void agg_finish(scalar_type t, agg_id op, const char* acc, std::size_t n,
+                char* out);
+
+/// acc[j] = op-fold(acc[j], elements of column j in row order); like
+/// agg_full_acc, a strictly sequential fold so chunking cannot change it.
 void agg_col_acc(scalar_type t, agg_id op, view a, std::size_t rows,
                  std::size_t cols, char* acc);
 

@@ -62,6 +62,7 @@ void prefetch_pipeline::refill(pf_state& s) {
     for (const em_readable* leaf : leaves_) {
       leaf->read_part_notify(
           part, fl->bufs.at(leaf).data(), [st, fl](std::exception_ptr err) {
+            st->last_completion_ns.store(now_ns(), std::memory_order_relaxed);
             mutex_lock cb_lock(st->mtx);
             if (err && !fl->error) fl->error = err;
             if (--fl->remaining == 0 && st->cancelled) {
@@ -150,6 +151,7 @@ bool prefetch_pipeline::pop_sync(slot& out) {
       return false;
     }
     s.st.reads_issued += leaves_.size();
+    s.outstanding_reads += leaves_.size();
     ++s.st.pops;
   }
   out.part = part;
@@ -173,9 +175,12 @@ bool prefetch_pipeline::pop_sync(slot& out) {
       if (!err) err = std::current_exception();
     }
   }
+  s.last_completion_ns.store(now_ns(), std::memory_order_relaxed);
   {
     mutex_lock lock(s.mtx);
     s.st.read_wait_ns += now_ns() - t0;
+    s.outstanding_reads -= leaves_.size();
+    s.cv.notify_all();
   }
   if (err) {
     out.bufs.clear();  // all reads drained; safe to return to the pool
@@ -208,6 +213,15 @@ void prefetch_pipeline::settle() noexcept {
 prefetch_pipeline::stats prefetch_pipeline::pipeline_stats() const {
   mutex_lock lock(st_->mtx);
   return st_->st;
+}
+
+prefetch_pipeline::io_progress prefetch_pipeline::progress() const {
+  io_progress p;
+  p.last_completion_ns =
+      st_->last_completion_ns.load(std::memory_order_relaxed);
+  mutex_lock lock(st_->mtx);
+  p.inflight_reads = st_->outstanding_reads;
+  return p;
 }
 
 }  // namespace flashr::exec

@@ -30,6 +30,7 @@
 // is GUARDED_BY the block's mutex for the FLASHR_THREAD_SAFETY build.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
@@ -100,6 +101,16 @@ class prefetch_pipeline {
   bool sequential() const { return sequential_; }
   stats pipeline_stats() const;
 
+  /// Watchdog probe (core/governor.h): leaf reads currently in flight and
+  /// the flashr::now_ns() timestamp of this pipeline's most recent read
+  /// completion (0 before the first). A pass with inflight_reads > 0 whose
+  /// last_completion_ns stops advancing is hung on the storage, not slow.
+  struct io_progress {
+    std::size_t inflight_reads = 0;
+    std::uint64_t last_completion_ns = 0;
+  };
+  io_progress progress() const;
+
  private:
   /// One windowed partition: its read buffers, the count of its outstanding
   /// leaf reads, and the first read error. Fields are protected by the
@@ -123,6 +134,9 @@ class prefetch_pipeline {
     /// Leaf reads submitted and not yet notified; settle() waits on this.
     std::size_t outstanding_reads GUARDED_BY(mtx) = 0;
     stats st GUARDED_BY(mtx);
+    /// Atomic (not guarded): stamped by completion callbacks and read by
+    /// the watchdog thread without taking the pipeline lock.
+    std::atomic<std::uint64_t> last_completion_ns{0};
   };
 
   /// Issue reads until the window holds `depth_` partitions or the source

@@ -5,6 +5,7 @@
 #include "common/config.h"
 #include "common/error.h"
 #include "common/timer.h"
+#include "io/fault.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -187,6 +188,7 @@ void async_io::io_loop() {
         if (t0 != 0) write_hist().record((now_ns() - t0) / 1000);
       }
       req.wbuf.release();
+      last_completion_ns_.store(now_ns(), std::memory_order_relaxed);
       mutex_lock lock(mutex_);
       complete_write_locked(req.len, std::move(err));
     } else {
@@ -203,6 +205,12 @@ void async_io::io_loop() {
         }
         if (t0 != 0) read_hist().record((now_ns() - t0) / 1000);
       }
+      // Stall injection sits between "data landed" and "completion
+      // delivered": the read already happened (and was counted), but the
+      // consumer does not hear about it until the injected delay elapses —
+      // exactly the shape of an SSD whose completions stop arriving.
+      fault_completion_stall();
+      last_completion_ns_.store(now_ns(), std::memory_order_relaxed);
       if (req.notify) {
         // Completion-order dispatch: hand the result to the prefetch
         // pipeline on this thread, then drop the closure immediately so any

@@ -22,6 +22,7 @@
 // them unlocked.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -94,6 +95,15 @@ class async_io {
   /// pass); stall counters are cumulative and diffed by the caller.
   void reset_throttle_hwm();
 
+  /// Timestamp (flashr::now_ns) of the most recent completed I/O request,
+  /// read or write; 0 until the first completion. The hung-I/O watchdog
+  /// (core/governor.h) compares this against a stalled pass's own
+  /// completion clock to distinguish "the SSDs stopped answering" from
+  /// "only this pass is starved".
+  std::uint64_t last_completion_ns() const {
+    return last_completion_ns_.load(std::memory_order_relaxed);
+  }
+
   /// Service sized to conf().io_threads.
   static async_io& global();
 
@@ -132,6 +142,7 @@ class async_io {
   std::uint64_t throttle_stall_ns_ GUARDED_BY(mutex_) = 0;
   std::exception_ptr write_error_ GUARDED_BY(mutex_);
   bool stop_ GUARDED_BY(mutex_) = false;
+  std::atomic<std::uint64_t> last_completion_ns_{0};
 };
 
 }  // namespace flashr

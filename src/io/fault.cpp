@@ -18,6 +18,7 @@ const char* fault_site_name(fault_site s) {
     case fault_site::pwrite: return "pwrite";
     case fault_site::latency: return "latency";
     case fault_site::short_io: return "short-io";
+    case fault_site::stall: return "stall";
   }
   return "?";
 }
@@ -28,6 +29,7 @@ double fault_plan::prob(fault_site s) const {
     case fault_site::pwrite: return pwrite_prob;
     case fault_site::latency: return latency_prob;
     case fault_site::short_io: return short_prob;
+    case fault_site::stall: return stall_prob;
   }
   return 0.0;
 }
@@ -41,7 +43,9 @@ fault_plan plan_from_conf() {
   p.pwrite_prob = o.fault_pwrite_prob;
   p.latency_prob = o.fault_latency_prob;
   p.short_prob = o.fault_short_prob;
+  p.stall_prob = o.fault_stall_prob;
   p.latency_us = o.fault_latency_us;
+  p.stall_us = o.fault_stall_us;
   p.fault_errno = o.fault_errno;
   p.max_faults = o.fault_max_faults;
   return p;
@@ -84,6 +88,8 @@ fault_injector::decision fault_injector::next_with(const fault_plan& p,
   d.fire = true;
   if (site == fault_site::latency)
     d.sleep_us = p.latency_us;
+  else if (site == fault_site::stall)
+    d.sleep_us = p.stall_us;
   else if (site != fault_site::short_io)
     d.err = p.fault_errno;
   return d;
@@ -150,6 +156,15 @@ ssize_t fault_pread(int fd, char* buf, std::size_t len, off_t offset) {
     }
   }
   return ::pread(fd, buf, len, offset);
+}
+
+void fault_completion_stall() {
+  auto& inj = fault_injector::global();
+  const fault_plan p = inj.snapshot();
+  if (p.stall_prob <= 0.0) return;
+  const auto d = inj.next_with(p, fault_site::stall);
+  if (d.fire && d.sleep_us > 0)
+    std::this_thread::sleep_for(std::chrono::microseconds(d.sleep_us));
 }
 
 ssize_t fault_pwrite(int fd, const char* buf, std::size_t len, off_t offset) {

@@ -32,8 +32,20 @@
 
 namespace flashr {
 
-enum class fault_site : int { pread = 0, pwrite = 1, latency = 2, short_io = 3 };
-inline constexpr int kNumFaultSites = 4;
+enum class fault_site : int {
+  pread = 0,
+  pwrite = 1,
+  latency = 2,
+  short_io = 3,
+  /// Completion stall: the delivery of a finished read — the future
+  /// resolution or notify callback in io/async_io.cpp, AFTER the data
+  /// landed — is delayed by stall_us. Models an SSD whose completions stop
+  /// arriving; the hung-I/O watchdog (core/governor.h) is tested against
+  /// this site so stall detection never depends on wall-clock scheduling
+  /// luck.
+  stall = 4,
+};
+inline constexpr int kNumFaultSites = 5;
 
 const char* fault_site_name(fault_site s);
 
@@ -44,14 +56,16 @@ struct fault_plan {
   double pwrite_prob = 0.0;
   double latency_prob = 0.0;
   double short_prob = 0.0;
+  double stall_prob = 0.0;
   int latency_us = 200;
+  int stall_us = 100000;
   int fault_errno = 5;             // EIO
   std::size_t max_faults = 0;      // total budget; 0 = unlimited
 
   double prob(fault_site s) const;
   bool armed() const {
     return pread_prob > 0.0 || pwrite_prob > 0.0 || latency_prob > 0.0 ||
-           short_prob > 0.0;
+           short_prob > 0.0 || stall_prob > 0.0;
   }
 };
 
@@ -115,5 +129,11 @@ class fault_scope {
 /// consulted first. All engine storage I/O must go through these.
 ssize_t fault_pread(int fd, char* buf, std::size_t len, off_t offset);
 ssize_t fault_pwrite(int fd, const char* buf, std::size_t len, off_t offset);
+
+/// Completion-delivery shim: the async I/O service calls this after a read's
+/// data has landed, immediately before resolving the future / invoking the
+/// notify callback. Evaluates the stall site and sleeps the injected delay
+/// on the calling (I/O) thread; a no-op when the site is unarmed.
+void fault_completion_stall();
 
 }  // namespace flashr

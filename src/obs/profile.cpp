@@ -75,8 +75,13 @@ std::string pass_profile::to_json() const {
   append(out,
          "{\"seq\": %" PRIu64 ", \"mode\": \"%s\", \"chunk_rows\": %zu, "
          "\"threads\": %d, \"wall_ns\": %" PRIu64 ", \"io_wait_ns\": %" PRIu64
-         ", \"nodes\": [",
+         ", \"degrade\": [",
          seq, mode, chunk_rows, threads, wall_ns, io_wait_ns);
+  for (std::size_t i = 0; i < degrade.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "\"" + degrade[i] + "\"";
+  }
+  out += "], \"nodes\": [";
   for (std::size_t i = 0; i < nodes.size(); ++i) {
     if (i > 0) out += ", ";
     append_node(out, nodes[i]);

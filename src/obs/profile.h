@@ -66,6 +66,10 @@ struct pass_profile {
   int threads = 0;
   std::uint64_t wall_ns = 0;
   std::uint64_t io_wait_ns = 0;  ///< sum of per-node io_wait_ns
+  /// Degradation-ladder steps the governor took before this pass was
+  /// admitted ("depth:32->16", "chunk:0->4096", "mode:mem_fuse->eager");
+  /// empty when the pass ran at full configuration.
+  std::vector<std::string> degrade;
   std::vector<node_profile> nodes;
 
   std::string to_json() const;

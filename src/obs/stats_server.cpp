@@ -12,6 +12,7 @@
 #include <utility>
 
 #include "common/log.h"
+#include "core/governor.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
 
@@ -33,7 +34,14 @@ route_response route(const std::string& path) {
     r.content_type = "text/plain; version=0.0.4; charset=utf-8";
     r.body = metrics_registry::global().to_prometheus();
   } else if (path == "/healthz") {
-    r.body = "ok\n";
+    // Load-balancer semantics: 503 while the engine is overloaded (passes
+    // queued for budget, running degraded, or tripped by the watchdog) so
+    // a fleet scheduler can route work elsewhere; the JSON body says why.
+    const auto h = exec::resource_governor::global().health();
+    r.content_type = "application/json";
+    if (!h.ok) r.status = "503 Service Unavailable";
+    r.body = h.to_json();
+    r.body += "\n";
   } else if (path == "/passes") {
     r.content_type = "application/json";
     r.body = profile_history_json();

@@ -324,10 +324,12 @@ TEST(StatsServer, HttpResponseRoutes) {
   // non-trivial.
   obs::metrics_registry::global().get_counter("srv.route-test").add(1);
 
+  // /healthz now carries governor health: 200 + JSON while the engine is
+  // unloaded (503 under overload is covered by the governor tests).
   const std::string health = obs::stats_server::http_response("/healthz");
   EXPECT_EQ(health.rfind("HTTP/1.0 200 OK", 0), 0u);
-  EXPECT_NE(health.find("\r\nContent-Length: 3\r\n"), std::string::npos);
-  EXPECT_NE(health.find("\r\n\r\nok\n"), std::string::npos);
+  EXPECT_NE(health.find("Content-Type: application/json"), std::string::npos);
+  EXPECT_NE(health.find("\"ok\": true"), std::string::npos);
 
   const std::string metrics = obs::stats_server::http_response("/metrics");
   EXPECT_EQ(metrics.rfind("HTTP/1.0 200 OK", 0), 0u);
@@ -360,7 +362,7 @@ TEST(StatsServer, ServesOverRealSocket) {
 
   const std::string health = http_get(port, "/healthz");
   EXPECT_NE(health.find("200 OK"), std::string::npos);
-  EXPECT_NE(health.find("ok\n"), std::string::npos);
+  EXPECT_NE(health.find("\"ok\": true"), std::string::npos);
 
   // Query strings are stripped by the request parser.
   const std::string metrics = http_get(port, "/metrics?ignored=1");
