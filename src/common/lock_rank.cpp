@@ -1,0 +1,87 @@
+// Runtime half of the lock-rank hierarchy (see thread_safety.h for the
+// table and the rule). Each thread keeps a small stack of the ranked
+// flashr::mutexes it holds, in acquisition order; acquiring a mutex whose
+// rank is not strictly greater than everything held is a latent deadlock
+// and aborts immediately with both lock names.
+//
+// The stack is a fixed-size thread_local array: no allocation (the checker
+// runs inside mutex::lock, including from async-I/O completion contexts
+// where allocating would itself break the nonblocking rule) and no
+// destruction-order hazards at thread exit. Depth 16 is 4x the deepest
+// chain the engine can form (watchdog -> prefetch window is 2; the stats
+// path peaks at 3).
+
+#include "common/thread_safety.h"
+
+#include <cstdio>
+
+#include "common/error.h"
+
+namespace flashr::detail {
+
+namespace {
+
+struct held_entry {
+  const void* m;
+  const lock_rank::rank_t* rank;
+};
+
+constexpr int kMaxHeld = 16;
+
+thread_local held_entry t_held[kMaxHeld];
+thread_local int t_depth = 0;
+
+}  // namespace
+
+void rank_check(const void* m, const lock_rank::rank_t& r) {
+  for (int i = 0; i < t_depth; ++i) {
+    if (t_held[i].m == m) {
+      char msg[160];
+      std::snprintf(msg, sizeof(msg),
+                    "recursive lock of '%s' (rank %d) on the same thread",
+                    r.name, r.value);
+      assert_fail("lock rank order", "thread_safety.h", 0, msg);
+    }
+    if (t_held[i].rank->value >= r.value) {
+      char msg[160];
+      std::snprintf(
+          msg, sizeof(msg),
+          "lock rank inversion: acquiring '%s' (rank %d) while holding "
+          "'%s' (rank %d); ranks must strictly increase",
+          r.name, r.value, t_held[i].rank->name, t_held[i].rank->value);
+      assert_fail("lock rank order", "thread_safety.h", 0, msg);
+    }
+  }
+}
+
+void rank_note(const void* m, const lock_rank::rank_t& r) {
+  if (t_depth >= kMaxHeld) {
+    char msg[96];
+    std::snprintf(msg, sizeof(msg),
+                  "held-lock stack overflow (%d ranked locks) at '%s'",
+                  t_depth, r.name);
+    assert_fail("lock rank depth", "thread_safety.h", 0, msg);
+  }
+  t_held[t_depth].m = m;
+  t_held[t_depth].rank = &r;
+  ++t_depth;
+}
+
+void rank_forget(const void* m) noexcept {
+  // Last occurrence, scanned from the top: unlocks are LIFO in practice,
+  // and a mutex locked while the gate was off is simply absent (no-op).
+  for (int i = t_depth - 1; i >= 0; --i) {
+    if (t_held[i].m != m) continue;
+    for (int j = i; j + 1 < t_depth; ++j) t_held[j] = t_held[j + 1];
+    --t_depth;
+    return;
+  }
+}
+
+int held_ranks(int* out, int max) noexcept {
+  const int n = t_depth < max ? t_depth : max;
+  for (int i = 0; i < n; ++i) out[i] = t_held[i].rank->value;
+  return t_depth;
+}
+
+}  // namespace flashr::detail

@@ -1,4 +1,5 @@
-// Clang thread-safety ("capability") annotations and annotated lock types.
+// Clang thread-safety ("capability") annotations, annotated lock types, and
+// the engine-wide lock-rank hierarchy.
 //
 // The engine's cross-thread protocols — the thread_pool job handshake, the
 // buffer_pool free lists, the async_io request queue, cum-carry chains and
@@ -19,10 +20,31 @@
 //    are analyzed as separate functions and would lose the lock context;
 //  * split a public locking entry point from its lock-held core by giving
 //    the core a `*_locked()` name and a REQUIRES(mutex) annotation.
+//
+// Lock ranks. Every flashr::mutex in src/ declares a rank from the
+// lock_rank table below via LOCK_RANK(name), and a thread may only acquire
+// a mutex whose rank is STRICTLY GREATER than every rank it already holds.
+// That single rule makes the lock graph acyclic, so no two threads can
+// deadlock on flashr mutexes. The discipline is enforced twice:
+//  * statically, by tools/analyze_flashr.py, which propagates held-lock
+//    sets through the whole-program call graph and reports any acquisition
+//    path that violates the order (with the full call chain); and
+//  * dynamically, by a thread-local rank stack inside flashr::mutex that
+//    aborts on inversion whenever invariants are enabled
+//    (-DFLASHR_CHECK_INVARIANTS=ON, or flashr::invariant_scope in tests).
+//
+// Rank values are spaced so new locks can slot in without renumbering.
+// Outer, coarse locks (taken first, held longest) get LOW ranks; leaf
+// locks that may be taken from deep inside the engine get HIGH ranks.
+// A rank marked nonblocking_safe covers a mutex whose every critical
+// section is O(1) and alloc/IO-free, so taking it from an async-I/O
+// completion context does not stall the I/O thread.
 #pragma once
 
 #include <condition_variable>
 #include <mutex>
+
+#include "common/check.h"
 
 #if defined(__clang__) && defined(__has_attribute)
 #if __has_attribute(guarded_by)
@@ -61,23 +83,136 @@
 /// why in a comment.
 #define NO_THREAD_SAFETY_ANALYSIS FLASHR_TSA(no_thread_safety_analysis)
 
+/// Generic clang `annotate` attribute carrier; tools/analyze_flashr.py keys
+/// on these strings when walking clang JSON ASTs. Expands to nothing under
+/// GCC (which only warns on unknown attributes, but noise is noise).
+#if defined(__clang__)
+#define FLASHR_ANNOTATE(s) __attribute__((annotate(s)))
+#else
+#define FLASHR_ANNOTATE(s)
+#endif
+
+/// Marks a function as a nonblocking context: async-I/O completion
+/// callbacks, trace-ring record paths, watchdog poll bodies. The analyzer
+/// verifies nothing reachable from it blocks: no lock of a mutex whose rank
+/// is not nonblocking_safe, no condition-variable wait, no direct heap
+/// allocation, no file I/O, no logging. Calling another FLASHR_NONBLOCKING
+/// function is fine (it is verified on its own).
+#define FLASHR_NONBLOCKING FLASHR_ANNOTATE("flashr_nonblocking")
+
+/// Escape hatch for the nonblocking analysis: the annotated function is
+/// treated as nonblocking without descending into it. Use only with a
+/// comment explaining why its slow path cannot bite (e.g. once-per-thread
+/// setup that nonblocking threads perform before entering the context).
+#define FLASHR_BLOCKING_EXEMPT(why) \
+  FLASHR_ANNOTATE("flashr_blocking_exempt:" why)
+
 namespace flashr {
+
+namespace lock_rank {
+
+/// A named rank in the global lock order. Passed by reference into
+/// flashr::mutex so the runtime checker can report names, and parsed out of
+/// this header by tools/analyze_flashr.py — this table is the single source
+/// of truth for both enforcers.
+struct rank_t {
+  int value;                    ///< position in the global order
+  const char* name;             ///< for diagnostics; matches the identifier
+  bool nonblocking_safe;        ///< O(1), alloc/IO-free critical sections
+};
+
+// The engine lock-rank table, in acquisition order (low = outermost).
+// Derived from the actual nesting edges in the tree; see DESIGN.md §12 for
+// the per-edge justification. Keep sorted by value; values are unique.
+inline constexpr rank_t watchdog{200, "watchdog", false};
+inline constexpr rank_t governor{300, "governor", false};
+inline constexpr rank_t pass_error{400, "pass_error", false};
+inline constexpr rank_t pass_acc{410, "pass_acc", false};
+inline constexpr rank_t cum_chain{420, "cum_chain", false};
+inline constexpr rank_t pass_stats{430, "pass_stats", false};
+inline constexpr rank_t profile{440, "profile", false};
+inline constexpr rank_t fault_plan{450, "fault_plan", false};
+inline constexpr rank_t virtual_result{460, "virtual_result", false};
+inline constexpr rank_t thread_pool{470, "thread_pool", false};
+inline constexpr rank_t prefetch_window{500, "prefetch_window", true};
+inline constexpr rank_t io_join{550, "io_join", true};
+inline constexpr rank_t async_queue{600, "async_queue", false};
+inline constexpr rank_t buffer_pool{650, "buffer_pool", true};
+inline constexpr rank_t metrics_registry{700, "metrics_registry", false};
+inline constexpr rank_t trace_registry{750, "trace_registry", false};
+// Innermost: conf() lazily runs config init, which may start/stop the HTTP
+// stats server — so the server's own lock can be acquired under whatever
+// the first conf() caller happens to hold (pass accumulators, the prefetch
+// window, the profiler). It protects only the server's listener state and
+// is never held across another ranked acquisition.
+inline constexpr rank_t stats_server{800, "stats_server", false};
+
+}  // namespace lock_rank
+
+/// Declares the rank of a flashr::mutex at its declaration site:
+///   mutable mutex pool_mtx_ LOCK_RANK(buffer_pool);
+/// The rank rides in the mutex's constructor argument, which both the
+/// runtime checker and the analyzer's AST frontend read back; whether the
+/// rank is nonblocking-safe is a property of the rank table entry, not of
+/// the declaration.
+#define LOCK_RANK(name) {::flashr::lock_rank::name}
+
+namespace detail {
+/// Runtime lock-rank checker (src/common/lock_rank.cpp). Thread-local rank
+/// stack; check aborts via assert_fail when `r` is not strictly greater
+/// than every held rank. All three are no-ops unless invariants are on
+/// (note/forget keep the stack consistent across gate flips).
+void rank_check(const void* m, const lock_rank::rank_t& r);
+void rank_note(const void* m, const lock_rank::rank_t& r);
+void rank_forget(const void* m) noexcept;
+/// Test/introspection hook: ranks currently held by this thread, in
+/// acquisition order, written into out[0..max); returns the held count.
+int held_ranks(int* out, int max) noexcept;
+}  // namespace detail
 
 /// std::mutex with the capability attribute the analysis needs. Satisfies
 /// Lockable, so std::lock_guard/std::unique_lock still work where the
 /// analysis is not wanted (e.g. function-local statics).
+///
+/// A rank-constructed mutex participates in the runtime lock-rank check
+/// whenever invariants are enabled; a default-constructed one (rank 0,
+/// test scaffolding only — the analyzer flags unranked mutexes in src/)
+/// skips it.
 class CAPABILITY("mutex") mutex {
  public:
   mutex() = default;
+  explicit mutex(const lock_rank::rank_t& r) : rank_(&r) {}
   mutex(const mutex&) = delete;
   mutex& operator=(const mutex&) = delete;
 
-  void lock() ACQUIRE() { m_.lock(); }
-  void unlock() RELEASE() { m_.unlock(); }
-  bool try_lock() TRY_ACQUIRE(true) { return m_.try_lock(); }
+  void lock() ACQUIRE() {
+    // Check before blocking on the lock: a true inversion may deadlock
+    // right here, and the abort must win that race.
+    if (rank_ && invariants_enabled()) detail::rank_check(this, *rank_);
+    m_.lock();
+    if (rank_ && invariants_enabled()) detail::rank_note(this, *rank_);
+  }
+  void unlock() RELEASE() {
+    if (rank_) detail::rank_forget(this);  // no-op if never noted
+    m_.unlock();
+  }
+  bool try_lock() TRY_ACQUIRE(true) {
+    if (!m_.try_lock()) return false;
+    if (rank_ && invariants_enabled()) {
+      // A failed try_lock is always safe; a successful out-of-order one is
+      // the same latent deadlock as lock() and aborts the same way.
+      detail::rank_check(this, *rank_);
+      detail::rank_note(this, *rank_);
+    }
+    return true;
+  }
+
+  /// Declared rank value (0 when unranked); for tests and diagnostics.
+  int rank() const noexcept { return rank_ ? rank_->value : 0; }
 
  private:
   std::mutex m_;
+  const lock_rank::rank_t* rank_ = nullptr;
 };
 
 /// Scoped lock over flashr::mutex. Exposes lock()/unlock() (BasicLockable)

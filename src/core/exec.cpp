@@ -261,7 +261,7 @@ struct pass_cancelled {};
 /// owning worker died with the pass's first error, in which case cancel()
 /// wakes every waiter and wait_for unwinds with pass_cancelled.
 struct cum_chain {
-  mutex mtx;
+  mutex mtx LOCK_RANK(cum_chain);
   /// Per partition, cols * elem_size bytes each.
   std::vector<std::vector<char>> carries GUARDED_BY(mtx);
   std::vector<char> ready GUARDED_BY(mtx);
@@ -438,7 +438,7 @@ class pass_runner {
   /// drive passes directly. Read-only here except for profile recording.
   pass_ctl* ctl_ = nullptr;
   std::atomic<bool> cancel_{false};
-  mutex error_mutex_;
+  mutex error_mutex_ LOCK_RANK(pass_error);
   std::exception_ptr pass_error_ GUARDED_BY(error_mutex_);
   /// Output stores, parallel to dag_.tall_outputs.
   std::vector<matrix_store::ptr> out_stores_;
@@ -446,7 +446,7 @@ class pass_runner {
   /// One chain per cum node; populated before the pass, then read-only (each
   /// chain carries its own mutex).
   std::unordered_map<const virtual_store*, cum_chain> cum_chains_;
-  mutex acc_mutex_;
+  mutex acc_mutex_ LOCK_RANK(pass_acc);
   /// Sink partials are produced per PARTITION and merged in ascending
   /// partition order: neither which worker claimed a partition, the claim
   /// order, nor the prefetch depth can change the reduction's floating-
@@ -498,7 +498,7 @@ struct pass_stats_acc {
 pass_stats_acc g_stats_acc;
 /// Snapshot published by the last materialize(); guarded so a monitoring
 /// thread (or an obs probe) can read it concurrently with a running pass.
-mutex g_stats_mutex;
+mutex g_stats_mutex LOCK_RANK(pass_stats);
 pass_stats g_last_stats GUARDED_BY(g_stats_mutex);
 
 /// Per-GenOp-kind kernel-time histograms, resolved once so the hot path

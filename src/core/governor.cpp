@@ -70,7 +70,7 @@ void resource_governor::reservation::release() noexcept {
 
 void resource_governor::do_release(const footprint& fp) noexcept {
   {
-    mutex_lock lock(mtx_);
+    mutex_lock lock(gov_mtx_);
     release_locked(fp);
   }
   cv_.notify_all();
@@ -88,7 +88,7 @@ resource_governor::verdict resource_governor::try_admit(const footprint& fp,
                                                         reservation& out) {
   const std::size_t mem_budget = conf().mem_budget_bytes;
   const std::size_t io_budget = conf().max_inflight_io;
-  mutex_lock lock(mtx_);
+  mutex_lock lock(gov_mtx_);
   if ((mem_budget != 0 && fp.bytes > mem_budget) ||
       (io_budget != 0 && fp.inflight_io > io_budget))
     return verdict::too_large;
@@ -122,7 +122,7 @@ resource_governor::reservation resource_governor::admit(
   }
   const std::uint64_t t0 = now_ns();
   queue_wait_counter().add(1);
-  mutex_lock lock(mtx_);
+  mutex_lock lock(gov_mtx_);
   ++queued_;
   for (;;) {
     const bool fits =
@@ -162,7 +162,7 @@ resource_governor::health_snapshot resource_governor::health() const {
     h.max_inflight_io = conf().max_inflight_io;
   }
   {
-    mutex_lock lock(mtx_);
+    mutex_lock lock(gov_mtx_);
     h.reserved_bytes = reserved_bytes_;
     h.reserved_io = reserved_io_;
     h.active_passes = active_;
@@ -206,19 +206,19 @@ resource_governor& resource_governor::global() {
     auto* gov = new resource_governor();
     auto& reg = obs::metrics_registry::global();
     reg.register_probe("governor.reserved_bytes", [gov] {
-      mutex_lock lock(gov->mtx_);
+      mutex_lock lock(gov->gov_mtx_);
       return static_cast<std::uint64_t>(gov->reserved_bytes_);
     });
     reg.register_probe("governor.reserved_io", [gov] {
-      mutex_lock lock(gov->mtx_);
+      mutex_lock lock(gov->gov_mtx_);
       return static_cast<std::uint64_t>(gov->reserved_io_);
     });
     reg.register_probe("governor.active_passes", [gov] {
-      mutex_lock lock(gov->mtx_);
+      mutex_lock lock(gov->gov_mtx_);
       return static_cast<std::uint64_t>(gov->active_);
     });
     reg.register_probe("governor.queued_passes", [gov] {
-      mutex_lock lock(gov->mtx_);
+      mutex_lock lock(gov->gov_mtx_);
       return static_cast<std::uint64_t>(gov->queued_);
     });
     reg.register_probe("governor.degraded_passes", [gov] {
@@ -262,7 +262,7 @@ std::uint64_t pass_watchdog::watch(std::uint64_t pass_id,
   e.cancel = std::move(cancel);
   std::uint64_t token;
   {
-    mutex_lock lock(mtx_);
+    mutex_lock lock(wd_mtx_);
     token = next_token_++;
     entries_.emplace(token, std::move(e));
   }
@@ -272,7 +272,7 @@ std::uint64_t pass_watchdog::watch(std::uint64_t pass_id,
 
 void pass_watchdog::unwatch(std::uint64_t token) {
   if (token == 0) return;
-  mutex_lock lock(mtx_);
+  mutex_lock lock(wd_mtx_);
   // If the watchdog is mid-cancel on this very entry (lock dropped for the
   // callback), wait it out: after erase the callbacks' referents may die.
   while (cancelling_ == token) cv_.wait(lock);
@@ -282,9 +282,38 @@ void pass_watchdog::unwatch(std::uint64_t token) {
   entries_.erase(it);
 }
 
+pass_watchdog::trip_decision pass_watchdog::check_entry(const entry& e,
+                                                       std::uint64_t now) {
+  trip_decision d;
+  if (e.tripped) return d;
+  if (e.deadline_ns != 0 && now >= e.deadline_ns) {
+    // Elapsed is measured from the deadline's own epoch (the materialize
+    // call), not from watch registration — admission queueing happens in
+    // between, and callers reasonably expect elapsed >= limit on a
+    // deadline trip.
+    d.k = trip_decision::kind::deadline;
+    d.elapsed_ns = now - e.deadline_ns + e.deadline_ms * 1000000ull;
+    return d;
+  }
+  if (e.stall_ns != 0 && e.progress) {
+    // Polling the pipeline under the watchdog lock is safe: the pipeline
+    // never calls back into the watchdog, and the prefetch-window rank
+    // (500) sits above the watchdog's (200), so the order is acyclic.
+    const io_progress p = e.progress();
+    if (p.inflight > 0) {
+      const std::uint64_t base = std::max(p.last_completion_ns, e.start_ns);
+      if (now > base && now - base >= e.stall_ns) {
+        d.k = trip_decision::kind::stall;
+        d.elapsed_ns = now - base;
+      }
+    }
+  }
+  return d;
+}
+
 void pass_watchdog::loop() {
   obs::set_thread_name("watchdog");
-  mutex_lock lock(mtx_);
+  mutex_lock lock(wd_mtx_);
   for (;;) {
     // Next instant any entry needs attention: deadlines exactly, stall
     // checks on a poll grid a quarter of their bound.
@@ -308,47 +337,33 @@ void pass_watchdog::loop() {
       cv_.wait_for(lock, std::chrono::nanoseconds(wake - now));
 
     // Trip at most one entry per iteration: the cancel callback runs with
-    // the lock dropped, so the entry map may change under it.
+    // the lock dropped, so the entry map may change under it. The poll
+    // body itself (check_entry) is nonblocking; everything that allocates
+    // — the typed error, the counters, the callback — happens out here.
     for (;;) {
       now = now_ns();
       std::uint64_t fire_tok = 0;
       cancel_fn cancel;
       std::exception_ptr err;
       for (auto& [tok, e] : entries_) {
-        if (e.tripped) continue;
-        if (e.deadline_ns != 0 && now >= e.deadline_ns) {
-          // Elapsed is measured from the deadline's own epoch (the
-          // materialize call), not from watch registration — admission
-          // queueing happens in between, and callers reasonably expect
-          // elapsed >= limit on a deadline trip.
+        const trip_decision d = check_entry(e, now);
+        if (d.k == trip_decision::kind::none) continue;
+        if (d.k == trip_decision::kind::deadline) {
           err = std::make_exception_ptr(timeout_error(
-              "pass deadline exceeded", e.pass_id,
-              now - e.deadline_ns + e.deadline_ms * 1000000ull,
+              "pass deadline exceeded", e.pass_id, d.elapsed_ns,
               e.deadline_ms));
           deadline_trip_counter().add(1);
-        } else if (e.stall_ns != 0 && e.progress) {
-          // Polling the pipeline under the watchdog lock is safe: the
-          // pipeline never calls back into the watchdog, so the
-          // watchdog->pipeline lock order is acyclic.
-          const io_progress p = e.progress();
-          if (p.inflight > 0) {
-            const std::uint64_t base =
-                std::max(p.last_completion_ns, e.start_ns);
-            if (now > base && now - base >= e.stall_ns) {
-              err = std::make_exception_ptr(timeout_error(
-                  "hung I/O: reads in flight with no completion", e.pass_id,
-                  now - base, e.stall_ms));
-              stall_trip_counter().add(1);
-            }
-          }
+        } else {
+          err = std::make_exception_ptr(timeout_error(
+              "hung I/O: reads in flight with no completion", e.pass_id,
+              d.elapsed_ns, e.stall_ms));
+          stall_trip_counter().add(1);
         }
-        if (err) {
-          e.tripped = true;
-          fire_tok = tok;
-          cancel = e.cancel;
-          resource_governor::global().note_tripped_begin();
-          break;
-        }
+        e.tripped = true;
+        fire_tok = tok;
+        cancel = e.cancel;
+        resource_governor::global().note_tripped_begin();
+        break;
       }
       if (fire_tok == 0) break;
       cancelling_ = fire_tok;

@@ -135,16 +135,16 @@ class resource_governor {
   static resource_governor& global();
 
  private:
-  void release_locked(const footprint& fp) REQUIRES(mtx_);
+  void release_locked(const footprint& fp) REQUIRES(gov_mtx_);
   void do_release(const footprint& fp) noexcept;
 
   friend class reservation;
-  mutable mutex mtx_;
+  mutable mutex gov_mtx_ LOCK_RANK(governor);
   cond_var cv_;
-  std::size_t reserved_bytes_ GUARDED_BY(mtx_) = 0;
-  std::size_t reserved_io_ GUARDED_BY(mtx_) = 0;
-  std::size_t active_ GUARDED_BY(mtx_) = 0;
-  std::size_t queued_ GUARDED_BY(mtx_) = 0;
+  std::size_t reserved_bytes_ GUARDED_BY(gov_mtx_) = 0;
+  std::size_t reserved_io_ GUARDED_BY(gov_mtx_) = 0;
+  std::size_t active_ GUARDED_BY(gov_mtx_) = 0;
+  std::size_t queued_ GUARDED_BY(gov_mtx_) = 0;
   std::atomic<std::size_t> degraded_{0};
   std::atomic<std::size_t> tripped_{0};
 };
@@ -191,16 +191,30 @@ class pass_watchdog {
     bool tripped = false;
   };
 
+  /// One poll verdict for one supervised entry; POD so the nonblocking
+  /// poll body below allocates nothing.
+  struct trip_decision {
+    enum class kind { none, deadline, stall };
+    kind k = kind::none;
+    std::uint64_t elapsed_ns = 0;  ///< measured duration for the error text
+  };
+
   pass_watchdog();
   void loop();
+  /// Poll body: decide whether `e` has tripped at instant `now`. Runs on
+  /// every watchdog wakeup for every entry, so it must never block or
+  /// allocate (the cancel machinery — exception construction, counters,
+  /// the callback itself — stays in loop()); the analyzer verifies that.
+  static trip_decision check_entry(const entry& e,
+                                   std::uint64_t now) FLASHR_NONBLOCKING;
 
-  mutable mutex mtx_;
+  mutable mutex wd_mtx_ LOCK_RANK(watchdog);
   cond_var cv_;
-  std::unordered_map<std::uint64_t, entry> entries_ GUARDED_BY(mtx_);
-  std::uint64_t next_token_ GUARDED_BY(mtx_) = 1;
+  std::unordered_map<std::uint64_t, entry> entries_ GUARDED_BY(wd_mtx_);
+  std::uint64_t next_token_ GUARDED_BY(wd_mtx_) = 1;
   /// Token whose cancel callback is executing (watchdog lock dropped);
   /// unwatch() of that token waits until the call returns.
-  std::uint64_t cancelling_ GUARDED_BY(mtx_) = 0;
+  std::uint64_t cancelling_ GUARDED_BY(wd_mtx_) = 0;
 };
 
 }  // namespace flashr::exec

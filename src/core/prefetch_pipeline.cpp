@@ -27,7 +27,7 @@ prefetch_pipeline::prefetch_pipeline(std::vector<const em_readable*> leaves,
   if (depth_ == 0) return;
   // Prime the window: the first `depth` partition reads overlap with
   // whatever setup the caller still has to do before workers start popping.
-  mutex_lock lock(st_->mtx);
+  mutex_lock lock(st_->win_mtx);
   refill(*st_);
 }
 
@@ -60,30 +60,36 @@ void prefetch_pipeline::refill(pf_state& s) {
     // no I/O-service lock held, so there is no lock-order cycle.
     auto st = st_;
     for (const em_readable* leaf : leaves_) {
-      leaf->read_part_notify(
-          part, fl->bufs.at(leaf).data(), [st, fl](std::exception_ptr err) {
-            st->last_completion_ns.store(now_ns(), std::memory_order_relaxed);
-            mutex_lock cb_lock(st->mtx);
-            if (err && !fl->error) fl->error = err;
-            if (--fl->remaining == 0 && st->cancelled) {
-              // Last leaf of a cancelled partition: no read can touch these
-              // buffers any more. Release them under the lock, BEFORE the
-              // outstanding-reads decrement below can unblock settle(), so
-              // the pass's pool audit never observes them as leaked.
-              fl->bufs.clear();
-            }
-            --st->outstanding_reads;
-            st->cv.notify_all();
-          });
+      leaf->read_part_notify(part, fl->bufs.at(leaf).data(),
+                             [st, fl](std::exception_ptr err) {
+                               on_leaf_read_complete(st, fl, std::move(err));
+                             });
     }
   }
+}
+
+void prefetch_pipeline::on_leaf_read_complete(
+    const std::shared_ptr<pf_state>& st, const std::shared_ptr<pf_inflight>& fl,
+    std::exception_ptr err) {
+  st->last_completion_ns.store(now_ns(), std::memory_order_relaxed);
+  mutex_lock cb_lock(st->win_mtx);
+  if (err && !fl->error) fl->error = err;
+  if (--fl->remaining == 0 && st->cancelled) {
+    // Last leaf of a cancelled partition: no read can touch these buffers
+    // any more. Release them under the lock, BEFORE the outstanding-reads
+    // decrement below can unblock settle(), so the pass's pool audit never
+    // observes them as leaked.
+    fl->bufs.clear();
+  }
+  --st->outstanding_reads;
+  st->cv.notify_all();
 }
 
 bool prefetch_pipeline::pop(slot& out) {
   if (depth_ == 0) return pop_sync(out);
   OBS_SPAN("prefetch.pop");
   pf_state& s = *st_;
-  mutex_lock lock(s.mtx);
+  mutex_lock lock(s.win_mtx);
   std::uint64_t waited_ns = 0;
   for (;;) {
     if (s.cancelled) throw pipeline_cancelled{};
@@ -143,7 +149,7 @@ bool prefetch_pipeline::pop_sync(slot& out) {
   pf_state& s = *st_;
   std::size_t part = 0;
   {
-    mutex_lock lock(s.mtx);
+    mutex_lock lock(s.win_mtx);
     if (s.cancelled) throw pipeline_cancelled{};
     if (s.source_done) return false;
     if (!source_(part)) {
@@ -177,7 +183,7 @@ bool prefetch_pipeline::pop_sync(slot& out) {
   }
   s.last_completion_ns.store(now_ns(), std::memory_order_relaxed);
   {
-    mutex_lock lock(s.mtx);
+    mutex_lock lock(s.win_mtx);
     s.st.read_wait_ns += now_ns() - t0;
     s.outstanding_reads -= leaves_.size();
     s.cv.notify_all();
@@ -191,14 +197,14 @@ bool prefetch_pipeline::pop_sync(slot& out) {
 
 void prefetch_pipeline::cancel() noexcept {
   pf_state& s = *st_;
-  mutex_lock lock(s.mtx);
+  mutex_lock lock(s.win_mtx);
   s.cancelled = true;
   s.cv.notify_all();
 }
 
 void prefetch_pipeline::settle() noexcept {
   pf_state& s = *st_;
-  mutex_lock lock(s.mtx);
+  mutex_lock lock(s.win_mtx);
   while (s.outstanding_reads != 0) s.cv.wait(lock);
   // Release window-held buffers here, on the settling thread, not in the
   // pf_state destructor: completion closures hold shared_ptrs to st_ that
@@ -211,7 +217,7 @@ void prefetch_pipeline::settle() noexcept {
 }
 
 prefetch_pipeline::stats prefetch_pipeline::pipeline_stats() const {
-  mutex_lock lock(st_->mtx);
+  mutex_lock lock(st_->win_mtx);
   return st_->st;
 }
 
@@ -219,7 +225,7 @@ prefetch_pipeline::io_progress prefetch_pipeline::progress() const {
   io_progress p;
   p.last_completion_ns =
       st_->last_completion_ns.load(std::memory_order_relaxed);
-  mutex_lock lock(st_->mtx);
+  mutex_lock lock(st_->win_mtx);
   p.inflight_reads = st_->outstanding_reads;
   return p;
 }

@@ -124,16 +124,16 @@ class prefetch_pipeline {
 
   /// Shared queue state, co-owned by the I/O completion callbacks.
   struct pf_state {
-    mutable mutex mtx;
+    mutable mutex win_mtx LOCK_RANK(prefetch_window);
     cond_var cv;
     /// Window in dispatch (source) order; completed slots may sit behind
     /// still-reading ones in completion-order mode.
-    std::deque<std::shared_ptr<pf_inflight>> window GUARDED_BY(mtx);
-    bool cancelled GUARDED_BY(mtx) = false;
-    bool source_done GUARDED_BY(mtx) = false;
+    std::deque<std::shared_ptr<pf_inflight>> window GUARDED_BY(win_mtx);
+    bool cancelled GUARDED_BY(win_mtx) = false;
+    bool source_done GUARDED_BY(win_mtx) = false;
     /// Leaf reads submitted and not yet notified; settle() waits on this.
-    std::size_t outstanding_reads GUARDED_BY(mtx) = 0;
-    stats st GUARDED_BY(mtx);
+    std::size_t outstanding_reads GUARDED_BY(win_mtx) = 0;
+    stats st GUARDED_BY(win_mtx);
     /// Atomic (not guarded): stamped by completion callbacks and read by
     /// the watchdog thread without taking the pipeline lock.
     std::atomic<std::uint64_t> last_completion_ns{0};
@@ -141,8 +141,16 @@ class prefetch_pipeline {
 
   /// Issue reads until the window holds `depth_` partitions or the source
   /// runs dry.
-  void refill(pf_state& s) REQUIRES(s.mtx);
+  void refill(pf_state& s) REQUIRES(s.win_mtx);
   bool pop_sync(slot& out);
+  /// Async-I/O completion for one leaf read of one windowed partition.
+  /// Runs on an I/O service thread between completions, so it must never
+  /// block: it takes only nonblocking-safe leaf locks (the window mutex,
+  /// and the pool mutex via bufs.clear()) and allocates nothing — the
+  /// analyzer verifies that transitively.
+  static void on_leaf_read_complete(const std::shared_ptr<pf_state>& st,
+                                    const std::shared_ptr<pf_inflight>& fl,
+                                    std::exception_ptr err) FLASHR_NONBLOCKING;
 
   std::vector<const em_readable*> leaves_;
   part_source source_;

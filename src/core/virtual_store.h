@@ -34,11 +34,11 @@ class virtual_store final : public matrix_store {
   /// Materialized result, or nullptr. Set once by the executor; thereafter
   /// the node is transparent (reads forward to the result).
   matrix_store::ptr result() const {
-    mutex_lock lock(mutex_);
+    mutex_lock lock(result_mtx_);
     return result_;
   }
   void set_result(matrix_store::ptr r) {
-    mutex_lock lock(mutex_);
+    mutex_lock lock(result_mtx_);
     result_ = std::move(r);
   }
   bool has_result() const { return result() != nullptr; }
@@ -64,8 +64,8 @@ class virtual_store final : public matrix_store {
 
   genop op_;
   std::vector<matrix_store::ptr> children_;
-  mutable mutex mutex_;
-  matrix_store::ptr result_ GUARDED_BY(mutex_);
+  mutable mutex result_mtx_ LOCK_RANK(virtual_result);
+  matrix_store::ptr result_ GUARDED_BY(result_mtx_);
   std::atomic<bool> cache_flag_{false};
   std::atomic<int> cache_storage_{static_cast<int>(storage::in_mem)};
 };

@@ -37,13 +37,16 @@ async_io::async_io(int num_threads) {
       char name[16];
       std::snprintf(name, sizeof(name), "io-%d", i);
       obs::set_thread_name(name);
+      // Completion callbacks may trace; registering the ring here keeps
+      // emit()'s once-per-thread slow path out of the nonblocking context.
+      obs::ensure_thread_ring();
       io_loop();
     });
 }
 
 async_io::~async_io() {
   {
-    mutex_lock lock(mutex_);
+    mutex_lock lock(io_mtx_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -66,7 +69,7 @@ std::future<void> async_io::submit_read(std::shared_ptr<const safs_file> file,
   req.is_write = false;
   std::future<void> fut = req.done.get_future();
   {
-    mutex_lock lock(mutex_);
+    mutex_lock lock(io_mtx_);
     enqueue_locked(std::move(req));
   }
   cv_.notify_one();
@@ -84,7 +87,7 @@ void async_io::submit_read_notify(std::shared_ptr<const safs_file> file,
   req.notify = std::move(done);
   req.is_write = false;
   {
-    mutex_lock lock(mutex_);
+    mutex_lock lock(io_mtx_);
     enqueue_locked(std::move(req));
   }
   cv_.notify_one();
@@ -101,7 +104,7 @@ void async_io::submit_write(std::shared_ptr<safs_file> file,
   req.wbuf = std::move(buf);
   req.is_write = true;
   {
-    mutex_lock lock(mutex_);
+    mutex_lock lock(io_mtx_);
     // Bounded write-behind: admit the write only when it fits the budget.
     // An oversized write is admitted once nothing else is in flight, so the
     // bound cannot deadlock; the effective high-water mark is then
@@ -127,7 +130,7 @@ void async_io::submit_write(std::shared_ptr<safs_file> file,
 }
 
 void async_io::drain_writes() {
-  mutex_lock lock(mutex_);
+  mutex_lock lock(io_mtx_);
   while (pending_writes_ != 0) cv_drained_.wait(lock);
   if (write_error_) {
     auto err = write_error_;
@@ -137,7 +140,7 @@ void async_io::drain_writes() {
 }
 
 async_io::write_throttle_stats async_io::throttle_stats() const {
-  mutex_lock lock(mutex_);
+  mutex_lock lock(io_mtx_);
   write_throttle_stats s;
   s.stalls = throttle_stalls_;
   s.stall_ns = throttle_stall_ns_;
@@ -147,7 +150,7 @@ async_io::write_throttle_stats async_io::throttle_stats() const {
 }
 
 void async_io::reset_throttle_hwm() {
-  mutex_lock lock(mutex_);
+  mutex_lock lock(io_mtx_);
   write_hwm_bytes_ = inflight_write_bytes_;
 }
 
@@ -162,7 +165,7 @@ void async_io::io_loop() {
   for (;;) {
     request req;
     {
-      mutex_lock lock(mutex_);
+      mutex_lock lock(io_mtx_);
       while (!stop_ && queue_.empty()) cv_.wait(lock);
       if (queue_.empty()) {
         if (stop_) return;
@@ -189,7 +192,7 @@ void async_io::io_loop() {
       }
       req.wbuf.release();
       last_completion_ns_.store(now_ns(), std::memory_order_relaxed);
-      mutex_lock lock(mutex_);
+      mutex_lock lock(io_mtx_);
       complete_write_locked(req.len, std::move(err));
     } else {
       std::exception_ptr err;

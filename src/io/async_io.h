@@ -18,7 +18,7 @@
 // exec::last_pass_stats) proving the bound holds.
 //
 // The queue, the write accounting and the deferred write error are all
-// GUARDED_BY(mutex_); the FLASHR_THREAD_SAFETY build proves no path touches
+// GUARDED_BY(io_mtx_); the FLASHR_THREAD_SAFETY build proves no path touches
 // them unlocked.
 #pragma once
 
@@ -79,7 +79,7 @@ class async_io {
   /// this does NOT consume a deferred write error — tests use it to wait
   /// for a failing write to finish while keeping the error observable.
   int pending_writes() const {
-    mutex_lock lock(mutex_);
+    mutex_lock lock(io_mtx_);
     return pending_writes_;
   }
 
@@ -122,26 +122,28 @@ class async_io {
 
   void io_loop();
   /// Enqueue one request. Lock-held core of the submit entry points.
-  void enqueue_locked(request req) REQUIRES(mutex_);
+  void enqueue_locked(request req) REQUIRES(io_mtx_);
   /// Account one finished write: record its deferred error (first wins),
-  /// release its byte budget and wake drainers/throttled submitters.
+  /// release its byte budget and wake drainers/throttled submitters. Runs
+  /// on an I/O thread between completions, so it must never block or
+  /// allocate (the analyzer verifies that).
   void complete_write_locked(std::size_t len, std::exception_ptr err)
-      REQUIRES(mutex_);
+      REQUIRES(io_mtx_) FLASHR_NONBLOCKING;
 
   std::vector<std::thread> threads_;
-  mutable mutex mutex_;
+  mutable mutex io_mtx_ LOCK_RANK(async_queue);
   cond_var cv_;
   cond_var cv_drained_;
   /// Signalled when in-flight write bytes drop (throttled submitters wait).
   cond_var cv_write_budget_;
-  std::deque<request> queue_ GUARDED_BY(mutex_);
-  int pending_writes_ GUARDED_BY(mutex_) = 0;
-  std::size_t inflight_write_bytes_ GUARDED_BY(mutex_) = 0;
-  std::size_t write_hwm_bytes_ GUARDED_BY(mutex_) = 0;
-  std::size_t throttle_stalls_ GUARDED_BY(mutex_) = 0;
-  std::uint64_t throttle_stall_ns_ GUARDED_BY(mutex_) = 0;
-  std::exception_ptr write_error_ GUARDED_BY(mutex_);
-  bool stop_ GUARDED_BY(mutex_) = false;
+  std::deque<request> queue_ GUARDED_BY(io_mtx_);
+  int pending_writes_ GUARDED_BY(io_mtx_) = 0;
+  std::size_t inflight_write_bytes_ GUARDED_BY(io_mtx_) = 0;
+  std::size_t write_hwm_bytes_ GUARDED_BY(io_mtx_) = 0;
+  std::size_t throttle_stalls_ GUARDED_BY(io_mtx_) = 0;
+  std::uint64_t throttle_stall_ns_ GUARDED_BY(io_mtx_) = 0;
+  std::exception_ptr write_error_ GUARDED_BY(io_mtx_);
+  bool stop_ GUARDED_BY(io_mtx_) = false;
   std::atomic<std::uint64_t> last_completion_ns_{0};
 };
 

@@ -60,7 +60,7 @@ constexpr std::uint64_t site_salt(fault_site s) {
 
 fault_plan fault_injector::snapshot() const {
   {
-    mutex_lock lock(mutex_);
+    mutex_lock lock(fault_mtx_);
     if (use_override_) return override_plan_;
   }
   return plan_from_conf();
@@ -97,7 +97,7 @@ fault_injector::decision fault_injector::next_with(const fault_plan& p,
 
 void fault_injector::install(const fault_plan& p) {
   {
-    mutex_lock lock(mutex_);
+    mutex_lock lock(fault_mtx_);
     override_plan_ = p;
     use_override_ = true;
   }
@@ -106,7 +106,7 @@ void fault_injector::install(const fault_plan& p) {
 
 void fault_injector::clear() {
   {
-    mutex_lock lock(mutex_);
+    mutex_lock lock(fault_mtx_);
     use_override_ = false;
   }
   reset();
@@ -118,7 +118,7 @@ void fault_injector::reset() {
 }
 
 bool fault_injector::overridden() const {
-  mutex_lock lock(mutex_);
+  mutex_lock lock(fault_mtx_);
   return use_override_;
 }
 

@@ -104,9 +104,9 @@ class fault_injector {
   static fault_injector& global();
 
  private:
-  mutable mutex mutex_;
-  fault_plan override_plan_ GUARDED_BY(mutex_);
-  bool use_override_ GUARDED_BY(mutex_) = false;
+  mutable mutex fault_mtx_ LOCK_RANK(fault_plan);
+  fault_plan override_plan_ GUARDED_BY(fault_mtx_);
+  bool use_override_ GUARDED_BY(fault_mtx_) = false;
   std::atomic<std::uint64_t> counters_[kNumFaultSites] = {};
   std::atomic<std::size_t> injected_{0};
 };

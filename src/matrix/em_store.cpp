@@ -148,37 +148,54 @@ std::future<void> em_col_view::read_part_async(std::size_t pidx,
   });
 }
 
+namespace {
+
+/// Join of the per-column notify-reads of one em_col_view partition read:
+/// `done` fires once when the last column lands, first error wins.
+struct col_join_state {
+  mutex join_mtx LOCK_RANK(io_join);
+  std::size_t remaining GUARDED_BY(join_mtx) = 0;
+  std::exception_ptr error GUARDED_BY(join_mtx);
+  em_readable::read_callback done;
+};
+
+/// Async-I/O completion for one column read. Runs on an I/O service thread
+/// between completions, so it must never block: only the nonblocking-safe
+/// join mutex is taken, and `done` (the prefetch pipeline's own completion,
+/// verified separately) is invoked after it is released.
+void on_col_read_complete(const std::shared_ptr<col_join_state>& join,
+                          std::exception_ptr err) FLASHR_NONBLOCKING;
+
+void on_col_read_complete(const std::shared_ptr<col_join_state>& join,
+                          std::exception_ptr err) {
+  bool last = false;
+  std::exception_ptr first;
+  {
+    mutex_lock lock(join->join_mtx);
+    if (err && !join->error) join->error = err;
+    last = --join->remaining == 0;
+    if (last) first = join->error;
+  }
+  if (last) join->done(first);
+}
+
+}  // namespace
+
 void em_col_view::read_part_notify(std::size_t pidx, char* buf,
                                    read_callback done) const {
-  // One notify-read per selected column (same layout as read_part_async);
-  // a shared join invokes `done` once the last column lands, first error
-  // wins.
-  struct join_state {
-    mutex mtx;
-    std::size_t remaining GUARDED_BY(mtx) = 0;
-    std::exception_ptr error GUARDED_BY(mtx);
-    read_callback done;
-  };
+  // One notify-read per selected column (same layout as read_part_async).
   const std::size_t rows = geom_.rows_in_part(pidx);
   const std::size_t col_bytes = rows * elem_size();
   const std::size_t base_off = base_->part_offset(pidx);
   const std::size_t base_rows = base_->geom().rows_in_part(pidx);
-  auto join = std::make_shared<join_state>();
+  auto join = std::make_shared<col_join_state>();
   join->remaining = cols_.size();
   join->done = std::move(done);
   for (std::size_t j = 0; j < cols_.size(); ++j)
     async_io::global().submit_read_notify(
         base_->file(), base_off + cols_[j] * base_rows * elem_size(),
         col_bytes, buf + j * col_bytes, [join](std::exception_ptr err) {
-          bool last = false;
-          std::exception_ptr first;
-          {
-            mutex_lock lock(join->mtx);
-            if (err && !join->error) join->error = err;
-            last = --join->remaining == 0;
-            if (last) first = join->error;
-          }
-          if (last) join->done(first);
+          on_col_read_complete(join, std::move(err));
         });
 }
 

@@ -54,7 +54,7 @@ pool_buffer buffer_pool::get(std::size_t bytes) {
   const bool track = invariants_enabled();
   char* data = nullptr;
   {
-    mutex_lock lock(mutex_);
+    mutex_lock lock(pool_mtx_);
     auto& list = free_lists_[cls];
     if (!list.empty()) {
       data = list.back();
@@ -86,7 +86,7 @@ pool_buffer buffer_pool::get(std::size_t bytes) {
     // multiples of kBufferAlign for all classes >= 4 KiB.
     data = aligned_alloc_bytes(class_bytes).release();
     if (track) {
-      mutex_lock lock(mutex_);
+      mutex_lock lock(pool_mtx_);
       live_.insert(data);
     }
   }
@@ -123,7 +123,7 @@ void buffer_pool::put(char* data, std::size_t size, int cls,
                       bool tracked) noexcept {
   OBS_INSTANT("pool.put", size);
   {
-    mutex_lock lock(mutex_);
+    mutex_lock lock(pool_mtx_);
     if (invariants_enabled())
       track_return_locked(data, size, cls, tracked);
     else if (tracked)
@@ -135,7 +135,7 @@ void buffer_pool::put(char* data, std::size_t size, int cls,
 }
 
 void buffer_pool::trim() {
-  mutex_lock lock(mutex_);
+  mutex_lock lock(pool_mtx_);
   for (auto& list : free_lists_) {
     for (char* p : list) {
       poisoned_.erase(p);
@@ -146,7 +146,7 @@ void buffer_pool::trim() {
 }
 
 std::size_t buffer_pool::cached_count() const {
-  mutex_lock lock(mutex_);
+  mutex_lock lock(pool_mtx_);
   std::size_t n = 0;
   for (const auto& list : free_lists_) n += list.size();
   return n;

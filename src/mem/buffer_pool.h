@@ -47,8 +47,10 @@ class pool_buffer {
   std::size_t size() const noexcept { return size_; }
   bool valid() const noexcept { return data_ != nullptr; }
 
-  /// Return the buffer to the pool now.
-  void release() noexcept;
+  /// Return the buffer to the pool now. Runs from async-I/O completion
+  /// contexts (a write request's buffer, a cancelled window slot), so it
+  /// must never block — see buffer_pool::put.
+  void release() noexcept FLASHR_NONBLOCKING;
 
  private:
   friend class buffer_pool;
@@ -106,23 +108,27 @@ class buffer_pool {
   /// Invariant-seeding test seams (core/validate.h).
   friend struct pool_debug;
 
-  void put(char* data, std::size_t size, int cls, bool tracked) noexcept;
+  /// Runs from async-I/O completion contexts via pool_buffer::release, so
+  /// it must never block: the pool mutex is nonblocking-safe (O(1),
+  /// alloc-free critical sections) and the analyzer verifies the body.
+  void put(char* data, std::size_t size, int cls, bool tracked) noexcept
+      FLASHR_NONBLOCKING;
   /// Lifecycle bookkeeping for one returning buffer; aborts on double
   /// return / underflow and poisons the memory. Lock-held core of put().
   void track_return_locked(char* data, std::size_t size, int cls,
-                           bool tracked) noexcept REQUIRES(mutex_);
+                           bool tracked) noexcept REQUIRES(pool_mtx_);
 
   static constexpr int kMinClassLog2 = 9;   // 512 B
   static constexpr int kMaxClassLog2 = 31;  // 2 GiB
   static int class_of(std::size_t bytes);
 
-  mutable mutex mutex_;
+  mutable mutex pool_mtx_ LOCK_RANK(buffer_pool);
   std::vector<char*> free_lists_[kMaxClassLog2 - kMinClassLog2 + 1]
-      GUARDED_BY(mutex_);
+      GUARDED_BY(pool_mtx_);
   /// Buffers currently handed out while the validator was active.
-  std::unordered_set<const char*> live_ GUARDED_BY(mutex_);
+  std::unordered_set<const char*> live_ GUARDED_BY(pool_mtx_);
   /// Buffers poisoned on return and not yet re-issued; verified on reuse.
-  std::unordered_set<const char*> poisoned_ GUARDED_BY(mutex_);
+  std::unordered_set<const char*> poisoned_ GUARDED_BY(pool_mtx_);
   std::atomic<std::size_t> outstanding_{0};
   std::atomic<std::size_t> outstanding_count_{0};
   std::atomic<std::size_t> peak_{0};

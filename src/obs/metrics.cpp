@@ -52,21 +52,21 @@ void histogram::reset() {
 }
 
 counter& metrics_registry::get_counter(const std::string& name) {
-  mutex_lock lock(mtx_);
+  mutex_lock lock(reg_mtx_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<counter>();
   return *slot;
 }
 
 gauge& metrics_registry::get_gauge(const std::string& name) {
-  mutex_lock lock(mtx_);
+  mutex_lock lock(reg_mtx_);
   auto& slot = gauges_[name];
   if (!slot) slot = std::make_unique<gauge>();
   return *slot;
 }
 
 histogram& metrics_registry::get_histogram(const std::string& name) {
-  mutex_lock lock(mtx_);
+  mutex_lock lock(reg_mtx_);
   auto& slot = hists_[name];
   if (!slot) slot = std::make_unique<histogram>();
   return *slot;
@@ -74,7 +74,7 @@ histogram& metrics_registry::get_histogram(const std::string& name) {
 
 void metrics_registry::register_probe(const std::string& name,
                                       std::function<std::uint64_t()> fn) {
-  mutex_lock lock(mtx_);
+  mutex_lock lock(reg_mtx_);
   probes_[name] = std::move(fn);
 }
 
@@ -82,7 +82,7 @@ std::uint64_t metrics_registry::value(const std::string& name,
                                       bool* found) const {
   std::function<std::uint64_t()> probe;
   {
-    mutex_lock lock(mtx_);
+    mutex_lock lock(reg_mtx_);
     if (auto it = counters_.find(name); it != counters_.end()) {
       if (found != nullptr) *found = true;
       return it->second->value();
@@ -147,7 +147,7 @@ std::string metrics_registry::to_json() const {
   std::string out = "{\n";
   bool first_section = true;
   {
-    mutex_lock lock(mtx_);
+    mutex_lock lock(reg_mtx_);
     append_section(out, "counters", counters_,
                    [](const std::unique_ptr<counter>& c) {
                      return u64_str(c->value());
@@ -230,7 +230,7 @@ std::string metrics_registry::to_prometheus() const {
   std::string out;
   std::vector<std::pair<std::string, std::function<std::uint64_t()>>> probes;
   {
-    mutex_lock lock(mtx_);
+    mutex_lock lock(reg_mtx_);
     for (const auto& [name, c] : counters_)
       append_prom_scalar(out, name, "counter", c->value());
     for (const auto& [name, g] : gauges_)
@@ -261,7 +261,7 @@ std::string metrics_registry::to_prometheus() const {
 }
 
 void metrics_registry::reset() {
-  mutex_lock lock(mtx_);
+  mutex_lock lock(reg_mtx_);
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, g] : gauges_) g->reset();
   for (auto& [name, h] : hists_) h->reset();

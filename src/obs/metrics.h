@@ -135,12 +135,12 @@ class metrics_registry {
   static metrics_registry& global();
 
  private:
-  mutable mutex mtx_;
-  std::map<std::string, std::unique_ptr<counter>> counters_ GUARDED_BY(mtx_);
-  std::map<std::string, std::unique_ptr<gauge>> gauges_ GUARDED_BY(mtx_);
-  std::map<std::string, std::unique_ptr<histogram>> hists_ GUARDED_BY(mtx_);
+  mutable mutex reg_mtx_ LOCK_RANK(metrics_registry);
+  std::map<std::string, std::unique_ptr<counter>> counters_ GUARDED_BY(reg_mtx_);
+  std::map<std::string, std::unique_ptr<gauge>> gauges_ GUARDED_BY(reg_mtx_);
+  std::map<std::string, std::unique_ptr<histogram>> hists_ GUARDED_BY(reg_mtx_);
   std::map<std::string, std::function<std::uint64_t()>> probes_
-      GUARDED_BY(mtx_);
+      GUARDED_BY(reg_mtx_);
 };
 
 }  // namespace flashr::obs

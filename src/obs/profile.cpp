@@ -30,13 +30,13 @@ struct armed_node {
 };
 
 struct profile_state {
-  mutex mtx;
+  mutex prof_mtx LOCK_RANK(profile);
   /// Resolved store (or aliased result store) -> armed plan node.
-  std::unordered_map<const matrix_store*, armed_node> armed GUARDED_BY(mtx);
-  std::uint64_t pass_seq GUARDED_BY(mtx) = 0;
-  std::deque<pass_profile> history GUARDED_BY(mtx);
-  std::string last_json GUARDED_BY(mtx);
-  std::string last_dot GUARDED_BY(mtx);
+  std::unordered_map<const matrix_store*, armed_node> armed GUARDED_BY(prof_mtx);
+  std::uint64_t pass_seq GUARDED_BY(prof_mtx) = 0;
+  std::deque<pass_profile> history GUARDED_BY(prof_mtx);
+  std::string last_json GUARDED_BY(prof_mtx);
+  std::string last_dot GUARDED_BY(prof_mtx);
 };
 
 profile_state& state() {
@@ -93,7 +93,7 @@ std::string pass_profile::to_json() const {
 void profile_begin(const std::vector<matrix_store::ptr>& targets) {
   plan_summary plan = summarize(targets);
   profile_state& s = state();
-  mutex_lock lock(s.mtx);
+  mutex_lock lock(s.prof_mtx);
   s.armed.clear();
   for (const plan_node& n : plan.nodes) {
     armed_node a;
@@ -107,14 +107,14 @@ void profile_begin(const std::vector<matrix_store::ptr>& targets) {
 void profile_alias(const matrix_store* result, const matrix_store* node) {
   if (result == nullptr || node == nullptr || result == node) return;
   profile_state& s = state();
-  mutex_lock lock(s.mtx);
+  mutex_lock lock(s.prof_mtx);
   if (auto it = s.armed.find(node); it != s.armed.end())
     s.armed.emplace(result, it->second);
 }
 
 int profile_node_id(const matrix_store* s, plan_node_meta* meta) {
   profile_state& st = state();
-  mutex_lock lock(st.mtx);
+  mutex_lock lock(st.prof_mtx);
   auto it = st.armed.find(s);
   if (it == st.armed.end()) return -1;
   if (meta != nullptr) *meta = it->second.meta;
@@ -123,7 +123,7 @@ int profile_node_id(const matrix_store* s, plan_node_meta* meta) {
 
 std::uint64_t profile_record(pass_profile&& p) {
   profile_state& s = state();
-  mutex_lock lock(s.mtx);
+  mutex_lock lock(s.prof_mtx);
   p.seq = ++s.pass_seq;
   const std::uint64_t seq = p.seq;
   s.history.push_back(std::move(p));
@@ -135,13 +135,13 @@ std::uint64_t profile_record(pass_profile&& p) {
 
 std::uint64_t profile_pass_seq() {
   profile_state& s = state();
-  mutex_lock lock(s.mtx);
+  mutex_lock lock(s.prof_mtx);
   return s.pass_seq;
 }
 
 std::vector<pass_profile> profile_history() {
   profile_state& s = state();
-  mutex_lock lock(s.mtx);
+  mutex_lock lock(s.prof_mtx);
   return {s.history.begin(), s.history.end()};
 }
 
@@ -158,7 +158,7 @@ std::string profile_history_json() {
 
 void profile_clear() {
   profile_state& s = state();
-  mutex_lock lock(s.mtx);
+  mutex_lock lock(s.prof_mtx);
   s.armed.clear();
   s.history.clear();
   s.pass_seq = 0;
@@ -245,7 +245,7 @@ void run_analysis(const std::vector<matrix_store::ptr>& targets, storage st,
   dot_out += "}\n";
 
   profile_state& s = state();
-  mutex_lock lock(s.mtx);
+  mutex_lock lock(s.prof_mtx);
   s.last_json = json_out;
   s.last_dot = dot_out;
 }
@@ -270,13 +270,13 @@ std::string explain_analyze_dot(const std::vector<matrix_store::ptr>& targets,
 
 std::string last_explain_analyze_json() {
   profile_state& s = state();
-  mutex_lock lock(s.mtx);
+  mutex_lock lock(s.prof_mtx);
   return s.last_json;
 }
 
 std::string last_explain_analyze_dot() {
   profile_state& s = state();
-  mutex_lock lock(s.mtx);
+  mutex_lock lock(s.prof_mtx);
   return s.last_dot;
 }
 

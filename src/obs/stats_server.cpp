@@ -102,7 +102,7 @@ std::string stats_server::http_response(const std::string& path) {
 bool stats_server::start(int port) {
   stop_.store(false, std::memory_order_relaxed);
   {
-    mutex_lock lock(mtx_);
+    mutex_lock lock(http_mtx_);
     if (listen_fd_ >= 0) {
       if (port == 0 || port_ == port) return true;  // already serving
     }
@@ -134,7 +134,7 @@ bool stats_server::start(int port) {
 
   stop_.store(false, std::memory_order_relaxed);
   {
-    mutex_lock lock(mtx_);
+    mutex_lock lock(http_mtx_);
     listen_fd_ = fd;
     port_ = actual;
     thread_ = std::thread([this] { serve(); });
@@ -153,32 +153,32 @@ bool stats_server::start(int port) {
 void stats_server::stop() {
   std::thread t;
   {
-    mutex_lock lock(mtx_);
+    mutex_lock lock(http_mtx_);
     if (listen_fd_ < 0) return;
     stop_.store(true, std::memory_order_relaxed);
     t = std::move(thread_);
   }
   if (t.joinable()) t.join();
-  mutex_lock lock(mtx_);
+  mutex_lock lock(http_mtx_);
   if (listen_fd_ >= 0) ::close(listen_fd_);
   listen_fd_ = -1;
   port_ = 0;
 }
 
 int stats_server::port() const {
-  mutex_lock lock(mtx_);
+  mutex_lock lock(http_mtx_);
   return listen_fd_ >= 0 ? port_ : 0;
 }
 
 bool stats_server::running() const {
-  mutex_lock lock(mtx_);
+  mutex_lock lock(http_mtx_);
   return listen_fd_ >= 0;
 }
 
 void stats_server::serve() {
   int fd;
   {
-    mutex_lock lock(mtx_);
+    mutex_lock lock(http_mtx_);
     fd = listen_fd_;
   }
   while (!stop_.load(std::memory_order_relaxed)) {

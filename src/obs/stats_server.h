@@ -56,10 +56,10 @@ class stats_server {
  private:
   void serve();
 
-  mutable mutex mtx_;
-  int listen_fd_ GUARDED_BY(mtx_) = -1;
-  int port_ GUARDED_BY(mtx_) = 0;
-  std::thread thread_ GUARDED_BY(mtx_);
+  mutable mutex http_mtx_ LOCK_RANK(stats_server);
+  int listen_fd_ GUARDED_BY(http_mtx_) = -1;
+  int port_ GUARDED_BY(http_mtx_) = 0;
+  std::thread thread_ GUARDED_BY(http_mtx_);
   /// Tells the accept loop to exit; the loop re-checks it every poll tick.
   std::atomic<bool> stop_{false};
 };

@@ -43,9 +43,9 @@ struct trace_ring {
 };
 
 struct trace_registry {
-  mutex mtx;
-  std::vector<std::shared_ptr<trace_ring>> rings GUARDED_BY(mtx);
-  int next_tid GUARDED_BY(mtx) = 1;
+  mutex trace_mtx LOCK_RANK(trace_registry);
+  std::vector<std::shared_ptr<trace_ring>> rings GUARDED_BY(trace_mtx);
+  int next_tid GUARDED_BY(trace_mtx) = 1;
   /// Bumped by trace_clear(); threads re-register when their cached epoch
   /// is stale, so cleared rings are never written again.
   std::atomic<std::uint64_t> epoch{1};
@@ -73,7 +73,7 @@ trace_ring& local_ring() {
     std::size_t cap = conf().obs_ring_events;
     if (cap < 16) cap = 16;
     auto ring = std::make_shared<trace_ring>(cap);
-    mutex_lock lock(reg.mtx);
+    mutex_lock lock(reg.trace_mtx);
     ring->tid = reg.next_tid++;
     if (!t_ring.pending_name.empty()) ring->name = t_ring.pending_name;
     reg.rings.push_back(ring);
@@ -124,10 +124,15 @@ void append_event(std::string& out, const event_rec& ev, int tid) {
   out += "}";
 }
 
-}  // namespace
+/// Steady-state record path: four relaxed stores and one release publish
+/// into a ring that already exists. Lock-free and allocation-free, so it
+/// is safe from any context, including async-I/O completions — and the
+/// analyzer holds it to that.
+void record_into(trace_ring& r, event_kind kind, const char* name,
+                 std::uint64_t arg) FLASHR_NONBLOCKING;
 
-void emit(event_kind kind, const char* name, std::uint64_t arg) {
-  trace_ring& r = local_ring();
+void record_into(trace_ring& r, event_kind kind, const char* name,
+                 std::uint64_t arg) {
   const std::uint64_t i = r.head.load(std::memory_order_relaxed);
   trace_slot& s = r.slots[i & r.mask];
   s.w[0].store(now_ns(), std::memory_order_relaxed);
@@ -138,10 +143,28 @@ void emit(event_kind kind, const char* name, std::uint64_t arg) {
   r.head.store(i + 1, std::memory_order_release);
 }
 
+}  // namespace
+
+// Blocking-exempt rationale: the slow path (local_ring) registers this
+// thread's ring — one allocation plus the registry lock, once per thread
+// per epoch. Threads that enter nonblocking contexts (the I/O service
+// threads) pre-register via ensure_thread_ring() at startup, so in steady
+// state emit() from a completion is record_into() alone.
+FLASHR_BLOCKING_EXEMPT(
+    "once-per-thread ring registration; I/O threads pre-register via "
+    "ensure_thread_ring")
+void emit(event_kind kind, const char* name, std::uint64_t arg) {
+  record_into(local_ring(), kind, name, arg);
+}
+
+void ensure_thread_ring() {
+  if (trace_on()) (void)local_ring();
+}
+
 void set_thread_name(const char* name) {
   t_ring.pending_name = name;
   if (t_ring.ring) {
-    mutex_lock lock(registry().mtx);
+    mutex_lock lock(registry().trace_mtx);
     t_ring.ring->name = name;
   }
 }
@@ -157,7 +180,7 @@ std::string trace_json(trace_summary* summary) {
   };
 
   trace_registry& reg = registry();
-  mutex_lock lock(reg.mtx);
+  mutex_lock lock(reg.trace_mtx);
   for (const auto& ring : reg.rings) {
     const std::uint64_t cap = ring->mask + 1;
     const std::uint64_t head = ring->head.load(std::memory_order_acquire);
@@ -253,7 +276,7 @@ trace_summary write_trace(const std::string& path) {
 
 void trace_clear() {
   trace_registry& reg = registry();
-  mutex_lock lock(reg.mtx);
+  mutex_lock lock(reg.trace_mtx);
   reg.rings.clear();
   reg.next_tid = 1;
   reg.epoch.fetch_add(1, std::memory_order_relaxed);
@@ -261,7 +284,7 @@ void trace_clear() {
 
 std::size_t trace_dropped() {
   trace_registry& reg = registry();
-  mutex_lock lock(reg.mtx);
+  mutex_lock lock(reg.trace_mtx);
   std::size_t dropped = 0;
   for (const auto& ring : reg.rings)
     dropped += ring_dropped(*ring, ring->head.load(std::memory_order_acquire));

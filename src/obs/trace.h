@@ -62,6 +62,13 @@ void emit(event_kind kind, const char* name, std::uint64_t arg);
 /// the first event.
 void set_thread_name(const char* name);
 
+/// Force this thread's ring registration now (a no-op unless trace_on()).
+/// Threads that emit from nonblocking contexts — the async-I/O service
+/// threads, whose completions may trace — call this at startup so emit()'s
+/// once-per-thread slow path (allocation + registry lock) never runs inside
+/// a completion.
+void ensure_thread_ring();
+
 /// What write_trace()/trace_json() flushed.
 struct trace_summary {
   std::size_t events = 0;   ///< records emitted to the JSON

@@ -19,7 +19,7 @@ thread_pool::thread_pool(int num_threads)
 
 thread_pool::~thread_pool() {
   {
-    mutex_lock lock(mutex_);
+    mutex_lock lock(job_mtx_);
     stop_ = true;
   }
   cv_start_.notify_all();
@@ -40,7 +40,7 @@ void thread_pool::worker_loop(int idx) {
   for (;;) {
     const std::function<void(int)>* job = nullptr;
     {
-      mutex_lock lock(mutex_);
+      mutex_lock lock(job_mtx_);
       while (!stop_ && job_seq_ == seen_seq) cv_start_.wait(lock);
       if (stop_) return;
       seen_seq = job_seq_;
@@ -49,11 +49,11 @@ void thread_pool::worker_loop(int idx) {
     try {
       (*job)(idx);
     } catch (...) {
-      mutex_lock lock(mutex_);
+      mutex_lock lock(job_mtx_);
       record_error_locked(std::current_exception());
     }
     {
-      mutex_lock lock(mutex_);
+      mutex_lock lock(job_mtx_);
       if (--remaining_ == 0) cv_done_.notify_all();
     }
   }
@@ -61,7 +61,7 @@ void thread_pool::worker_loop(int idx) {
 
 void thread_pool::run_all(const std::function<void(int)>& fn) {
   {
-    mutex_lock lock(mutex_);
+    mutex_lock lock(job_mtx_);
     FLASHR_ASSERT(job_ == nullptr, "thread_pool::run_all is not reentrant");
     job_ = &fn;
     remaining_ = num_threads_ - 1;
@@ -73,12 +73,12 @@ void thread_pool::run_all(const std::function<void(int)>& fn) {
   try {
     fn(0);
   } catch (...) {
-    mutex_lock lock(mutex_);
+    mutex_lock lock(job_mtx_);
     record_error_locked(std::current_exception());
   }
   std::exception_ptr err;
   {
-    mutex_lock lock(mutex_);
+    mutex_lock lock(job_mtx_);
     while (remaining_ != 0) cv_done_.wait(lock);
     job_ = nullptr;
     err = first_error_;

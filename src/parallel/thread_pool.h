@@ -6,7 +6,7 @@
 //
 // The job handshake (publish job -> workers run -> last worker signals done)
 // is annotated for clang thread-safety analysis: every shared field is
-// GUARDED_BY(mutex_), so an unlocked access fails the FLASHR_THREAD_SAFETY
+// GUARDED_BY(job_mtx_), so an unlocked access fails the FLASHR_THREAD_SAFETY
 // build.
 #pragma once
 
@@ -44,19 +44,19 @@ class thread_pool {
   void worker_loop(int idx);
   /// Record a worker exception; first one wins. Lock-held core shared by
   /// the caller (worker 0) and spawned workers.
-  void record_error_locked(std::exception_ptr e) REQUIRES(mutex_);
+  void record_error_locked(std::exception_ptr e) REQUIRES(job_mtx_);
 
   int num_threads_;
   std::vector<std::thread> threads_;
 
-  mutex mutex_;
+  mutex job_mtx_ LOCK_RANK(thread_pool);
   cond_var cv_start_;
   cond_var cv_done_;
-  const std::function<void(int)>* job_ GUARDED_BY(mutex_) = nullptr;
-  std::uint64_t job_seq_ GUARDED_BY(mutex_) = 0;
-  int remaining_ GUARDED_BY(mutex_) = 0;
-  bool stop_ GUARDED_BY(mutex_) = false;
-  std::exception_ptr first_error_ GUARDED_BY(mutex_);
+  const std::function<void(int)>* job_ GUARDED_BY(job_mtx_) = nullptr;
+  std::uint64_t job_seq_ GUARDED_BY(job_mtx_) = 0;
+  int remaining_ GUARDED_BY(job_mtx_) = 0;
+  bool stop_ GUARDED_BY(job_mtx_) = false;
+  std::exception_ptr first_error_ GUARDED_BY(job_mtx_);
 };
 
 }  // namespace flashr

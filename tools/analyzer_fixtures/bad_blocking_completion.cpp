@@ -1,0 +1,30 @@
+// Seeded violation for tools/analyze_flashr.py --self-test: a blocking
+// call reachable from a nonblocking context. on_io_complete is marked
+// FLASHR_NONBLOCKING (the contract of async-I/O completion callbacks), but
+// it calls deliver(), which takes a mutex whose rank is not
+// nonblocking_safe AND heap-allocates — the analyzer must report
+// [nonblocking] findings with the call chain through deliver().
+#include "common/thread_safety.h"
+
+namespace fixture {
+
+using flashr::mutex;
+using flashr::mutex_lock;
+
+struct completion_ctx {
+  mutex slow_fix_mtx LOCK_RANK(pass_stats);  // not nonblocking_safe
+  char* last = nullptr;
+
+  void on_io_complete(int err) FLASHR_NONBLOCKING;
+  void deliver(int err);
+};
+
+void completion_ctx::deliver(int err) {
+  mutex_lock lock(slow_fix_mtx);  // blocking lock in a completion context
+  last = new char[64];            // heap allocation in a completion context
+  last[0] = static_cast<char>(err);
+}
+
+void completion_ctx::on_io_complete(int err) { deliver(err); }
+
+}  // namespace fixture

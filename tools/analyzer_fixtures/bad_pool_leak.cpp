@@ -1,0 +1,23 @@
+// Seeded violation for tools/analyze_flashr.py --self-test: pool-discipline
+// breaches. dangling_read() chains .data() off the temporary pool_buffer,
+// so the buffer is already back on the free list when the pointer is used;
+// leaky_handle() heap-allocates the RAII handle, so the early return leaks
+// the pooled buffer. The analyzer must report [pool-discipline] for both.
+#include "mem/buffer_pool.h"
+
+namespace fixture {
+
+char* dangling_read() {
+  // The pool_buffer temporary dies at the end of this full expression.
+  char* p = flashr::buffer_pool::global().get(4096).data();
+  return p;
+}
+
+flashr::pool_buffer* leaky_handle(bool fail_early) {
+  auto* handle =
+      new flashr::pool_buffer(flashr::buffer_pool::global().get(512));
+  if (fail_early) return nullptr;  // leaks *handle and its buffer
+  return handle;
+}
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// Seeded violation for tools/analyze_flashr.py --self-test: a flashr::mutex
+// declared without LOCK_RANK. Every mutex in the engine must carry a rank
+// so the static and runtime checkers can order it; the analyzer must report
+// [unranked-mutex].
+#include "common/thread_safety.h"
+
+namespace fixture {
+
+using flashr::mutex;
+
+struct forgot_rank {
+  mutex naked_fix_mtx;  // no LOCK_RANK(...)
+  int counter = 0;
+};
+
+}  // namespace fixture

@@ -55,7 +55,8 @@ RAW_CLOCK_RE = re.compile(
     r"\b(?:steady_clock|system_clock|high_resolution_clock)\s*::\s*now\s*\("
 )
 STD_MUTEX_MEMBER_RE = re.compile(r"\bstd::(?:recursive_)?mutex\s+\w+\s*;")
-FLASHR_MUTEX_MEMBER_RE = re.compile(r"(?<![:\w])mutex\s+\w+\s*;")
+FLASHR_MUTEX_MEMBER_RE = re.compile(
+    r"(?<![:\w])mutex\s+\w+\s*(?:LOCK_RANK\s*\(\s*\w+\s*\))?\s*;")
 ANNOTATION_RE = re.compile(r"\b(?:GUARDED_BY|PT_GUARDED_BY|REQUIRES)\s*\(")
 
 SUPPRESS_RE = re.compile(r"//\s*lint-ok:\s*([\w-]+)")
