@@ -131,12 +131,26 @@ inline constexpr rank_t pass_acc{410, "pass_acc", false};
 inline constexpr rank_t cum_chain{420, "cum_chain", false};
 inline constexpr rank_t pass_stats{430, "pass_stats", false};
 inline constexpr rank_t profile{440, "profile", false};
-inline constexpr rank_t fault_plan{450, "fault_plan", false};
 inline constexpr rank_t virtual_result{460, "virtual_result", false};
 inline constexpr rank_t thread_pool{470, "thread_pool", false};
 inline constexpr rank_t prefetch_window{500, "prefetch_window", true};
 inline constexpr rank_t io_join{550, "io_join", true};
+// Write-behind budget accounting shared by every I/O backend
+// (io/io_backend.h). Completions release budget from nonblocking contexts
+// (the uring reaper, pool I/O threads between requests), so the critical
+// sections are O(1) and alloc-free.
+inline constexpr rank_t io_write_budget{580, "io_write_budget", true};
+// Fault-injection plan snapshot (io/fault.h). A leaf in practice — the
+// injector takes nothing under it — but ranked above prefetch_window
+// because backends evaluate the injection schedule at submit time, and
+// submission may run under the prefetch window (refill staging reads).
+inline constexpr rank_t fault_plan{590, "fault_plan", false};
 inline constexpr rank_t async_queue{600, "async_queue", false};
+// io_uring submission state (staged SQE count, kernel-inflight count) in
+// io/uring_io.cpp. Taken under the prefetch window (refill stages reads) and
+// by the reaper for resubmissions; never held across completion dispatch,
+// which re-enters prefetch_window-ranked locks.
+inline constexpr rank_t uring_ring{610, "uring_ring", false};
 inline constexpr rank_t buffer_pool{650, "buffer_pool", true};
 inline constexpr rank_t metrics_registry{700, "metrics_registry", false};
 inline constexpr rank_t trace_registry{750, "trace_registry", false};

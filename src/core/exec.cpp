@@ -380,8 +380,16 @@ class pass_runner {
     bool cum_has_carry = false;
     /// Current EM read buffers: (leaf, part) -> buffer.
     std::unordered_map<const em_readable*, pool_buffer> em_bufs;
+    /// EM read buffers promoted to refcounted leases for the current
+    /// partition: the zero-copy write path shares one read buffer between
+    /// chunk aliases and in-flight partition writes. Checked by leaf_view
+    /// before em_bufs.
+    std::unordered_map<const em_readable*, pool_lease> em_leases;
     /// Staging buffers for EM outputs of the current partition.
     std::unordered_map<const virtual_store*, pool_buffer> out_stage;
+    /// Per tall output: the EM leaf whose read buffer is written verbatim
+    /// as this partition's output (zero-copy), or null for the staged path.
+    std::vector<const em_readable*> zc_out;
     /// Current chunk geometry.
     std::size_t part = 0;
     std::size_t part_row0 = 0;     // global row of partition start
@@ -395,6 +403,11 @@ class pass_runner {
   chunk_buf& ensure(thread_ctx& ctx, const matrix_store::ptr& child);
   void unref(thread_ctx& ctx, const matrix_store::ptr& child);
   kern::view leaf_view(thread_ctx& ctx, const matrix_store* leaf);
+  /// The EM leaf whose prefetched read buffer IS output `v`'s partition
+  /// value — v is an identity cast over an ext leaf of identical geometry,
+  /// so the bytes read are exactly the bytes to write — or null when the
+  /// output needs a staging copy.
+  const em_readable* zero_copy_source(const virtual_store* v) const;
   void eval_virtual(thread_ctx& ctx, virtual_store* v, chunk_buf& out);
 
   /// Worker dispatch loop (body of the pass; runs on every pool thread):
@@ -412,8 +425,8 @@ class pass_runner {
 
   // --- Per-node profiling (obs/profile.h) ---------------------------------
   /// Field layout of one profiling slot's accumulators.
-  enum prof_field { pf_kernel = 0, pf_io, pf_parts, pf_rows, pf_bytes,
-                    pf_chunks, kProfFields };
+  enum prof_field { pf_kernel = 0, pf_copy, pf_io, pf_parts, pf_rows,
+                    pf_bytes, pf_chunks, kProfFields };
   /// Resolve the pass's profiling slots: dense dag ids first, then one slot
   /// per sink (sink targets have no dense id — nothing consumes them).
   void prof_init();
@@ -496,6 +509,10 @@ struct pass_stats_acc {
   std::size_t reads_issued = 0;
 };
 pass_stats_acc g_stats_acc;
+/// Lifetime count of zero-copy chunk evaluations. Written by workers
+/// (relaxed), bracketed by materialize() like io_stats so last_pass_stats()
+/// reports only the current call's share.
+std::atomic<std::uint64_t> g_zero_copy_total{0};
 /// Snapshot published by the last materialize(); guarded so a monitoring
 /// thread (or an obs probe) can read it concurrently with a running pass.
 mutex g_stats_mutex LOCK_RANK(pass_stats);
@@ -523,6 +540,19 @@ obs::histogram& partition_service_hist() {
   return h;
 }
 
+obs::counter& zero_copy_counter() {
+  static obs::counter& c =
+      obs::metrics_registry::global().get_counter("exec.zero_copy_chunks");
+  return c;
+}
+
+/// One zero-copy chunk evaluation happened (an alias replaced a kernel or a
+/// staging copy).
+void count_zero_copy() {
+  g_zero_copy_total.fetch_add(1, std::memory_order_relaxed);
+  if (obs::metrics_on()) zero_copy_counter().add();
+}
+
 /// Expose every pass_stats field through the metrics registry as probes:
 /// g_last_stats stays the single source of truth and the registry reads it
 /// under the same mutex last_pass_stats() uses.
@@ -544,6 +574,7 @@ void register_pass_probes() {
   probe("pass.write_throttle_stalls", &pass_stats::write_throttle_stalls);
   probe("pass.write_throttle_ns", &pass_stats::write_throttle_ns);
   probe("pass.write_inflight_hwm", &pass_stats::write_inflight_hwm);
+  probe("pass.zero_copy_chunks", &pass_stats::zero_copy_chunks);
   probe("pass.degrade_steps", &pass_stats::degrade_steps);
   probe("pass.admission_waits", &pass_stats::admission_waits);
   probe("pass.admission_wait_ns", &pass_stats::admission_wait_ns);
@@ -685,6 +716,7 @@ void pass_runner::record_profile() {
     n.est_bytes = prof_meta_[slot].est_bytes;
     const std::atomic<std::uint64_t>* a = &prof_acc_[slot * kProfFields];
     n.kernel_ns = a[pf_kernel].load(std::memory_order_relaxed);
+    n.copy_ns = a[pf_copy].load(std::memory_order_relaxed);
     n.io_wait_ns = a[pf_io].load(std::memory_order_relaxed);
     n.partitions = a[pf_parts].load(std::memory_order_relaxed);
     n.rows = a[pf_rows].load(std::memory_order_relaxed);
@@ -796,6 +828,9 @@ void pass_runner::pipeline_worker(thread_ctx& ctx) {
       ctx.part_rows = dag_.space.rows_in_part(s.part);
       process_partition(ctx);
       ctx.em_bufs.clear();
+      // Drop the worker's share of any zero-copy leases; in-flight writes
+      // keep theirs until completion.
+      ctx.em_leases.clear();
       submit_sink_partials(ctx);
     }
   }
@@ -934,12 +969,26 @@ void pass_runner::process_partition(thread_ctx& ctx) {
     ctx.cum_has_carry = ctx.part > 0;
   }
 
-  // Staging buffers for outputs that land on SSDs.
+  // Staging buffers for outputs that land on SSDs — except zero-copy
+  // outputs, whose partitions are written verbatim from the EM read buffer:
+  // the pool buffer is promoted to a refcounted lease shared between the
+  // chunk aliases, any other consumer of the leaf, and the in-flight write.
+  ctx.zc_out.assign(dag_.tall_outputs.size(), nullptr);
   for (std::size_t i = 0; i < dag_.tall_outputs.size(); ++i) {
     virtual_store* v = dag_.tall_outputs[i];
-    if (out_stores_[i]->kind() == store_kind::ext)
-      ctx.out_stage[v] =
-          buffer_pool::global().get(v->geom().part_bytes(ctx.part, v->type()));
+    if (out_stores_[i]->kind() != store_kind::ext) continue;
+    if (const em_readable* src = zero_copy_source(v)) {
+      ctx.zc_out[i] = src;
+      if (ctx.em_leases.find(src) == ctx.em_leases.end()) {
+        auto it = ctx.em_bufs.find(src);
+        FLASHR_ASSERT(it != ctx.em_bufs.end(), "EM partition not prefetched");
+        ctx.em_leases.emplace(src, pool_lease(std::move(it->second)));
+        ctx.em_bufs.erase(it);
+      }
+      continue;
+    }
+    ctx.out_stage[v] =
+        buffer_pool::global().get(v->geom().part_bytes(ctx.part, v->type()));
   }
 
   const std::size_t step =
@@ -952,13 +1001,19 @@ void pass_runner::process_partition(thread_ctx& ctx) {
     ctx.cum_has_carry = true;  // after the first chunk, carries are live
   }
 
-  // Flush outputs.
+  // Flush outputs. Zero-copy outputs hand the write a copy of the lease:
+  // the read buffer stays alive until the slowest of {this partition's
+  // remaining consumers, the write completion} drops its share.
   for (std::size_t i = 0; i < dag_.tall_outputs.size(); ++i) {
     virtual_store* v = dag_.tall_outputs[i];
-    if (out_stores_[i]->kind() == store_kind::ext) {
+    if (out_stores_[i]->kind() != store_kind::ext) continue;
+    auto* em = static_cast<em_store*>(out_stores_[i].get());
+    if (ctx.zc_out[i] != nullptr) {
+      em->write_part_async(ctx.part, ctx.em_leases[ctx.zc_out[i]]);
+      count_zero_copy();
+    } else {
       auto it = ctx.out_stage.find(v);
-      static_cast<em_store*>(out_stores_[i].get())
-          ->write_part_async(ctx.part, std::move(it->second));
+      em->write_part_async(ctx.part, std::move(it->second));
       ctx.out_stage.erase(it);
     }
   }
@@ -985,6 +1040,12 @@ kern::view pass_runner::leaf_view(thread_ctx& ctx, const matrix_store* leaf) {
     }
     case store_kind::ext: {
       auto* e = static_cast<const em_readable*>(leaf);
+      // A zero-copy output moved this leaf's read buffer into a shared
+      // lease; same bytes, shared ownership.
+      if (auto lt = ctx.em_leases.find(e); lt != ctx.em_leases.end())
+        return kern::view{
+            lt->second.data() + ctx.chunk_row0 * leaf->elem_size(),
+            ctx.part_rows};
       auto it = ctx.em_bufs.find(e);
       FLASHR_ASSERT(it != ctx.em_bufs.end(), "EM partition not prefetched");
       return kern::view{
@@ -995,6 +1056,21 @@ kern::view pass_runner::leaf_view(thread_ctx& ctx, const matrix_store* leaf) {
       FLASHR_ASSERT(false, "not a leaf store");
       return {};
   }
+}
+
+const em_readable* pass_runner::zero_copy_source(
+    const virtual_store* v) const {
+  if (v->op().kind != node_kind::cast_type) return nullptr;
+  const matrix_store* c = resolve(v->children()[0].get());
+  if (c->kind() != store_kind::ext) return nullptr;
+  if (v->op().to_type != c->type()) return nullptr;
+  // Identical partitioning (rows, cols, split): partition p of the output
+  // is byte-for-byte the leaf's read buffer for partition p.
+  const part_geom& a = v->geom();
+  const part_geom& b = c->geom();
+  if (a.nrow != b.nrow || a.ncol != b.ncol || a.part_rows != b.part_rows)
+    return nullptr;
+  return static_cast<const em_readable*>(c);
 }
 
 chunk_buf& pass_runner::ensure(thread_ctx& ctx,
@@ -1062,6 +1138,29 @@ void pass_runner::eval_virtual(thread_ctx& ctx, virtual_store* v,
   const auto& ch = v->children();
   const std::size_t rows = ctx.chunk_rows;
   const std::size_t cols = v->ncol();
+
+  // Zero-copy identity cast: casting to the child's own scalar type over a
+  // leaf that is already resident (a mem partition or a prefetched EM read
+  // buffer) is a no-op — alias the child's view instead of allocating an
+  // output chunk and running a copy kernel. Restricted to mem/ext leaves:
+  // their views do not live in a recycled chunk buffer, so the alias stays
+  // valid after the child's unref.
+  if (op.kind == node_kind::cast_type) {
+    const matrix_store* c0 = resolve(ch[0].get());
+    if (op.to_type == c0->type() &&
+        (c0->kind() == store_kind::mem || c0->kind() == store_kind::ext)) {
+      out.v = ensure(ctx, ch[0]).v;
+      unref(ctx, ch[0]);
+      count_zero_copy();
+      if (prof_) {
+        const int slot = dag_.id_of(v);
+        prof_add(ctx, slot, pf_rows, rows);
+        prof_add(ctx, slot, pf_chunks, 1);
+        if (ctx.chunk_row0 == 0) prof_add(ctx, slot, pf_parts, 1);
+      }
+      return;
+    }
+  }
 
   // Gather child views first (depth-first traversal).
   std::vector<kern::view> in;
@@ -1169,20 +1268,26 @@ void pass_runner::process_chunk(thread_ctx& ctx) {
     virtual_store* v = dag_.tall_outputs[i];
     chunk_buf& cb = ensure(ctx, v->shared_from_this());
     const std::size_t esz = v->elem_size();
-    const std::uint64_t c0 = prof_ ? now_ns() : 0;
-    if (out_stores_[i]->kind() == store_kind::ext) {
-      char* dst = ctx.out_stage[v].data() + ctx.chunk_row0 * esz;
-      kern::copy(v->type(), cb.v, ctx.chunk_rows, v->ncol(), dst,
-                 ctx.part_rows);
-    } else {
-      auto* m = static_cast<mem_store*>(out_stores_[i].get());
-      char* dst = m->part_data(ctx.part) + ctx.chunk_row0 * esz;
-      kern::copy(v->type(), cb.v, ctx.chunk_rows, v->ncol(), dst,
-                 m->part_stride(ctx.part));
+    const bool ext = out_stores_[i]->kind() == store_kind::ext;
+    // Zero-copy outputs skip the staging copy: the whole partition is
+    // written verbatim from the (leased) EM read buffer at flush, and the
+    // node's copy time stays literally zero.
+    if (!ext || ctx.zc_out[i] == nullptr) {
+      // The output move is data plumbing, not compute: it lands on the
+      // node's copy time, not its kernel time.
+      const std::uint64_t c0 = prof_ ? now_ns() : 0;
+      if (ext) {
+        char* dst = ctx.out_stage[v].data() + ctx.chunk_row0 * esz;
+        kern::copy(v->type(), cb.v, ctx.chunk_rows, v->ncol(), dst,
+                   ctx.part_rows);
+      } else {
+        auto* m = static_cast<mem_store*>(out_stores_[i].get());
+        char* dst = m->part_data(ctx.part) + ctx.chunk_row0 * esz;
+        kern::copy(v->type(), cb.v, ctx.chunk_rows, v->ncol(), dst,
+                   m->part_stride(ctx.part));
+      }
+      if (prof_) prof_add(ctx, dag_.id_of(v), pf_copy, now_ns() - c0);
     }
-    // The output copy is part of producing the node, so it lands on the
-    // node's own kernel time.
-    if (prof_) prof_add(ctx, dag_.id_of(v), pf_kernel, now_ns() - c0);
     unref(ctx, v->shared_from_this());
   }
 
@@ -1521,12 +1626,14 @@ std::string pass_stats::to_json() const {
       ", \"write_bytes\": %" PRIu64 ", \"read_wait_ns\": %" PRIu64
       ", \"reads_issued\": %zu, \"occupancy_x100\": %" PRIu64
       ", \"write_throttle_stalls\": %zu, \"write_throttle_ns\": %" PRIu64
-      ", \"write_inflight_hwm\": %zu, \"degrade_steps\": %zu"
+      ", \"write_inflight_hwm\": %zu, \"zero_copy_chunks\": %zu"
+      ", \"degrade_steps\": %zu"
       ", \"admission_waits\": %zu, \"admission_wait_ns\": %" PRIu64
       ", \"degrade_path\": \"",
       passes, sequential_passes, read_bytes, write_bytes, read_wait_ns,
       reads_issued, occupancy_x100, write_throttle_stalls, write_throttle_ns,
-      write_inflight_hwm, degrade_steps, admission_waits, admission_wait_ns);
+      write_inflight_hwm, zero_copy_chunks, degrade_steps, admission_waits,
+      admission_wait_ns);
   // Ladder steps are [a-z0-9:>,-] only — no JSON escaping needed, but the
   // path length is unbounded (one entry per halving), so append unbuffered.
   std::string s = buf;
@@ -1585,11 +1692,12 @@ void materialize(const std::vector<matrix_store::ptr>& targets, storage st,
   const std::uint64_t wb0 = ios.write_bytes.load(std::memory_order_relaxed);
   aio.reset_throttle_hwm();
   const auto th0 = aio.throttle_stats();
+  const std::uint64_t zc0 = g_zero_copy_total.load(std::memory_order_relaxed);
   struct stats_finalizer {
     io_stats& ios;
-    async_io& aio;
-    std::uint64_t rb0, wb0;
-    async_io::write_throttle_stats th0;
+    io_backend& aio;
+    std::uint64_t rb0, wb0, zc0;
+    io_backend::write_throttle_stats th0;
     const pass_ctl& ctl;
     ~stats_finalizer() {
       // Build the snapshot off-lock, publish it in one assignment so a
@@ -1609,6 +1717,8 @@ void materialize(const std::vector<matrix_store::ptr>& targets, storage st,
       s.write_throttle_stalls = th1.stalls - th0.stalls;
       s.write_throttle_ns = th1.stall_ns - th0.stall_ns;
       s.write_inflight_hwm = th1.hwm_bytes;
+      s.zero_copy_chunks = static_cast<std::size_t>(
+          g_zero_copy_total.load(std::memory_order_relaxed) - zc0);
       s.degrade_steps = ctl.degrade.size();
       for (const std::string& step : ctl.degrade) {
         if (!s.degrade_path.empty()) s.degrade_path += ",";
@@ -1619,7 +1729,7 @@ void materialize(const std::vector<matrix_store::ptr>& targets, storage st,
       mutex_lock lock(g_stats_mutex);
       g_last_stats = s;
     }
-  } finalize{ios, aio, rb0, wb0, th0, ctl};
+  } finalize{ios, aio, rb0, wb0, zc0, th0, ctl};
 
   switch (conf().mode) {
     case exec_mode::eager:

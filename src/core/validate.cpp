@@ -220,4 +220,18 @@ void pool_debug::seed_use_after_return(buffer_pool& pool) {
   pool_buffer again = pool.get(256);  // LIFO reuse trips the poison check
 }
 
+void pool_debug::seed_misaligned_buffer(buffer_pool& pool) {
+  // Plant a pointer that is inside a real allocation but off the 4 KiB
+  // grid, as a corrupted free list would. The next get() of the class pops
+  // it and must abort on the alignment contract check.
+  pool_buffer buf = pool.get(512);
+  char* skewed = buf.data() + 8;
+  {
+    mutex_lock lock(pool.pool_mtx_);
+    pool.free_lists_[0].push_back(skewed);
+  }
+  pool_buffer again = pool.get(512);  // LIFO pop returns the skewed pointer
+  (void)again;
+}
+
 }  // namespace flashr

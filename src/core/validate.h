@@ -49,6 +49,9 @@ struct pool_debug {
   /// Write through a stale pointer after the buffer returned to the pool,
   /// then re-acquire it (trips the poison check).
   static void seed_use_after_return(buffer_pool& pool);
+  /// Corrupt a free list with a misaligned pointer, then re-acquire it
+  /// (trips the 4 KiB alignment contract check in get()).
+  static void seed_misaligned_buffer(buffer_pool& pool);
 };
 
 }  // namespace flashr

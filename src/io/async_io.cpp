@@ -4,8 +4,10 @@
 
 #include "common/config.h"
 #include "common/error.h"
+#include "common/log.h"
 #include "common/timer.h"
 #include "io/fault.h"
+#include "io/uring_io.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -22,14 +24,9 @@ obs::histogram& write_hist() {
       obs::metrics_registry::global().get_histogram("io.write_us");
   return h;
 }
-obs::histogram& throttle_hist() {
-  static obs::histogram& h =
-      obs::metrics_registry::global().get_histogram("io.write_throttle_us");
-  return h;
-}
 }  // namespace
 
-async_io::async_io(int num_threads) {
+thread_pool_backend::thread_pool_backend(int num_threads) {
   if (num_threads < 1) num_threads = 1;
   threads_.reserve(static_cast<std::size_t>(num_threads));
   for (int i = 0; i < num_threads; ++i)
@@ -44,7 +41,7 @@ async_io::async_io(int num_threads) {
     });
 }
 
-async_io::~async_io() {
+thread_pool_backend::~thread_pool_backend() {
   {
     mutex_lock lock(io_mtx_);
     stop_ = true;
@@ -53,14 +50,9 @@ async_io::~async_io() {
   for (auto& t : threads_) t.join();
 }
 
-void async_io::enqueue_locked(request req) {
-  if (req.is_write) ++pending_writes_;
-  queue_.push_back(std::move(req));
-}
-
-std::future<void> async_io::submit_read(std::shared_ptr<const safs_file> file,
-                                        std::size_t offset, std::size_t len,
-                                        char* buf) {
+std::future<void> thread_pool_backend::submit_read(
+    std::shared_ptr<const safs_file> file, std::size_t offset,
+    std::size_t len, char* buf) {
   request req;
   req.rfile = std::move(file);
   req.offset = offset;
@@ -70,15 +62,15 @@ std::future<void> async_io::submit_read(std::shared_ptr<const safs_file> file,
   std::future<void> fut = req.done.get_future();
   {
     mutex_lock lock(io_mtx_);
-    enqueue_locked(std::move(req));
+    queue_.push_back(std::move(req));
   }
   cv_.notify_one();
   return fut;
 }
 
-void async_io::submit_read_notify(std::shared_ptr<const safs_file> file,
-                                  std::size_t offset, std::size_t len,
-                                  char* buf, completion_fn done) {
+void thread_pool_backend::submit_read_notify(
+    std::shared_ptr<const safs_file> file, std::size_t offset,
+    std::size_t len, char* buf, completion_fn done) {
   request req;
   req.rfile = std::move(file);
   req.offset = offset;
@@ -88,80 +80,47 @@ void async_io::submit_read_notify(std::shared_ptr<const safs_file> file,
   req.is_write = false;
   {
     mutex_lock lock(io_mtx_);
-    enqueue_locked(std::move(req));
+    queue_.push_back(std::move(req));
   }
   cv_.notify_one();
 }
 
-void async_io::submit_write(std::shared_ptr<safs_file> file,
-                            std::size_t offset, std::size_t len,
-                            pool_buffer buf) {
-  const std::size_t budget = conf().max_inflight_write_bytes;
+void thread_pool_backend::enqueue_write(request req) {
+  // Admit under the byte budget BEFORE queueing (the base class blocks here
+  // while over budget), so the queue never holds unadmitted write bytes.
+  admit_write(req.len);
+  {
+    mutex_lock lock(io_mtx_);
+    queue_.push_back(std::move(req));
+  }
+  cv_.notify_one();
+}
+
+void thread_pool_backend::submit_write(std::shared_ptr<safs_file> file,
+                                       std::size_t offset, std::size_t len,
+                                       pool_buffer buf) {
   request req;
   req.wfile = std::move(file);
   req.offset = offset;
   req.len = len;
   req.wbuf = std::move(buf);
   req.is_write = true;
-  {
-    mutex_lock lock(io_mtx_);
-    // Bounded write-behind: admit the write only when it fits the budget.
-    // An oversized write is admitted once nothing else is in flight, so the
-    // bound cannot deadlock; the effective high-water mark is then
-    // max(budget, largest single write).
-    if (budget != 0 && inflight_write_bytes_ != 0 &&
-        inflight_write_bytes_ + len > budget) {
-      OBS_SPAN_ARG("io.write_throttle", len);
-      ++throttle_stalls_;
-      const std::uint64_t t0 = now_ns();
-      while (inflight_write_bytes_ != 0 &&
-             inflight_write_bytes_ + len > budget)
-        cv_write_budget_.wait(lock);
-      const std::uint64_t stalled = now_ns() - t0;
-      throttle_stall_ns_ += stalled;
-      if (obs::metrics_on()) throttle_hist().record(stalled / 1000);
-    }
-    inflight_write_bytes_ += len;
-    if (inflight_write_bytes_ > write_hwm_bytes_)
-      write_hwm_bytes_ = inflight_write_bytes_;
-    enqueue_locked(std::move(req));
-  }
-  cv_.notify_one();
+  enqueue_write(std::move(req));
 }
 
-void async_io::drain_writes() {
-  mutex_lock lock(io_mtx_);
-  while (pending_writes_ != 0) cv_drained_.wait(lock);
-  if (write_error_) {
-    auto err = write_error_;
-    write_error_ = nullptr;
-    std::rethrow_exception(err);
-  }
+void thread_pool_backend::submit_write(std::shared_ptr<safs_file> file,
+                                       std::size_t offset, std::size_t len,
+                                       pool_lease buf) {
+  request req;
+  req.wfile = std::move(file);
+  req.offset = offset;
+  req.len = len;
+  req.wlease = std::move(buf);
+  req.is_write = true;
+  enqueue_write(std::move(req));
 }
 
-async_io::write_throttle_stats async_io::throttle_stats() const {
-  mutex_lock lock(io_mtx_);
-  write_throttle_stats s;
-  s.stalls = throttle_stalls_;
-  s.stall_ns = throttle_stall_ns_;
-  s.hwm_bytes = write_hwm_bytes_;
-  s.inflight_bytes = inflight_write_bytes_;
-  return s;
-}
-
-void async_io::reset_throttle_hwm() {
-  mutex_lock lock(io_mtx_);
-  write_hwm_bytes_ = inflight_write_bytes_;
-}
-
-void async_io::complete_write_locked(std::size_t len, std::exception_ptr err) {
-  if (err && !write_error_) write_error_ = std::move(err);
-  inflight_write_bytes_ -= len;
-  cv_write_budget_.notify_all();
-  if (--pending_writes_ == 0) cv_drained_.notify_all();
-}
-
-void async_io::io_loop() {
+void thread_pool_backend::io_loop() {
   for (;;) {
     request req;
     {
@@ -181,8 +140,10 @@ void async_io::io_loop() {
       {
         OBS_SPAN_ARG("io.write", req.len);
         const std::uint64_t t0 = obs::metrics_on() ? now_ns() : 0;
+        const char* src =
+            req.wlease.valid() ? req.wlease.data() : req.wbuf.data();
         try {
-          req.wfile->write(req.offset, req.len, req.wbuf.data());
+          req.wfile->write(req.offset, req.len, src);
           stats.write_ops.fetch_add(1, std::memory_order_relaxed);
           stats.write_bytes.fetch_add(req.len, std::memory_order_relaxed);
         } catch (...) {
@@ -191,9 +152,9 @@ void async_io::io_loop() {
         if (t0 != 0) write_hist().record((now_ns() - t0) / 1000);
       }
       req.wbuf.release();
-      last_completion_ns_.store(now_ns(), std::memory_order_relaxed);
-      mutex_lock lock(io_mtx_);
-      complete_write_locked(req.len, std::move(err));
+      req.wlease.reset();
+      stamp_completion();
+      complete_write(req.len, std::move(err));
     } else {
       std::exception_ptr err;
       {
@@ -213,7 +174,7 @@ void async_io::io_loop() {
       // consumer does not hear about it until the injected delay elapses —
       // exactly the shape of an SSD whose completions stop arriving.
       fault_completion_stall();
-      last_completion_ns_.store(now_ns(), std::memory_order_relaxed);
+      stamp_completion();
       if (req.notify) {
         // Completion-order dispatch: hand the result to the prefetch
         // pipeline on this thread, then drop the closure immediately so any
@@ -229,26 +190,82 @@ void async_io::io_loop() {
   }
 }
 
-async_io& async_io::global() {
+namespace {
+
+/// Selection key: the knobs whose change forces a backend rebuild.
+struct backend_key {
+  io_backend_kind kind = io_backend_kind::threads;
+  int io_threads = 0;
+  int queue_depth = 0;
+  bool sqpoll = false;
+
+  bool operator==(const backend_key& o) const {
+    return kind == o.kind && io_threads == o.io_threads &&
+           queue_depth == o.queue_depth && sqpoll == o.sqpoll;
+  }
+};
+
+backend_key current_key() {
+  const options& o = conf();
+  backend_key k;
+  k.kind = o.io_backend;
+  k.io_threads = o.io_threads;
+  k.queue_depth = o.uring_queue_depth;
+  k.sqpoll = o.uring_sqpoll;
+  return k;
+}
+
+/// Build the backend `key` asks for, falling back to the thread pool when
+/// uring cannot be brought up. The fallback is logged once per process for
+/// an explicit `uring` selection (the user asked for something the kernel
+/// cannot provide) and stays silent for `auto`.
+std::unique_ptr<io_backend> build_backend(const backend_key& key) {
+  if (key.kind == io_backend_kind::uring ||
+      key.kind == io_backend_kind::auto_detect) {
+    try {
+      return uring_backend::create(key.queue_depth, key.sqpoll);
+    } catch (const std::exception& e) {
+      if (key.kind == io_backend_kind::uring) {
+        static const bool warned = [&] {
+          FLASHR_WARN("io_backend=uring unavailable (%s); "
+                      "falling back to the thread pool",
+                      e.what());
+          return true;
+        }();
+        (void)warned;
+      } else {
+        FLASHR_DEBUG("io_backend=auto: uring unavailable (%s); "
+                     "using the thread pool",
+                     e.what());
+      }
+    }
+  }
+  return std::make_unique<thread_pool_backend>(key.io_threads);
+}
+
+}  // namespace
+
+io_backend& async_io::global() {
   static std::mutex mutex;
-  static std::unique_ptr<async_io> service;
+  static std::unique_ptr<io_backend> service;
+  static backend_key built_key;
   std::lock_guard<std::mutex> lock(mutex);
-  static int built_threads = -1;
-  const int want = conf().io_threads;
-  if (service && built_threads != want) {
+  const backend_key want = current_key();
+  if (service && !(built_key == want)) {
     // Rebuild safely: drain pending writes on the old service and surface
     // any deferred write error instead of silently dropping it with the
     // object. If drain throws, the service is already detached — the next
     // call builds a fresh one.
     auto old = std::move(service);
-    built_threads = -1;
     old->drain_writes();
   }
   if (!service) {
-    service = std::make_unique<async_io>(want);
-    built_threads = want;
+    service = build_backend(want);
+    built_key = want;
   }
   return *service;
 }
+
+const char* async_io::active_backend() { return global().name(); }
 
 }  // namespace flashr

@@ -1,25 +1,25 @@
-// Asynchronous I/O service (§3.2.1, §3.3).
+// Thread-pool I/O backend and the process-wide backend facade (§3.2.1, §3.3).
 //
 // FlashR reads I/O partitions asynchronously: the executor's prefetch
 // pipeline keeps a window of partition reads in flight and computes on
 // partitions as they complete; writes of materialized partitions are likewise
-// issued asynchronously so compute never stalls on the SSDs. We implement
-// this with a small pool of dedicated I/O threads draining a FIFO of requests
-// against safs_files. Reads either complete a future the compute thread waits
-// on (synchronous consumers: import, tests, depth-0 mode) or invoke a
-// completion callback on the I/O thread (the prefetch pipeline's
-// completion-order dispatch); writes carry their buffer's ownership and are
-// tracked so a pass can drain them before finishing.
+// issued asynchronously so compute never stalls on the SSDs. The portable
+// implementation here is a small pool of dedicated I/O threads draining a
+// FIFO of requests against safs_files. Reads either complete a future the
+// compute thread waits on (synchronous consumers: import, tests, depth-0
+// mode) or invoke a completion callback on the I/O thread (the prefetch
+// pipeline's completion-order dispatch); writes carry their buffer's
+// ownership and are tracked so a pass can drain them before finishing.
 //
-// Write-behind is bounded: submit_write blocks once
-// conf().max_inflight_write_bytes of write data is queued or in flight, so a
-// compute phase that outruns the SSDs cannot exhaust the buffer pool. The
-// throttle keeps a high-water mark and stall counters (surfaced per pass via
-// exec::last_pass_stats) proving the bound holds.
+// Write-behind is bounded by the io_backend base class (backend-agnostic
+// byte budget; see io/io_backend.h for why the accounting cannot live in a
+// backend). The queue and stop flag are GUARDED_BY(io_mtx_); the
+// FLASHR_THREAD_SAFETY build proves no path touches them unlocked.
 //
-// The queue, the write accounting and the deferred write error are all
-// GUARDED_BY(io_mtx_); the FLASHR_THREAD_SAFETY build proves no path touches
-// them unlocked.
+// async_io::global() is how the engine reaches whichever backend
+// conf().io_backend selects — this thread pool, or the io_uring backend
+// (io/uring_io.h) with graceful fallback here when the kernel cannot
+// provide a usable ring.
 #pragma once
 
 #include <atomic>
@@ -32,80 +32,32 @@
 #include <vector>
 
 #include "common/thread_safety.h"
+#include "io/io_backend.h"
 #include "io/safs.h"
 #include "mem/buffer_pool.h"
 
 namespace flashr {
 
-class async_io {
+class thread_pool_backend final : public io_backend {
  public:
-  /// Invoked on an I/O thread when a notify-read completes; the argument is
-  /// null on success, the I/O error otherwise. Must not block on I/O.
-  using completion_fn = std::function<void(std::exception_ptr)>;
+  explicit thread_pool_backend(int num_threads);
+  ~thread_pool_backend() override;
 
-  explicit async_io(int num_threads);
-  ~async_io();
-  async_io(const async_io&) = delete;
-  async_io& operator=(const async_io&) = delete;
+  const char* name() const noexcept override { return "threads"; }
 
-  /// Read [offset, offset+len) of `file` into `buf` (caller keeps ownership
-  /// and must keep it alive until the future resolves). The future rethrows
-  /// any I/O error.
   std::future<void> submit_read(std::shared_ptr<const safs_file> file,
                                 std::size_t offset, std::size_t len,
-                                char* buf);
+                                char* buf) override;
 
-  /// Like submit_read, but instead of completing a future, `done` is invoked
-  /// on the I/O thread once the data landed (or the read failed). The caller
-  /// must keep `buf` alive until `done` runs.
   void submit_read_notify(std::shared_ptr<const safs_file> file,
                           std::size_t offset, std::size_t len, char* buf,
-                          completion_fn done);
+                          completion_fn done) override;
 
-  /// Write [offset, offset+len) of `file` from `buf`. Ownership of `buf`
-  /// moves to the request; the buffer returns to its pool when the write
-  /// completes. Errors are deferred and rethrown by the next drain().
-  /// Blocks while the in-flight write volume exceeds
-  /// conf().max_inflight_write_bytes (a single over-budget write is always
-  /// admitted once the queue is empty, so the bound never deadlocks).
   void submit_write(std::shared_ptr<safs_file> file, std::size_t offset,
-                    std::size_t len, pool_buffer buf);
+                    std::size_t len, pool_buffer buf) override;
 
-  /// Wait until all submitted writes have completed; rethrows the first
-  /// deferred write error if any.
-  void drain_writes();
-
-  /// Writes submitted but not yet completed. Unlike drain_writes(), polling
-  /// this does NOT consume a deferred write error — tests use it to wait
-  /// for a failing write to finish while keeping the error observable.
-  int pending_writes() const {
-    mutex_lock lock(io_mtx_);
-    return pending_writes_;
-  }
-
-  /// Write-behind bound accounting (exec snapshots these around a pass).
-  struct write_throttle_stats {
-    std::size_t stalls = 0;         ///< submit_write calls that blocked
-    std::uint64_t stall_ns = 0;     ///< total time spent blocked
-    std::size_t hwm_bytes = 0;      ///< in-flight write bytes high-water mark
-    std::size_t inflight_bytes = 0; ///< current in-flight write bytes
-  };
-  write_throttle_stats throttle_stats() const;
-  /// Reset the high-water mark to the current in-flight volume (start of a
-  /// pass); stall counters are cumulative and diffed by the caller.
-  void reset_throttle_hwm();
-
-  /// Timestamp (flashr::now_ns) of the most recent completed I/O request,
-  /// read or write; 0 until the first completion. The hung-I/O watchdog
-  /// (core/governor.h) compares this against a stalled pass's own
-  /// completion clock to distinguish "the SSDs stopped answering" from
-  /// "only this pass is starved".
-  std::uint64_t last_completion_ns() const {
-    return last_completion_ns_.load(std::memory_order_relaxed);
-  }
-
-  /// Service sized to conf().io_threads.
-  static async_io& global();
+  void submit_write(std::shared_ptr<safs_file> file, std::size_t offset,
+                    std::size_t len, pool_lease buf) override;
 
  private:
   struct request {
@@ -115,36 +67,38 @@ class async_io {
     std::size_t len = 0;
     char* rbuf = nullptr;
     pool_buffer wbuf;
+    pool_lease wlease;  ///< zero-copy writes share the buffer via a lease
     std::promise<void> done;
     completion_fn notify;
     bool is_write = false;
   };
 
   void io_loop();
-  /// Enqueue one request. Lock-held core of the submit entry points.
-  void enqueue_locked(request req) REQUIRES(io_mtx_);
-  /// Account one finished write: record its deferred error (first wins),
-  /// release its byte budget and wake drainers/throttled submitters. Runs
-  /// on an I/O thread between completions, so it must never block or
-  /// allocate (the analyzer verifies that).
-  void complete_write_locked(std::size_t len, std::exception_ptr err)
-      REQUIRES(io_mtx_) FLASHR_NONBLOCKING;
+  void enqueue_write(request req);
 
   std::vector<std::thread> threads_;
   mutable mutex io_mtx_ LOCK_RANK(async_queue);
   cond_var cv_;
-  cond_var cv_drained_;
-  /// Signalled when in-flight write bytes drop (throttled submitters wait).
-  cond_var cv_write_budget_;
   std::deque<request> queue_ GUARDED_BY(io_mtx_);
-  int pending_writes_ GUARDED_BY(io_mtx_) = 0;
-  std::size_t inflight_write_bytes_ GUARDED_BY(io_mtx_) = 0;
-  std::size_t write_hwm_bytes_ GUARDED_BY(io_mtx_) = 0;
-  std::size_t throttle_stalls_ GUARDED_BY(io_mtx_) = 0;
-  std::uint64_t throttle_stall_ns_ GUARDED_BY(io_mtx_) = 0;
-  std::exception_ptr write_error_ GUARDED_BY(io_mtx_);
   bool stop_ GUARDED_BY(io_mtx_) = false;
-  std::atomic<std::uint64_t> last_completion_ns_{0};
+};
+
+/// Facade resolving the configured backend. Callers never name a concrete
+/// backend: async_io::global() returns the live io_backend, rebuilt when
+/// the selection knobs change (after draining the old service's writes).
+struct async_io {
+  using completion_fn = io_backend::completion_fn;
+  using write_throttle_stats = io_backend::write_throttle_stats;
+
+  /// The live backend for the current configuration (conf().io_backend,
+  /// io_threads, uring knobs). A `uring`/`auto` selection that cannot be
+  /// satisfied falls back to the thread pool — loudly for `uring`, silently
+  /// for `auto`.
+  static io_backend& global();
+
+  /// name() of the backend global() would return, without building it twice
+  /// (tests and /metrics use this to observe the fallback decision).
+  static const char* active_backend();
 };
 
 }  // namespace flashr

@@ -1,0 +1,86 @@
+#include "io/io_backend.h"
+
+#include "common/config.h"
+#include "common/timer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace flashr {
+
+namespace {
+obs::histogram& throttle_hist() {
+  static obs::histogram& h =
+      obs::metrics_registry::global().get_histogram("io.write_throttle_us");
+  return h;
+}
+}  // namespace
+
+io_backend::~io_backend() = default;
+
+void io_backend::admit_write(std::size_t len) {
+  const std::size_t budget = conf().max_inflight_write_bytes;
+  mutex_lock lock(budget_mtx_);
+  // Bounded write-behind: admit the write only when it fits the budget.
+  // An oversized write is admitted once nothing else is in flight, so the
+  // bound cannot deadlock; the effective high-water mark is then
+  // max(budget, largest single write).
+  if (budget != 0 && inflight_write_bytes_ != 0 &&
+      inflight_write_bytes_ + len > budget) {
+    OBS_SPAN_ARG("io.write_throttle", len);
+    ++throttle_stalls_;
+    const std::uint64_t t0 = now_ns();
+    while (inflight_write_bytes_ != 0 && inflight_write_bytes_ + len > budget)
+      cv_write_budget_.wait(lock);
+    const std::uint64_t stalled = now_ns() - t0;
+    throttle_stall_ns_ += stalled;
+    if (obs::metrics_on()) throttle_hist().record(stalled / 1000);
+  }
+  inflight_write_bytes_ += len;
+  if (inflight_write_bytes_ > write_hwm_bytes_)
+    write_hwm_bytes_ = inflight_write_bytes_;
+  ++pending_writes_;
+}
+
+void io_backend::complete_write(std::size_t len, std::exception_ptr err) {
+  mutex_lock lock(budget_mtx_);
+  if (err && !write_error_) write_error_ = std::move(err);
+  inflight_write_bytes_ -= len;
+  cv_write_budget_.notify_all();
+  if (--pending_writes_ == 0) cv_drained_.notify_all();
+}
+
+void io_backend::stamp_completion() {
+  last_completion_ns_.store(now_ns(), std::memory_order_relaxed);
+}
+
+void io_backend::drain_writes() {
+  mutex_lock lock(budget_mtx_);
+  while (pending_writes_ != 0) cv_drained_.wait(lock);
+  if (write_error_) {
+    auto err = write_error_;
+    write_error_ = nullptr;
+    std::rethrow_exception(err);
+  }
+}
+
+int io_backend::pending_writes() const {
+  mutex_lock lock(budget_mtx_);
+  return pending_writes_;
+}
+
+io_backend::write_throttle_stats io_backend::throttle_stats() const {
+  mutex_lock lock(budget_mtx_);
+  write_throttle_stats s;
+  s.stalls = throttle_stalls_;
+  s.stall_ns = throttle_stall_ns_;
+  s.hwm_bytes = write_hwm_bytes_;
+  s.inflight_bytes = inflight_write_bytes_;
+  return s;
+}
+
+void io_backend::reset_throttle_hwm() {
+  mutex_lock lock(budget_mtx_);
+  write_hwm_bytes_ = inflight_write_bytes_;
+}
+
+}  // namespace flashr

@@ -1,0 +1,140 @@
+// Abstract asynchronous I/O backend (§3.2.1, §3.3).
+//
+// The engine talks to its storage through one interface — submit_read /
+// submit_read_notify / submit_write — with two implementations behind it:
+// the portable pread/pwrite thread pool (io/async_io.cpp) and the io_uring
+// backend with registered-buffer reads (io/uring_io.cpp). Which one is live
+// is decided by conf().io_backend (async_io::global()).
+//
+// The bounded write-behind accounting lives HERE, in the base class, not in
+// a backend: the budget must be released by whichever thread observes a
+// write completion — a pool I/O thread for the thread-pool backend, the
+// CQE reaper for uring — and throttled submitters must wake either way.
+// (Keeping it backend-specific once caused a lost wakeup when completions
+// moved off the pool I/O threads.) complete_write() is nonblocking: its
+// mutex rank (io_write_budget) is nonblocking-safe and the analyzer
+// verifies the body, so calling it from a completion context never stalls
+// the reaper.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+
+#include "common/thread_safety.h"
+#include "io/safs.h"
+#include "mem/buffer_pool.h"
+
+namespace flashr {
+
+class io_backend {
+ public:
+  /// Invoked on an I/O completion thread when a notify-read completes; the
+  /// argument is null on success, the I/O error otherwise. Must not block
+  /// on I/O.
+  using completion_fn = std::function<void(std::exception_ptr)>;
+
+  virtual ~io_backend();
+  io_backend(const io_backend&) = delete;
+  io_backend& operator=(const io_backend&) = delete;
+
+  /// Short static name for logs/metrics/tests: "threads" or "uring".
+  virtual const char* name() const noexcept = 0;
+
+  /// Read [offset, offset+len) of `file` into `buf` (caller keeps ownership
+  /// and must keep it alive until the future resolves). The future rethrows
+  /// any I/O error.
+  virtual std::future<void> submit_read(std::shared_ptr<const safs_file> file,
+                                        std::size_t offset, std::size_t len,
+                                        char* buf) = 0;
+
+  /// Like submit_read, but instead of completing a future, `done` is invoked
+  /// on the completion thread once the data landed (or the read failed). The
+  /// caller must keep `buf` alive until `done` runs.
+  virtual void submit_read_notify(std::shared_ptr<const safs_file> file,
+                                  std::size_t offset, std::size_t len,
+                                  char* buf, completion_fn done) = 0;
+
+  /// Write [offset, offset+len) of `file` from `buf`. Ownership of `buf`
+  /// moves to the request; the buffer returns to its pool when the write
+  /// completes. Errors are deferred and rethrown by the next drain_writes().
+  /// Blocks while the in-flight write volume exceeds
+  /// conf().max_inflight_write_bytes (a single over-budget write is always
+  /// admitted once nothing is in flight, so the bound never deadlocks).
+  virtual void submit_write(std::shared_ptr<safs_file> file,
+                            std::size_t offset, std::size_t len,
+                            pool_buffer buf) = 0;
+
+  /// Lease variant for the zero-copy write path: the request holds one
+  /// share of the buffer (another may still alias it as a Pcache chunk);
+  /// the backend drops its share on completion.
+  virtual void submit_write(std::shared_ptr<safs_file> file,
+                            std::size_t offset, std::size_t len,
+                            pool_lease buf) = 0;
+
+  /// Wait until all submitted writes have completed; rethrows the first
+  /// deferred write error if any.
+  void drain_writes();
+
+  /// Writes submitted but not yet completed. Unlike drain_writes(), polling
+  /// this does NOT consume a deferred write error — tests use it to wait
+  /// for a failing write to finish while keeping the error observable.
+  int pending_writes() const;
+
+  /// Write-behind bound accounting (exec snapshots these around a pass).
+  struct write_throttle_stats {
+    std::size_t stalls = 0;          ///< submit_write calls that blocked
+    std::uint64_t stall_ns = 0;      ///< total time spent blocked
+    std::size_t hwm_bytes = 0;       ///< in-flight write bytes high-water mark
+    std::size_t inflight_bytes = 0;  ///< current in-flight write bytes
+  };
+  write_throttle_stats throttle_stats() const;
+  /// Reset the high-water mark to the current in-flight volume (start of a
+  /// pass); stall counters are cumulative and diffed by the caller.
+  void reset_throttle_hwm();
+
+  /// Timestamp (flashr::now_ns) of the most recent completed I/O request,
+  /// read or write; 0 until the first completion. The hung-I/O watchdog
+  /// (core/governor.h) compares this against a stalled pass's own
+  /// completion clock to distinguish "the SSDs stopped answering" from
+  /// "only this pass is starved".
+  std::uint64_t last_completion_ns() const {
+    return last_completion_ns_.load(std::memory_order_relaxed);
+  }
+
+ protected:
+  io_backend() = default;
+
+  /// Admit one write of `len` bytes under the byte budget: blocks while the
+  /// budget is exhausted, then charges it and bumps the pending count. Call
+  /// from the submit path before queueing the request.
+  void admit_write(std::size_t len);
+
+  /// Account one finished write: record its deferred error (first wins),
+  /// release its byte budget and wake drainers/throttled submitters. Runs
+  /// from completion contexts on EITHER backend (pool I/O thread, uring
+  /// reaper), so it must never block or allocate (the analyzer verifies
+  /// that; the budget mutex rank is nonblocking-safe).
+  void complete_write(std::size_t len, std::exception_ptr err)
+      FLASHR_NONBLOCKING;
+
+  /// Stamp the watchdog's completion clock (any finished read or write).
+  void stamp_completion() FLASHR_NONBLOCKING;
+
+ private:
+  mutable mutex budget_mtx_ LOCK_RANK(io_write_budget);
+  cond_var cv_drained_;
+  /// Signalled when in-flight write bytes drop (throttled submitters wait).
+  cond_var cv_write_budget_;
+  int pending_writes_ GUARDED_BY(budget_mtx_) = 0;
+  std::size_t inflight_write_bytes_ GUARDED_BY(budget_mtx_) = 0;
+  std::size_t write_hwm_bytes_ GUARDED_BY(budget_mtx_) = 0;
+  std::size_t throttle_stalls_ GUARDED_BY(budget_mtx_) = 0;
+  std::uint64_t throttle_stall_ns_ GUARDED_BY(budget_mtx_) = 0;
+  std::exception_ptr write_error_ GUARDED_BY(budget_mtx_);
+  std::atomic<std::uint64_t> last_completion_ns_{0};
+};
+
+}  // namespace flashr

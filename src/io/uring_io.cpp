@@ -1,0 +1,654 @@
+#include "io/uring_io.h"
+
+#include <linux/io_uring.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "common/config.h"
+#include "common/error.h"
+#include "common/log.h"
+#include "common/timer.h"
+#include "io/fault.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace flashr {
+
+namespace {
+
+int sys_io_uring_setup(unsigned entries, struct io_uring_params* p) {
+  return static_cast<int>(::syscall(__NR_io_uring_setup, entries, p));
+}
+
+int sys_io_uring_enter(int fd, unsigned to_submit, unsigned min_complete,
+                       unsigned flags) {
+  return static_cast<int>(::syscall(__NR_io_uring_enter, fd, to_submit,
+                                    min_complete, flags, nullptr, 0));
+}
+
+int sys_io_uring_register(int fd, unsigned opcode, const void* arg,
+                          unsigned nr_args) {
+  return static_cast<int>(::syscall(__NR_io_uring_register, fd, opcode, arg,
+                                    nr_args));
+}
+
+obs::histogram& read_hist() {
+  static obs::histogram& h =
+      obs::metrics_registry::global().get_histogram("io.read_us");
+  return h;
+}
+obs::histogram& write_hist() {
+  static obs::histogram& h =
+      obs::metrics_registry::global().get_histogram("io.write_us");
+  return h;
+}
+/// SQEs handed to the kernel per io_uring_enter (batching effectiveness).
+obs::histogram& sqe_batch_hist() {
+  static obs::histogram& h =
+      obs::metrics_registry::global().get_histogram("io.uring_sqe_batch");
+  return h;
+}
+/// Time the reaper spent blocked waiting for at least one CQE.
+obs::histogram& reap_hist() {
+  static obs::histogram& h =
+      obs::metrics_registry::global().get_histogram("io.uring_reap_us");
+  return h;
+}
+
+std::atomic<bool> g_force_unavailable{false};
+
+/// CQEs harvested per reap cycle before dispatching completions.
+constexpr std::size_t kReapBatch = 64;
+
+}  // namespace
+
+/// One asynchronous request: the caller-visible read/write of a logical
+/// byte range, fanned out into per-stripe-segment SQEs. Owned by the ring
+/// from submission until the reaper delivers and frees it.
+struct uring_backend::uring_request {
+  std::shared_ptr<const safs_file> rfile;
+  std::shared_ptr<safs_file> wfile;
+  std::size_t offset = 0;
+  std::size_t len = 0;
+  /// Transfer buffer: the caller's read destination, or the write source
+  /// owned below via wbuf/wlease.
+  char* buf = nullptr;
+  pool_buffer wbuf;
+  pool_lease wlease;
+  std::promise<void> promise;
+  completion_fn notify;
+  bool is_write = false;
+  /// Injected latency (fault latency site), applied by the reaper before
+  /// delivery — the uring analogue of the shim sleeping before pread.
+  int sleep_us = 0;
+  std::uint64_t start_ns = 0;  ///< submit timestamp when metrics are on
+  std::vector<seg_op> segs;
+  /// Segments not yet finished; touched only by the reaper after submit.
+  std::size_t remaining = 0;
+  std::exception_ptr err;
+
+  const std::string& file_name() const {
+    return is_write ? wfile->name() : rfile->name();
+  }
+};
+
+std::unique_ptr<uring_backend> uring_backend::create(int queue_depth,
+                                                     bool sqpoll) {
+  if (g_force_unavailable.load(std::memory_order_relaxed))
+    throw io_error("io_uring_setup failed", "", 0, 0, ENOSYS);
+  std::unique_ptr<uring_backend> b(new uring_backend);
+  b->init_ring(queue_depth, sqpoll);
+  return b;
+}
+
+bool uring_backend::available() {
+  if (g_force_unavailable.load(std::memory_order_relaxed)) return false;
+  static const bool supported = [] {
+    struct io_uring_params p;
+    std::memset(&p, 0, sizeof(p));
+    const int fd = sys_io_uring_setup(4, &p);
+    if (fd < 0) return false;
+    ::close(fd);
+    return true;
+  }();
+  return supported;
+}
+
+void uring_backend::force_unavailable(bool on) {
+  g_force_unavailable.store(on, std::memory_order_relaxed);
+}
+
+void uring_backend::init_ring(int queue_depth, bool sqpoll) {
+  struct io_uring_params p;
+  std::memset(&p, 0, sizeof(p));
+  if (sqpoll) {
+    p.flags = IORING_SETUP_SQPOLL;
+    p.sq_thread_idle = 1000;  // ms before the kernel poller naps
+  }
+  int fd = sys_io_uring_setup(static_cast<unsigned>(queue_depth), &p);
+  if (fd < 0 && sqpoll &&
+      (errno == EPERM || errno == EINVAL || errno == ENOSYS)) {
+    // SQPOLL needs privileges/newer kernels; downgrade to plain submission
+    // rather than losing the whole backend.
+    FLASHR_DEBUG("uring: SQPOLL refused (errno %d); using plain submission",
+                 errno);
+    sqpoll = false;
+    std::memset(&p, 0, sizeof(p));
+    fd = sys_io_uring_setup(static_cast<unsigned>(queue_depth), &p);
+  }
+  if (fd < 0) throw io_error("io_uring_setup failed", "", 0, 0, errno);
+  ring_fd_ = fd;
+  sqpoll_ = sqpoll;
+  sq_entries_ = p.sq_entries;
+  cq_entries_ = p.cq_entries;
+
+  sq_ring_sz_ = p.sq_off.array + p.sq_entries * sizeof(unsigned);
+  cq_ring_sz_ =
+      p.cq_off.cqes + p.cq_entries * sizeof(struct io_uring_cqe);
+  single_mmap_ = (p.features & IORING_FEAT_SINGLE_MMAP) != 0;
+  if (single_mmap_) {
+    sq_ring_sz_ = cq_ring_sz_ = std::max(sq_ring_sz_, cq_ring_sz_);
+  }
+  sq_ring_ptr_ = ::mmap(nullptr, sq_ring_sz_, PROT_READ | PROT_WRITE,
+                        MAP_SHARED | MAP_POPULATE, fd, IORING_OFF_SQ_RING);
+  if (sq_ring_ptr_ == MAP_FAILED) {
+    sq_ring_ptr_ = nullptr;
+    throw io_error("io_uring SQ ring mmap failed", "", 0, 0, errno);
+  }
+  if (single_mmap_) {
+    cq_ring_ptr_ = sq_ring_ptr_;
+  } else {
+    cq_ring_ptr_ = ::mmap(nullptr, cq_ring_sz_, PROT_READ | PROT_WRITE,
+                          MAP_SHARED | MAP_POPULATE, fd, IORING_OFF_CQ_RING);
+    if (cq_ring_ptr_ == MAP_FAILED) {
+      cq_ring_ptr_ = nullptr;
+      throw io_error("io_uring CQ ring mmap failed", "", 0, 0, errno);
+    }
+  }
+  sqes_sz_ = p.sq_entries * sizeof(struct io_uring_sqe);
+  sqes_ptr_ = ::mmap(nullptr, sqes_sz_, PROT_READ | PROT_WRITE,
+                     MAP_SHARED | MAP_POPULATE, fd, IORING_OFF_SQES);
+  if (sqes_ptr_ == MAP_FAILED) {
+    sqes_ptr_ = nullptr;
+    throw io_error("io_uring SQE array mmap failed", "", 0, 0, errno);
+  }
+
+  char* sqb = static_cast<char*>(sq_ring_ptr_);
+  sq_head_ = reinterpret_cast<unsigned*>(sqb + p.sq_off.head);
+  sq_tail_ = reinterpret_cast<unsigned*>(sqb + p.sq_off.tail);
+  sq_mask_ = reinterpret_cast<unsigned*>(sqb + p.sq_off.ring_mask);
+  sq_flags_ = reinterpret_cast<unsigned*>(sqb + p.sq_off.flags);
+  sq_array_ = reinterpret_cast<unsigned*>(sqb + p.sq_off.array);
+  char* cqb = static_cast<char*>(cq_ring_ptr_);
+  cq_head_ = reinterpret_cast<unsigned*>(cqb + p.cq_off.head);
+  cq_tail_ = reinterpret_cast<unsigned*>(cqb + p.cq_off.tail);
+  cq_mask_ = reinterpret_cast<unsigned*>(cqb + p.cq_off.ring_mask);
+  cqes_ = cqb + p.cq_off.cqes;
+
+  // Register the pool arena as fixed buffer 0. Failure (typically
+  // RLIMIT_MEMLOCK) makes the whole backend unavailable per the fallback
+  // matrix: a uring without its zero-copy contract is not what the user
+  // selected, and the thread pool is strictly more predictable.
+  const buffer_pool::arena_info arena =
+      buffer_pool::global().registrable_arena();
+  if (arena.size > 0) {
+    struct iovec iov;
+    iov.iov_base = arena.base;
+    iov.iov_len = arena.size;
+    if (sys_io_uring_register(ring_fd_, IORING_REGISTER_BUFFERS, &iov, 1) < 0)
+      throw io_error(
+          "io_uring_register_buffers failed for the pool arena "
+          "(RLIMIT_MEMLOCK too small?)",
+          "", 0, arena.size, errno);
+    fixed_ = true;
+  }
+
+  // One flush per dispatch batch: half the effective prefetch window keeps
+  // the device busy while the next batch is staged.
+  const options& o = conf();
+  int window = o.prefetch_depth;
+  if (window < 0) window = 2 * o.io_threads * o.dispatch_batch;
+  int b = window / 2;
+  if (b < 1) b = 1;
+  if (b > 32) b = 32;
+  batch_ = static_cast<unsigned>(b);
+
+  reaper_ = std::thread([this] {
+    obs::set_thread_name("io-uring-reap");
+    // Completion callbacks may trace; registering the ring here keeps
+    // emit()'s once-per-thread slow path out of the nonblocking context.
+    obs::ensure_thread_ring();
+    reaper_loop();
+  });
+}
+
+uring_backend::~uring_backend() {
+  if (reaper_.joinable()) {
+    {
+      mutex_lock lock(ring_mtx_);
+      stop_ = true;
+    }
+    cv_work_.notify_all();
+    // The reaper drains every in-flight request before exiting, so no CQE
+    // can arrive after the rings are unmapped below.
+    reaper_.join();
+  }
+  if (sqes_ptr_ != nullptr) ::munmap(sqes_ptr_, sqes_sz_);
+  if (cq_ring_ptr_ != nullptr && cq_ring_ptr_ != sq_ring_ptr_)
+    ::munmap(cq_ring_ptr_, cq_ring_sz_);
+  if (sq_ring_ptr_ != nullptr) ::munmap(sq_ring_ptr_, sq_ring_sz_);
+  if (ring_fd_ >= 0) ::close(ring_fd_);
+}
+
+int uring_backend::enter(unsigned to_submit, unsigned min_complete,
+                         unsigned flags) {
+  return sys_io_uring_enter(ring_fd_, to_submit, min_complete, flags);
+}
+
+unsigned uring_backend::sq_space_locked() const {
+  const unsigned head = __atomic_load_n(sq_head_, __ATOMIC_ACQUIRE);
+  const unsigned tail = __atomic_load_n(sq_tail_, __ATOMIC_RELAXED);
+  return sq_entries_ - (tail - head);
+}
+
+void uring_backend::stage_locked(seg_op* op) {
+  while (sq_space_locked() == 0) {
+    // Full SQ: hand everything staged to the kernel to make room. With
+    // SQPOLL the poller consumes asynchronously, so give it a beat.
+    flush_locked();
+    if (sqpoll_ && sq_space_locked() == 0) std::this_thread::yield();
+  }
+  uring_request* req = op->req;
+  std::size_t want = op->seg.len - op->done;
+  if (op->short_trim) {
+    // Injected short write: transfer half the remainder once (mirrors the
+    // fault_pwrite shim), then the normal resubmit path finishes the rest.
+    want = want / 2 != 0 ? want / 2 : 1;
+    op->short_trim = false;
+  }
+  char* addr = req->buf + op->seg.buf_off + op->done;
+  const bool fixed = fixed_ && buffer_pool::global().in_arena(addr);
+
+  const unsigned tail = __atomic_load_n(sq_tail_, __ATOMIC_RELAXED);
+  const unsigned idx = tail & *sq_mask_;
+  struct io_uring_sqe* sqe = static_cast<struct io_uring_sqe*>(sqes_ptr_) + idx;
+  std::memset(sqe, 0, sizeof(*sqe));
+  sqe->opcode = req->is_write
+                    ? (fixed ? IORING_OP_WRITE_FIXED : IORING_OP_WRITE)
+                    : (fixed ? IORING_OP_READ_FIXED : IORING_OP_READ);
+  sqe->fd = op->seg.fd;
+  sqe->addr = reinterpret_cast<std::uint64_t>(addr);
+  sqe->len = static_cast<unsigned>(want);
+  sqe->off = op->seg.file_off + op->done;
+  sqe->buf_index = 0;  // the arena is the only registered buffer
+  sqe->user_data = reinterpret_cast<std::uint64_t>(op);
+  sq_array_[idx] = idx;
+  __atomic_store_n(sq_tail_, tail + 1, __ATOMIC_RELEASE);
+  ++staged_;
+}
+
+void uring_backend::flush_locked() {
+  if (staged_ == 0) return;
+  if (obs::metrics_on()) sqe_batch_hist().record(staged_);
+  if (sqpoll_) {
+    // The kernel poller consumes published SQEs on its own; enter() is only
+    // needed to wake it from a nap.
+    if (__atomic_load_n(sq_flags_, __ATOMIC_ACQUIRE) & IORING_SQ_NEED_WAKEUP)
+      enter(0, 0, IORING_ENTER_SQ_WAKEUP);
+    kernel_inflight_ += staged_;
+    staged_ = 0;
+    return;
+  }
+  while (staged_ > 0) {
+    const int r = enter(staged_, 0, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EBUSY) {
+        // CQ backpressure: the reaper will drain it; yield and retry.
+        std::this_thread::yield();
+        continue;
+      }
+      throw io_error("io_uring_enter(submit) failed", "", 0, 0, errno);
+    }
+    kernel_inflight_ += static_cast<unsigned>(r);
+    staged_ -= static_cast<unsigned>(r);
+  }
+}
+
+void uring_backend::submit_request(uring_request* req) {
+  req->start_ns = obs::metrics_on() ? now_ns() : 0;
+  const std::vector<io_segment> segs =
+      req->is_write ? req->wfile->segments(req->offset, req->len)
+                    : req->rfile->segments(req->offset, req->len);
+  req->segs.reserve(segs.size());
+  for (const io_segment& s : segs) {
+    seg_op op;
+    op.req = req;
+    op.seg = s;
+    req->segs.push_back(op);
+  }
+  if (req->segs.empty()) {
+    // Zero-length request: one empty segment completed synthetically, so
+    // delivery still happens on the reaper (delivering inline here would
+    // run completion callbacks under whatever locks the submitter holds).
+    seg_op op;
+    op.req = req;
+    req->segs.push_back(op);
+  }
+  req->remaining = req->segs.size();
+  // Consult the injection schedule once per segment submission — the same
+  // granularity as the shims' once per syscall — BEFORE taking ring_mtx_
+  // (the injector's plan lock ranks below it). Synthetic results are always
+  // <= 0, so 1 marks "no synthetic: submit to the kernel".
+  constexpr int kNoSynth = 1;
+  std::vector<int> synth_res(req->segs.size(), kNoSynth);
+  std::size_t i = 0;
+  for (seg_op& op : req->segs) {
+    if (op.seg.len == 0) {
+      synth_res[i++] = 0;
+      continue;
+    }
+    const fault_io_decision d = req->is_write
+                                    ? fault_next_write_submit(op.seg.len)
+                                    : fault_next_read_submit(op.seg.len);
+    req->sleep_us += d.sleep_us;
+    if (d.err != 0) {
+      // Injected syscall failure: a synthetic CQE with res = -errno, so the
+      // reaper's retry/escalation path is exercised end to end.
+      synth_res[i] = -d.err;
+    } else if (d.short_io && !req->is_write) {
+      // Injected premature EOF: synthetic res = 0; the reaper zero-fills
+      // the segment exactly like the synchronous read loop.
+      synth_res[i] = 0;
+    } else if (d.short_io && req->is_write) {
+      op.short_trim = true;
+    }
+    ++i;
+  }
+  {
+    mutex_lock lock(ring_mtx_);
+    ++live_reqs_;
+    i = 0;
+    for (seg_op& op : req->segs) {
+      const int sr = synth_res[i++];
+      if (sr != kNoSynth)
+        synth_.push_back(cqe_ev{&op, sr});
+      else
+        stage_locked(&op);
+    }
+    // Batched submission with a progress guarantee: flush when a dispatch
+    // batch has accumulated, or when the kernel has nothing from us yet
+    // (otherwise nothing would ever wake the reaper's CQE wait).
+    if (staged_ >= batch_ || kernel_inflight_ == 0) flush_locked();
+  }
+  cv_work_.notify_one();
+}
+
+std::future<void> uring_backend::submit_read(
+    std::shared_ptr<const safs_file> file, std::size_t offset,
+    std::size_t len, char* buf) {
+  uring_request* req = new uring_request;
+  req->rfile = std::move(file);
+  req->offset = offset;
+  req->len = len;
+  req->buf = buf;
+  req->is_write = false;
+  std::future<void> fut = req->promise.get_future();
+  submit_request(req);
+  return fut;
+}
+
+void uring_backend::submit_read_notify(std::shared_ptr<const safs_file> file,
+                                       std::size_t offset, std::size_t len,
+                                       char* buf, completion_fn done) {
+  uring_request* req = new uring_request;
+  req->rfile = std::move(file);
+  req->offset = offset;
+  req->len = len;
+  req->buf = buf;
+  req->notify = std::move(done);
+  req->is_write = false;
+  submit_request(req);
+}
+
+void uring_backend::submit_write(std::shared_ptr<safs_file> file,
+                                 std::size_t offset, std::size_t len,
+                                 pool_buffer buf) {
+  admit_write(len);
+  uring_request* req = new uring_request;
+  req->wfile = std::move(file);
+  req->offset = offset;
+  req->len = len;
+  req->wbuf = std::move(buf);
+  req->buf = req->wbuf.data();
+  req->is_write = true;
+  submit_request(req);
+}
+
+void uring_backend::submit_write(std::shared_ptr<safs_file> file,
+                                 std::size_t offset, std::size_t len,
+                                 pool_lease buf) {
+  admit_write(len);
+  uring_request* req = new uring_request;
+  req->wfile = std::move(file);
+  req->offset = offset;
+  req->len = len;
+  req->wlease = std::move(buf);
+  req->buf = req->wlease.data();
+  req->is_write = true;
+  submit_request(req);
+}
+
+std::size_t uring_backend::pop_cqes(cqe_ev* out, std::size_t max) noexcept {
+  const struct io_uring_cqe* cqes =
+      static_cast<const struct io_uring_cqe*>(cqes_);
+  unsigned head = __atomic_load_n(cq_head_, __ATOMIC_RELAXED);
+  const unsigned tail = __atomic_load_n(cq_tail_, __ATOMIC_ACQUIRE);
+  std::size_t n = 0;
+  while (head != tail && n < max) {
+    const struct io_uring_cqe& c = cqes[head & *cq_mask_];
+    out[n].op = reinterpret_cast<seg_op*>(
+        static_cast<std::uintptr_t>(c.user_data));
+    out[n].res = c.res;
+    ++n;
+    ++head;
+  }
+  __atomic_store_n(cq_head_, head, __ATOMIC_RELEASE);
+  return n;
+}
+
+void uring_backend::handle_event(seg_op* op, int res, bool from_kernel,
+                                 std::vector<uring_request*>& finished) {
+  if (from_kernel) {
+    mutex_lock lock(ring_mtx_);
+    --kernel_inflight_;
+  }
+  uring_request* req = op->req;
+  auto& stats = io_stats::global();
+  bool seg_done = false;
+  bool restage = false;
+  if (res < 0) {
+    const int e = -res;
+    if (e == EINTR) {
+      stats.retries.fetch_add(1, std::memory_order_relaxed);
+      restage = true;
+    } else if (io_retry::transient_errno(e) &&
+               op->attempt < conf().io_max_retries) {
+      ++op->attempt;
+      stats.retries.fetch_add(1, std::memory_order_relaxed);
+      // Backoff on the reaper, outside ring_mtx_, so submitters and the
+      // kernel stay free to make progress while we wait out the glitch.
+      io_retry::backoff_sleep(
+          op->attempt,
+          static_cast<std::uint64_t>(op->seg.file_off) ^
+              (static_cast<std::uint64_t>(op->seg.len) << 32));
+      restage = true;
+    } else {
+      if (!req->err)
+        req->err = std::make_exception_ptr(io_error(
+            std::string(req->is_write ? "pwrite" : "pread") +
+                " failed beyond retry budget",
+            req->file_name(), op->seg.file_off + op->done,
+            op->seg.len - op->done, e));
+      seg_done = true;
+    }
+  } else if (res == 0 && op->done < op->seg.len) {
+    if (req->is_write) {
+      if (!req->err)
+        req->err = std::make_exception_ptr(
+            io_error("pwrite made no progress", req->file_name(),
+                     op->seg.file_off + op->done, op->seg.len - op->done, 0));
+      seg_done = true;
+    } else {
+      // Premature EOF: zero-fill the rest of the segment, exactly like the
+      // synchronous read loop (holes, injected short reads).
+      char* base = req->buf + op->seg.buf_off;
+      std::fill(base + op->done, base + op->seg.len, 0);
+      seg_done = true;
+    }
+  } else {
+    op->done += static_cast<std::size_t>(res);
+    if (op->done >= op->seg.len)
+      seg_done = true;
+    else
+      restage = true;  // short transfer: resubmit the remainder
+  }
+  if (restage) {
+    // A resubmission is one more "syscall": consult the injection schedule
+    // again, so a persistent plan (prob = 1.0) keeps firing until the retry
+    // budget escalates — exactly like the shim-based path, where every
+    // retry goes back through fault_pread/fault_pwrite.
+    const fault_io_decision d =
+        req->is_write ? fault_next_write_submit(op->seg.len - op->done)
+                      : fault_next_read_submit(op->seg.len - op->done);
+    req->sleep_us += d.sleep_us;
+    mutex_lock lock(ring_mtx_);
+    if (d.err != 0) {
+      synth_.push_back(cqe_ev{op, -d.err});
+    } else if (d.short_io && !req->is_write) {
+      synth_.push_back(cqe_ev{op, 0});
+    } else {
+      if (d.short_io && req->is_write) op->short_trim = true;
+      stage_locked(op);
+      if (staged_ >= batch_ || kernel_inflight_ == 0) flush_locked();
+    }
+  }
+  if (seg_done && --req->remaining == 0) finished.push_back(req);
+}
+
+void uring_backend::deliver(uring_request* req) {
+  if (req->sleep_us > 0)
+    std::this_thread::sleep_for(std::chrono::microseconds(req->sleep_us));
+  // The emulated-SSD throughput throttle is charged at completion (the
+  // submit path may run under the prefetch-window mutex, where sleeping
+  // would stall every worker).
+  io_throttle::global().acquire(req->len);
+  auto& stats = io_stats::global();
+  if (req->is_write) {
+    {
+      // Trace contract: every EM write shows up as an io.write span on the
+      // thread that completed it (here the reaper; the actual transfer ran
+      // in the kernel).
+      OBS_SPAN_ARG("io.write", req->len);
+      if (!req->err) {
+        stats.write_ops.fetch_add(1, std::memory_order_relaxed);
+        stats.write_bytes.fetch_add(req->len, std::memory_order_relaxed);
+      }
+      if (req->start_ns != 0 && obs::metrics_on())
+        write_hist().record((now_ns() - req->start_ns) / 1000);
+    }
+    req->wbuf.release();
+    req->wlease.reset();
+    stamp_completion();
+    complete_write(req->len, std::move(req->err));
+  } else {
+    {
+      OBS_SPAN_ARG("io.read", req->len);
+      if (!req->err) {
+        stats.read_ops.fetch_add(1, std::memory_order_relaxed);
+        stats.read_bytes.fetch_add(req->len, std::memory_order_relaxed);
+      }
+      if (req->start_ns != 0 && obs::metrics_on())
+        read_hist().record((now_ns() - req->start_ns) / 1000);
+      fault_completion_stall();
+    }
+    stamp_completion();
+    std::exception_ptr err = req->err;
+    if (req->notify) {
+      completion_fn notify = std::move(req->notify);
+      notify(err);
+    } else if (err) {
+      req->promise.set_exception(err);
+    } else {
+      req->promise.set_value();
+    }
+  }
+  delete req;
+}
+
+void uring_backend::reaper_loop() {
+  std::vector<cqe_ev> synth;
+  std::vector<uring_request*> finished;
+  cqe_ev cqes[kReapBatch];
+  for (;;) {
+    bool kernel_pending = false;
+    {
+      mutex_lock lock(ring_mtx_);
+      for (;;) {
+        if (staged_ > 0) flush_locked();
+        if (!synth_.empty() || kernel_inflight_ > 0) break;
+        if (stop_ && live_reqs_ == 0) return;
+        cv_work_.wait(lock);
+      }
+      synth.swap(synth_);
+      kernel_pending = kernel_inflight_ > 0;
+    }
+
+    // Synthetic (injected) completions never involve the kernel; apply them
+    // before possibly blocking on real CQEs.
+    for (const cqe_ev& ev : synth) handle_event(ev.op, ev.res, false, finished);
+    synth.clear();
+
+    bool synth_pending;
+    {
+      mutex_lock lock(ring_mtx_);
+      synth_pending = !synth_.empty();  // retries queued while processing
+    }
+    std::size_t n = pop_cqes(cqes, kReapBatch);
+    if (n == 0 && kernel_pending && finished.empty() && !synth_pending) {
+      // Nothing ready: block until the kernel posts at least one CQE. Held
+      // locks: none — submitters keep staging and flushing meanwhile.
+      const std::uint64_t t0 = obs::metrics_on() ? now_ns() : 0;
+      const int r = enter(0, 1, IORING_ENTER_GETEVENTS);
+      if (r < 0 && errno != EINTR && errno != EAGAIN && errno != EBUSY)
+        FLASHR_WARN("uring: io_uring_enter(GETEVENTS) failed: errno %d",
+                    errno);
+      if (t0 != 0) reap_hist().record((now_ns() - t0) / 1000);
+      n = pop_cqes(cqes, kReapBatch);
+    }
+    while (n > 0) {
+      for (std::size_t i = 0; i < n; ++i)
+        handle_event(cqes[i].op, cqes[i].res, true, finished);
+      n = pop_cqes(cqes, kReapBatch);
+    }
+
+    // Dispatch finished requests with no ring state held: completion
+    // callbacks take the prefetch-window mutex (rank 500 < uring_ring 610),
+    // so delivering under ring_mtx_ would invert the lock order.
+    for (uring_request* req : finished) deliver(req);
+    if (!finished.empty()) {
+      const int done = static_cast<int>(finished.size());
+      finished.clear();
+      mutex_lock lock(ring_mtx_);
+      live_reqs_ -= done;
+    }
+  }
+}
+
+}  // namespace flashr

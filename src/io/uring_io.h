@@ -1,0 +1,173 @@
+// io_uring I/O backend with registered-buffer reads (§3.2.1, §3.3).
+//
+// The paper's SAFS layer issues asynchronous direct I/O against the SSD
+// array; this backend is the native-Linux equivalent of that submission
+// path. One io_uring instance serves the whole engine: submitters stage
+// SQEs — one per SAFS stripe segment of a request — under a dedicated ring
+// mutex and hand them to the kernel in batches (a single io_uring_enter per
+// dispatch batch, sized from the prefetch window), and one reaper thread
+// harvests CQEs, applies the same retry policy as the synchronous safs path
+// (io_retry), and drives the engine's existing completion machinery:
+// prefetch-pipeline notify callbacks, read futures, and the base class's
+// backend-agnostic write-budget release.
+//
+// Zero-copy reads: the buffer pool carves its hot buffers from one
+// contiguous arena (mem/buffer_pool.h) which this backend registers with
+// the kernel once (io_uring_register_buffers); reads and writes whose
+// buffer lies in the arena use IORING_OP_READ_FIXED/WRITE_FIXED and skip
+// the kernel's per-I/O get_user_pages pinning.
+//
+// Everything here degrades gracefully: create() throws io_error when the
+// kernel cannot provide a usable ring (ENOSYS, mmap failure, buffer
+// registration refused by RLIMIT_MEMLOCK) and async_io::global() falls
+// back to the thread-pool backend; SQPOLL is downgraded to plain
+// submission when the kernel refuses it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/thread_safety.h"
+#include "io/io_backend.h"
+#include "io/safs.h"
+#include "mem/buffer_pool.h"
+
+namespace flashr {
+
+class uring_backend final : public io_backend {
+ public:
+  /// Bring up a ring of `queue_depth` SQ entries (the kernel rounds up to a
+  /// power of two), register the pool arena, and start the completion
+  /// reaper. Throws io_error when the kernel cannot provide a usable ring.
+  static std::unique_ptr<uring_backend> create(int queue_depth, bool sqpoll);
+
+  /// Whether this kernel can set up an io_uring at all (one cached probe).
+  static bool available();
+
+  /// Test seam: make create() fail as if io_uring_setup returned ENOSYS,
+  /// so the graceful-fallback path can be exercised on kernels that do
+  /// support io_uring. Affects subsequent create() calls only.
+  static void force_unavailable(bool on);
+
+  ~uring_backend() override;
+
+  const char* name() const noexcept override { return "uring"; }
+
+  /// Whether the pool arena is registered with the kernel (arena buffers
+  /// then use the READ_FIXED/WRITE_FIXED fast path).
+  bool fixed_buffers() const noexcept { return fixed_; }
+
+  std::future<void> submit_read(std::shared_ptr<const safs_file> file,
+                                std::size_t offset, std::size_t len,
+                                char* buf) override;
+
+  void submit_read_notify(std::shared_ptr<const safs_file> file,
+                          std::size_t offset, std::size_t len, char* buf,
+                          completion_fn done) override;
+
+  void submit_write(std::shared_ptr<safs_file> file, std::size_t offset,
+                    std::size_t len, pool_buffer buf) override;
+
+  void submit_write(std::shared_ptr<safs_file> file, std::size_t offset,
+                    std::size_t len, pool_lease buf) override;
+
+ private:
+  struct uring_request;
+
+  /// One in-flight stripe segment of a request. Lives in the request's
+  /// `segs` vector (sized once, so the address is stable) and rides through
+  /// the kernel as the SQE's user_data. Only the reaper mutates it after
+  /// submission.
+  struct seg_op {
+    uring_request* req = nullptr;
+    io_segment seg;
+    std::size_t done = 0;     ///< bytes transferred so far
+    int attempt = 0;          ///< transient-retry attempts (io_retry policy)
+    bool short_trim = false;  ///< injected short write: submit half, once
+  };
+
+  /// A completion event: a harvested CQE, or a synthetic one the fault
+  /// injector produced at submission time (res = -errno, or 0 for an
+  /// injected premature EOF).
+  struct cqe_ev {
+    seg_op* op = nullptr;
+    int res = 0;
+  };
+
+  uring_backend() = default;
+  void init_ring(int queue_depth, bool sqpoll);
+  void submit_request(uring_request* req);
+
+  /// Write one SQE for the next unfinished piece of `op` and publish the SQ
+  /// tail. Flushes first when the SQ is full.
+  void stage_locked(seg_op* op) REQUIRES(ring_mtx_);
+  /// Hand all staged SQEs to the kernel (one io_uring_enter; with SQPOLL,
+  /// at most a wakeup). Records the batch-size histogram.
+  void flush_locked() REQUIRES(ring_mtx_);
+  unsigned sq_space_locked() const REQUIRES(ring_mtx_);
+
+  void reaper_loop();
+  /// Harvest up to `max` CQEs into `out`. Single consumer (the reaper);
+  /// touches only the shared CQ ring with acquire/release atomics — never
+  /// blocks, never allocates.
+  std::size_t pop_cqes(cqe_ev* out, std::size_t max) noexcept
+      FLASHR_NONBLOCKING;
+  /// Apply one completion event: retry/resubmit per the io_retry policy,
+  /// zero-fill premature EOFs, record errors; appends the request to
+  /// `finished` when its last segment completes.
+  void handle_event(seg_op* op, int res, bool from_kernel,
+                    std::vector<uring_request*>& finished);
+  /// Final delivery of a finished request on the reaper thread: injected
+  /// latency/stall, throughput throttle, stats, then the notify callback /
+  /// future / write-budget release. Frees the request.
+  void deliver(uring_request* req);
+
+  int enter(unsigned to_submit, unsigned min_complete, unsigned flags);
+
+  // --- ring state (set once in init(), immutable afterwards) --------------
+  int ring_fd_ = -1;
+  bool sqpoll_ = false;
+  bool fixed_ = false;
+  unsigned sq_entries_ = 0;
+  unsigned cq_entries_ = 0;
+  void* sq_ring_ptr_ = nullptr;
+  void* cq_ring_ptr_ = nullptr;
+  void* sqes_ptr_ = nullptr;
+  std::size_t sq_ring_sz_ = 0;
+  std::size_t cq_ring_sz_ = 0;
+  std::size_t sqes_sz_ = 0;
+  bool single_mmap_ = false;
+  /// Pointers into the shared rings (kernel-visible; accessed with __atomic
+  /// acquire/release). SQ fields are written under ring_mtx_; the CQ is
+  /// consumed only by the reaper.
+  unsigned* sq_head_ = nullptr;
+  unsigned* sq_tail_ = nullptr;
+  unsigned* sq_mask_ = nullptr;
+  unsigned* sq_flags_ = nullptr;
+  unsigned* sq_array_ = nullptr;
+  unsigned* cq_head_ = nullptr;
+  unsigned* cq_tail_ = nullptr;
+  unsigned* cq_mask_ = nullptr;
+  void* cqes_ = nullptr;
+
+  /// SQEs handed to the kernel per io_uring_enter; sized from the effective
+  /// prefetch window so one flush covers one dispatch batch.
+  unsigned batch_ = 1;
+
+  // --- submission state ----------------------------------------------------
+  mutable mutex ring_mtx_ LOCK_RANK(uring_ring);
+  /// Wakes the reaper: new work staged/synthesized, or shutdown.
+  cond_var cv_work_;
+  unsigned staged_ GUARDED_BY(ring_mtx_) = 0;
+  unsigned kernel_inflight_ GUARDED_BY(ring_mtx_) = 0;
+  std::vector<cqe_ev> synth_ GUARDED_BY(ring_mtx_);
+  int live_reqs_ GUARDED_BY(ring_mtx_) = 0;
+  bool stop_ GUARDED_BY(ring_mtx_) = false;
+
+  std::thread reaper_;
+};
+
+}  // namespace flashr

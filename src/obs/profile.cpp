@@ -61,11 +61,11 @@ void append_node(std::string& out, const node_profile& n) {
   if (n.leaf) out += ", \"leaf\": true";
   append(out,
          ", \"group\": %d, \"est_bytes\": %" PRIu64 ", \"kernel_ns\": %" PRIu64
-         ", \"io_wait_ns\": %" PRIu64 ", \"partitions\": %" PRIu64
-         ", \"rows\": %" PRIu64 ", \"bytes\": %" PRIu64
-         ", \"chunks\": %" PRIu64 "}",
-         n.group, n.est_bytes, n.kernel_ns, n.io_wait_ns, n.partitions, n.rows,
-         n.bytes, n.chunks);
+         ", \"copy_ns\": %" PRIu64 ", \"io_wait_ns\": %" PRIu64
+         ", \"partitions\": %" PRIu64 ", \"rows\": %" PRIu64
+         ", \"bytes\": %" PRIu64 ", \"chunks\": %" PRIu64 "}",
+         n.group, n.est_bytes, n.kernel_ns, n.copy_ns, n.io_wait_ns,
+         n.partitions, n.rows, n.bytes, n.chunks);
 }
 
 }  // namespace
@@ -204,6 +204,7 @@ void run_analysis(const std::vector<matrix_store::ptr>& targets, storage st,
         continue;
       node_profile& t = totals[static_cast<std::size_t>(n.id)];
       t.kernel_ns += n.kernel_ns;
+      t.copy_ns += n.copy_ns;
       t.io_wait_ns += n.io_wait_ns;
       t.partitions += n.partitions;
       t.rows += n.rows;
@@ -233,11 +234,12 @@ void run_analysis(const std::vector<matrix_store::ptr>& targets, storage st,
   for (const plan_node& n : plan.nodes) {
     const node_profile& t = totals[static_cast<std::size_t>(n.id)];
     append(dot_out,
-           "  n%d [label=\"%d: %s\\n%zux%zu est %zu B\\nkernel %.3f ms  io "
-           "%.3f ms\\nparts %" PRIu64 " chunks %" PRIu64 " bytes %" PRIu64
-           "\"%s];\n",
+           "  n%d [label=\"%d: %s\\n%zux%zu est %zu B\\nkernel %.3f ms  copy "
+           "%.3f ms  io %.3f ms\\nparts %" PRIu64 " chunks %" PRIu64
+           " bytes %" PRIu64 "\"%s];\n",
            n.id, n.id, n.op, n.nrow, n.ncol, n.est_bytes,
            static_cast<double>(t.kernel_ns) / 1e6,
+           static_cast<double>(t.copy_ns) / 1e6,
            static_cast<double>(t.io_wait_ns) / 1e6, t.partitions, t.chunks,
            t.bytes, n.leaf ? ", shape=box" : "");
     for (int c : n.children) append(dot_out, "  n%d -> n%d;\n", c, n.id);

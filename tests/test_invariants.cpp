@@ -57,6 +57,20 @@ TEST(InvariantDeathTest, UseAfterReturnAborts) {
       "use-after-return");
 }
 
+TEST(InvariantDeathTest, MisalignedBufferAborts) {
+  // The 4 KiB alignment contract backs O_DIRECT and the uring backend's
+  // registered-buffer (READ_FIXED) path; a corrupted free-list pointer must
+  // abort at get() instead of corrupting I/O silently.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        invariant_scope on;
+        buffer_pool pool;
+        pool_debug::seed_misaligned_buffer(pool);
+      },
+      "misaligned buffer");
+}
+
 // With the validator off the check must be silent: the checks are opt-in and
 // the default build pays only a branch. Only the use-after-return seam leaves
 // the pool destructible (the other two corrupt the free list for real).

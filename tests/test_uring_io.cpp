@@ -1,0 +1,290 @@
+// io_uring backend tests: parity with the thread-pool backend, fault
+// injection through the ring, cancellation cleanliness, the zero-copy
+// read→write alias path, graceful fallback, and write-budget wakeups from
+// the CQE reaper.
+//
+// Everything here goes through the public engine surface (options +
+// async_io facade); the only backend-specific hooks are
+// uring_backend::available() (skip on kernels without io_uring) and the
+// force_unavailable() test seam for the fallback test.
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "common/error.h"
+#include "core/dense_matrix.h"
+#include "core/exec.h"
+#include "io/async_io.h"
+#include "io/fault.h"
+#include "io/safs.h"
+#include "io/uring_io.h"
+#include "matrix/em_store.h"
+#include "mem/buffer_pool.h"
+#include "obs/profile.h"
+
+namespace flashr {
+namespace {
+
+/// Engine options shared by every test here: many small partitions so a
+/// pass exercises the prefetch window, several workers so completion-order
+/// dispatch actually interleaves.
+options base_options() {
+  options o;
+  o.em_dir = "/tmp/flashr_test_em";
+  o.num_threads = 4;
+  o.io_part_rows = 64;
+  o.pcache_bytes = 2048;
+  o.small_nrow_threshold = 16;
+  o.dispatch_batch = 2;
+  return o;
+}
+
+smat host_input(std::size_t n, std::size_t p) {
+  smat h(n, p);
+  for (std::size_t j = 0; j < p; ++j)
+    for (std::size_t i = 0; i < n; ++i)
+      h(i, j) = 0.5 * static_cast<double>(i) -
+                1.25 * static_cast<double>(j) + 3.0;
+  return h;
+}
+
+dense_matrix em_input(const smat& h) {
+  return conv_store(dense_matrix::from_smat(h), storage::ext_mem);
+}
+
+class UringBackendTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!uring_backend::available())
+      GTEST_SKIP() << "io_uring not available on this kernel";
+    fault_injector::global().clear();
+    io_stats::global().reset();
+  }
+  void TearDown() override { fault_injector::global().clear(); }
+
+  void init_uring(options o) {
+    o.io_backend = io_backend_kind::uring;
+    init(o);
+    ASSERT_STREQ(async_io::active_backend(), "uring");
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Parity: same computation, threads vs uring, in every exec mode
+// ---------------------------------------------------------------------------
+
+struct backend_run {
+  smat got;
+  exec::pass_stats stats;
+};
+
+backend_run run_pipeline(io_backend_kind kind, exec_mode mode,
+                         const smat& h) {
+  options o = base_options();
+  o.io_backend = kind;
+  o.mode = mode;
+  init(o);
+  dense_matrix x = em_input(h);
+  dense_matrix y = conv_store(x * 2.0 + 1.0, storage::ext_mem);
+  backend_run r{y.to_smat(), exec::last_pass_stats()};
+  return r;
+}
+
+TEST_F(UringBackendTest, ParityWithThreadPoolInAllModes) {
+  const std::size_t n = 1000, cols = 7;
+  smat h = host_input(n, cols);
+  for (exec_mode mode :
+       {exec_mode::eager, exec_mode::mem_fuse, exec_mode::cache_fuse}) {
+    SCOPED_TRACE(exec_mode_name(mode));
+    backend_run t = run_pipeline(io_backend_kind::threads, mode, h);
+    backend_run u = run_pipeline(io_backend_kind::uring, mode, h);
+    // Bit-identical results (the backends move bytes; they must not touch
+    // them), and byte-identical I/O volume for the materializing pass.
+    for (std::size_t j = 0; j < cols; ++j)
+      for (std::size_t i = 0; i < n; ++i)
+        ASSERT_EQ(u.got(i, j), t.got(i, j)) << i << "," << j;
+    EXPECT_EQ(u.stats.read_bytes, t.stats.read_bytes);
+    EXPECT_EQ(u.stats.write_bytes, t.stats.write_bytes);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection through the ring (synthetic CQEs, res < 0 retry path)
+// ---------------------------------------------------------------------------
+
+TEST_F(UringBackendTest, TransientFaultsAbsorbedThroughRing) {
+  options o = base_options();
+  // An injected short read is a silent premature EOF (zero-fill) by design;
+  // only the partition checksum catches it, exactly like the shim path.
+  o.io_checksum = checksum_policy::verify;
+  init_uring(o);
+  const std::size_t n = 1000, cols = 7;
+  smat h = host_input(n, cols);
+  dense_matrix x = em_input(h);
+
+  fault_plan p;
+  p.seed = 81;
+  p.pread_prob = 0.15;  // synthetic CQEs with res = -EIO, retried on the ring
+  p.pwrite_prob = 0.15;
+  fault_scope scope(p);
+
+  smat got = conv_store(x * 2.0 + 1.0, storage::ext_mem).to_smat();
+  for (std::size_t j = 0; j < cols; ++j)
+    for (std::size_t i = 0; i < n; ++i)
+      ASSERT_NEAR(got(i, j), h(i, j) * 2.0 + 1.0, 1e-12) << i << "," << j;
+
+  EXPECT_GT(io_stats::global().injected_faults.load(), 0u);
+  EXPECT_GT(io_stats::global().retries.load(), 0u);
+  EXPECT_EQ(io_stats::global().checksum_failures.load(), 0u);
+}
+
+TEST_F(UringBackendTest, PersistentFaultCancelsPassAndReleasesEveryBuffer) {
+  init_uring(base_options());
+  dense_matrix x = em_input(host_input(1000, 7));
+
+  auto& pool = buffer_pool::global();
+  const std::size_t count0 = pool.outstanding_count();
+  const std::size_t bytes0 = pool.outstanding_bytes();
+
+  {
+    fault_plan p;
+    p.seed = 82;
+    p.pread_prob = 1.0;  // unlimited: every read attempt fails hard
+    fault_scope scope(p);
+    try {
+      conv_store(x + 1.0, storage::ext_mem).to_smat();
+      FAIL() << "expected io_error";
+    } catch (const io_error& e) {
+      EXPECT_EQ(e.err(), EIO);
+    }
+  }
+  // Mid-window cancellation: prefetch buffers, worker chunks, staged
+  // outputs and in-flight write buffers must all be home.
+  EXPECT_EQ(pool.outstanding_count(), count0);
+  EXPECT_EQ(pool.outstanding_bytes(), bytes0);
+
+  // The ring must be immediately reusable after the cancelled pass.
+  smat h = x.to_smat();
+  smat got = conv_store(x + 1.0, storage::ext_mem).to_smat();
+  for (std::size_t j = 0; j < 7; ++j)
+    for (std::size_t i = 0; i < 1000; ++i)
+      ASSERT_NEAR(got(i, j), h(i, j) + 1.0, 1e-12) << i << "," << j;
+}
+
+// ---------------------------------------------------------------------------
+// Zero-copy alias lifetime: EM→EM identity conversion
+// ---------------------------------------------------------------------------
+
+TEST_F(UringBackendTest, ZeroCopyConversionAliasesReadBuffers) {
+  options o = base_options();
+  o.obs_profile = true;
+  init_uring(o);
+  const std::size_t n = 1000, cols = 7;
+  smat h = host_input(n, cols);
+  dense_matrix x = em_input(h);
+
+  auto& pool = buffer_pool::global();
+  const std::size_t count0 = pool.outstanding_count();
+
+  // Identity conversion of an EM matrix back to EM: every partition must be
+  // written straight from the buffer its read landed in — no kernel, no
+  // staging copy.
+  dense_matrix y = conv_store(x, storage::ext_mem);
+  exec::pass_stats stats = exec::last_pass_stats();
+  EXPECT_GT(stats.zero_copy_chunks, 0u);
+  EXPECT_EQ(stats.read_bytes, stats.write_bytes);
+
+  // The leases shared between the pipeline and the in-flight writes must
+  // all be home once the pass (which drains its writes) returned.
+  EXPECT_EQ(pool.outstanding_count(), count0);
+
+  smat got = y.to_smat();
+  for (std::size_t j = 0; j < cols; ++j)
+    for (std::size_t i = 0; i < n; ++i)
+      ASSERT_EQ(got(i, j), h(i, j)) << i << "," << j;
+
+  // Profile evidence: the cast node of the conversion pass spent no kernel
+  // and no copy time (the alias path records rows/chunks only).
+  bool saw_cast = false;
+  for (const obs::pass_profile& pp : obs::profile_history())
+    for (const obs::node_profile& np : pp.nodes)
+      if (std::strcmp(np.op, "cast") == 0 && np.chunks > 0 &&
+          np.kernel_ns == 0 && np.copy_ns == 0)
+        saw_cast = true;
+  EXPECT_TRUE(saw_cast);
+  obs::set_profile_enabled(false);
+  obs::profile_clear();
+}
+
+// ---------------------------------------------------------------------------
+// Graceful fallback under forced ENOSYS
+// ---------------------------------------------------------------------------
+
+TEST(UringFallbackTest, ForcedUnavailableFallsBackToThreads) {
+  fault_injector::global().clear();
+  // Unique uring_queue_depth values force the facade to rebuild (it caches
+  // by selection key, so the fallback decision is re-evaluated).
+  options o = base_options();
+  o.io_backend = io_backend_kind::uring;
+  o.uring_queue_depth = 64;
+  uring_backend::force_unavailable(true);
+  init(o);
+  EXPECT_STREQ(async_io::active_backend(), "threads");
+
+  // The engine must keep computing correctly on the fallback backend.
+  smat h = host_input(500, 5);
+  dense_matrix x = em_input(h);
+  smat got = conv_store(x * 3.0, storage::ext_mem).to_smat();
+  for (std::size_t j = 0; j < 5; ++j)
+    for (std::size_t i = 0; i < 500; ++i)
+      ASSERT_NEAR(got(i, j), h(i, j) * 3.0, 1e-12) << i << "," << j;
+
+  // Lifting the shim and changing the key restores the ring.
+  uring_backend::force_unavailable(false);
+  o.uring_queue_depth = 32;
+  init(o);
+  if (uring_backend::available())
+    EXPECT_STREQ(async_io::active_backend(), "uring");
+  else
+    EXPECT_STREQ(async_io::active_backend(), "threads");
+}
+
+// ---------------------------------------------------------------------------
+// Write-budget release from the reaper (throttled submitters must wake)
+// ---------------------------------------------------------------------------
+
+TEST_F(UringBackendTest, ReaperReleasesWriteBudget) {
+  options o = base_options();
+  // Budget of one partition (64 rows x 7 cols x 8 B = 3584 B rounds to one
+  // 4 KiB class): every further write must stall until the reaper's
+  // complete_write() releases the budget and wakes the submitter.
+  o.max_inflight_write_bytes = 4096;
+  init_uring(o);
+  const std::size_t n = 1000, cols = 7;
+  smat h = host_input(n, cols);
+  dense_matrix x = em_input(h);
+
+  fault_plan p;
+  p.seed = 83;
+  p.latency_prob = 1.0;  // keep completions in flight long enough to stall
+  p.latency_us = 1000;
+  fault_scope scope(p);
+
+  smat got = conv_store(x + 2.0, storage::ext_mem).to_smat();
+  exec::pass_stats stats = exec::last_pass_stats();
+  for (std::size_t j = 0; j < cols; ++j)
+    for (std::size_t i = 0; i < n; ++i)
+      ASSERT_NEAR(got(i, j), h(i, j) + 2.0, 1e-12) << i << "," << j;
+
+  // The pass wrote ~16 partitions through a one-partition budget: the
+  // throttle must have engaged, and the high-water mark must respect it.
+  EXPECT_GT(stats.write_throttle_stalls, 0u);
+  EXPECT_LE(stats.write_inflight_hwm, std::size_t{4096});
+}
+
+}  // namespace
+}  // namespace flashr

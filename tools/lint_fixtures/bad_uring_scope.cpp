@@ -1,0 +1,12 @@
+// Fixture: io_uring primitives outside src/io/uring_io.* must trip
+// uring-scope (self-tested both as src/io/bad_uring_scope.cpp, where the
+// rule fires despite being inside the io layer, and as src/io/uring_io.cpp,
+// where it stays quiet).
+#include <linux/io_uring.h>
+
+long submit_directly(int fd, unsigned n) {
+  struct io_uring_params p {};
+  (void)p;
+  unsigned flags = IORING_ENTER_GETEVENTS;
+  return syscall(__NR_io_uring_enter, fd, n, 1u, flags, nullptr, 0);
+}
