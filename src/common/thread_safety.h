@@ -146,10 +146,17 @@ inline constexpr rank_t io_write_budget{580, "io_write_budget", true};
 // submission may run under the prefetch window (refill staging reads).
 inline constexpr rank_t fault_plan{590, "fault_plan", false};
 inline constexpr rank_t async_queue{600, "async_queue", false};
-// io_uring submission state (staged SQE count, kernel-inflight count) in
-// io/uring_io.cpp. Taken under the prefetch window (refill stages reads) and
-// by the reaper for resubmissions; never held across completion dispatch,
-// which re-enters prefetch_window-ranked locks.
+// The uring completion-dispatch pool's task queue (io/uring_io.cpp). A
+// leaf in practice: the reaper enqueues and workers dequeue with nothing
+// else held, and a worker drops it before running the task (which may take
+// prefetch_window-ranked locks via notify callbacks, or uring_ring via a
+// resubmission).
+inline constexpr rank_t uring_dispatch{605, "uring_dispatch", false};
+// io_uring submission state (staged SQE count, kernel-inflight count,
+// pending-op queue) in io/uring_io.cpp. Taken under the prefetch window
+// (refill stages reads) and by the reaper/dispatchers for resubmissions;
+// never held across completion dispatch, which re-enters
+// prefetch_window-ranked locks.
 inline constexpr rank_t uring_ring{610, "uring_ring", false};
 inline constexpr rank_t buffer_pool{650, "buffer_pool", true};
 inline constexpr rank_t metrics_registry{700, "metrics_registry", false};

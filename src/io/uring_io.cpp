@@ -18,6 +18,15 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
+// Feature bits this file keys on; older uapi headers may predate them (the
+// values are kernel ABI, fixed forever).
+#ifndef IORING_FEAT_NODROP
+#define IORING_FEAT_NODROP (1U << 1)
+#endif
+#ifndef IORING_FEAT_SQPOLL_NONFIXED
+#define IORING_FEAT_SQPOLL_NONFIXED (1U << 7)
+#endif
+
 namespace flashr {
 
 namespace {
@@ -84,9 +93,11 @@ struct uring_backend::uring_request {
   std::promise<void> promise;
   completion_fn notify;
   bool is_write = false;
-  /// Injected latency (fault latency site), applied by the reaper before
-  /// delivery — the uring analogue of the shim sleeping before pread.
-  int sleep_us = 0;
+  /// Injected latency (fault latency site), applied by the dispatcher
+  /// before delivery — the uring analogue of the shim sleeping before
+  /// pread. Atomic: resubmissions of different segments may add to it
+  /// concurrently from dispatch-pool threads.
+  std::atomic<int> sleep_us{0};
   std::uint64_t start_ns = 0;  ///< submit timestamp when metrics are on
   std::vector<seg_op> segs;
   /// Segments not yet finished; touched only by the reaper after submit.
@@ -143,6 +154,20 @@ void uring_backend::init_ring(int queue_depth, bool sqpoll) {
     fd = sys_io_uring_setup(static_cast<unsigned>(queue_depth), &p);
   }
   if (fd < 0) throw io_error("io_uring_setup failed", "", 0, 0, errno);
+  if (sqpoll && !(p.features & IORING_FEAT_SQPOLL_NONFIXED)) {
+    // Pre-5.11 kernels require registered files (IOSQE_FIXED_FILE) with
+    // SQPOLL; our SQEs carry raw fds, which would fail with EBADF at
+    // completion — far past the setup-time downgrade. Gate on the feature
+    // bit instead and fall back to plain submission.
+    FLASHR_DEBUG(
+        "uring: kernel lacks IORING_FEAT_SQPOLL_NONFIXED; "
+        "using plain submission");
+    ::close(fd);
+    sqpoll = false;
+    std::memset(&p, 0, sizeof(p));
+    fd = sys_io_uring_setup(static_cast<unsigned>(queue_depth), &p);
+    if (fd < 0) throw io_error("io_uring_setup failed", "", 0, 0, errno);
+  }
   ring_fd_ = fd;
   sqpoll_ = sqpoll;
   sq_entries_ = p.sq_entries;
@@ -189,7 +214,17 @@ void uring_backend::init_ring(int queue_depth, bool sqpoll) {
   cq_head_ = reinterpret_cast<unsigned*>(cqb + p.cq_off.head);
   cq_tail_ = reinterpret_cast<unsigned*>(cqb + p.cq_off.tail);
   cq_mask_ = reinterpret_cast<unsigned*>(cqb + p.cq_off.ring_mask);
+  cq_overflow_ = reinterpret_cast<unsigned*>(cqb + p.cq_off.overflow);
   cqes_ = cqb + p.cq_off.cqes;
+  // pump_locked() hard-bounds staged + kernel-in-flight SQEs to the CQ
+  // capacity, so the CQ cannot overflow even without IORING_FEAT_NODROP
+  // (pre-5.5 kernels drop overflowed CQEs silently; with the bound there is
+  // nothing to drop). The reaper still watches the overflow counter as an
+  // invariant check.
+  if (!(p.features & IORING_FEAT_NODROP))
+    FLASHR_DEBUG(
+        "uring: kernel lacks IORING_FEAT_NODROP; relying on the "
+        "CQ-capacity in-flight bound");
 
   // Register the pool arena as fixed buffer 0. Failure (typically
   // RLIMIT_MEMLOCK) makes the whole backend unavailable per the fallback
@@ -219,6 +254,21 @@ void uring_backend::init_ring(int queue_depth, bool sqpoll) {
   if (b > 32) b = 32;
   batch_ = static_cast<unsigned>(b);
 
+  // Completion-dispatch pool: runs deliver() (throttle waits, injected
+  // latency, notify callbacks) and retry-backoff sleeps, so the reaper only
+  // harvests CQEs — mirroring the thread-pool backend, where completions
+  // dispatch from several I/O threads concurrently.
+  int nd = o.io_threads / 2;
+  if (nd < 2) nd = 2;
+  if (nd > 4) nd = 4;
+  dispatchers_.reserve(static_cast<std::size_t>(nd));
+  for (int t = 0; t < nd; ++t)
+    dispatchers_.emplace_back([this] {
+      obs::set_thread_name("io-uring-disp");
+      obs::ensure_thread_ring();
+      dispatch_loop();
+    });
+
   reaper_ = std::thread([this] {
     obs::set_thread_name("io-uring-reap");
     // Completion callbacks may trace; registering the ring here keeps
@@ -235,10 +285,18 @@ uring_backend::~uring_backend() {
       stop_ = true;
     }
     cv_work_.notify_all();
-    // The reaper drains every in-flight request before exiting, so no CQE
-    // can arrive after the rings are unmapped below.
+    // The reaper exits only once live_reqs_ hits 0, i.e. after the
+    // dispatch pool finished delivering every request, so no CQE can
+    // arrive and no task can touch ring state after the teardown below.
     reaper_.join();
   }
+  {
+    mutex_lock lock(dispatch_mtx_);
+    dispatch_stop_ = true;
+  }
+  cv_dispatch_.notify_all();
+  for (std::thread& t : dispatchers_)
+    if (t.joinable()) t.join();
   if (sqes_ptr_ != nullptr) ::munmap(sqes_ptr_, sqes_sz_);
   if (cq_ring_ptr_ != nullptr && cq_ring_ptr_ != sq_ring_ptr_)
     ::munmap(cq_ring_ptr_, cq_ring_sz_);
@@ -257,13 +315,7 @@ unsigned uring_backend::sq_space_locked() const {
   return sq_entries_ - (tail - head);
 }
 
-void uring_backend::stage_locked(seg_op* op) {
-  while (sq_space_locked() == 0) {
-    // Full SQ: hand everything staged to the kernel to make room. With
-    // SQPOLL the poller consumes asynchronously, so give it a beat.
-    flush_locked();
-    if (sqpoll_ && sq_space_locked() == 0) std::this_thread::yield();
-  }
+void uring_backend::write_sqe_locked(seg_op* op) {
   uring_request* req = op->req;
   std::size_t want = op->seg.len - op->done;
   if (op->short_trim) {
@@ -293,32 +345,85 @@ void uring_backend::stage_locked(seg_op* op) {
   ++staged_;
 }
 
-void uring_backend::flush_locked() {
-  if (staged_ == 0) return;
+void uring_backend::pump_locked(bool force_flush) {
+  for (;;) {
+    while (!pending_.empty() && sq_space_locked() > 0 &&
+           staged_ + kernel_inflight_ < cq_entries_) {
+      seg_op* op = pending_.front();
+      pending_.pop_front();
+      write_sqe_locked(op);
+    }
+    if (staged_ == 0) return;
+    // Flush policy: a dispatch batch accumulated, the kernel has nothing
+    // from us yet (nothing would ever wake the reaper's CQE wait), the
+    // ring is backed up (free SQ slots for the pending queue), or the
+    // reaper's catch-all pass.
+    if (!force_flush && staged_ < batch_ && kernel_inflight_ > 0 &&
+        pending_.empty())
+      return;
+    const unsigned before = staged_;
+    if (!flush_locked()) return;  // kernel backpressure: reaper retries
+    if (pending_.empty() || staged_ == before) return;
+  }
+}
+
+bool uring_backend::flush_locked() {
+  if (staged_ == 0) return true;
   if (obs::metrics_on()) sqe_batch_hist().record(staged_);
   if (sqpoll_) {
     // The kernel poller consumes published SQEs on its own; enter() is only
-    // needed to wake it from a nap.
-    if (__atomic_load_n(sq_flags_, __ATOMIC_ACQUIRE) & IORING_SQ_NEED_WAKEUP)
-      enter(0, 0, IORING_ENTER_SQ_WAKEUP);
+    // needed to wake it from a nap. The fence orders our tail publish
+    // (release store in write_sqe_locked) against the flags load: without
+    // it, StoreLoad reordering lets us read a stale cleared flag while the
+    // poller is going to sleep after setting it — the SQEs would never be
+    // consumed. Same barrier liburing issues before this check.
+    __atomic_thread_fence(__ATOMIC_SEQ_CST);
+    if (__atomic_load_n(sq_flags_, __ATOMIC_RELAXED) & IORING_SQ_NEED_WAKEUP)
+      enter(staged_, 0, IORING_ENTER_SQ_WAKEUP);
     kernel_inflight_ += staged_;
     staged_ = 0;
-    return;
+    return true;
   }
   while (staged_ > 0) {
     const int r = enter(staged_, 0, 0);
     if (r < 0) {
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EBUSY) {
-        // CQ backpressure: the reaper will drain it; yield and retry.
-        std::this_thread::yield();
-        continue;
+        // Kernel backpressure. Do NOT spin here: the caller may hold
+        // ring_mtx_ on a submit path, and the reaper needs that mutex to
+        // drain completions and make room. Leave the SQEs staged; the
+        // reaper retries once completions (or a timeout) arrive.
+        return false;
       }
-      throw io_error("io_uring_enter(submit) failed", "", 0, 0, errno);
+      fail_staged_locked(errno);
+      return true;
     }
     kernel_inflight_ += static_cast<unsigned>(r);
     staged_ -= static_cast<unsigned>(r);
   }
+  return true;
+}
+
+void uring_backend::fail_staged_locked(int err) {
+  FLASHR_WARN("uring: io_uring_enter(submit) failed (errno %d); failing %u "
+              "staged request segment(s)",
+              err, staged_);
+  // The failed enter() consumed nothing, so entries [head, tail) are
+  // exactly the staged SQEs. Read their ops back, roll the tail back to
+  // unpublish them, and fail each through a synthetic CQE so the normal
+  // escalation path (deferred errors, pass cancellation) handles it.
+  const unsigned head = __atomic_load_n(sq_head_, __ATOMIC_ACQUIRE);
+  const unsigned tail = __atomic_load_n(sq_tail_, __ATOMIC_RELAXED);
+  const struct io_uring_sqe* sqes =
+      static_cast<const struct io_uring_sqe*>(sqes_ptr_);
+  for (unsigned i = head; i != tail; ++i) {
+    const struct io_uring_sqe& s = sqes[sq_array_[i & *sq_mask_]];
+    synth_.push_back(cqe_ev{
+        reinterpret_cast<seg_op*>(static_cast<std::uintptr_t>(s.user_data)),
+        -err});
+  }
+  __atomic_store_n(sq_tail_, head, __ATOMIC_RELEASE);
+  staged_ = 0;
 }
 
 void uring_backend::submit_request(uring_request* req) {
@@ -380,12 +485,9 @@ void uring_backend::submit_request(uring_request* req) {
       if (sr != kNoSynth)
         synth_.push_back(cqe_ev{&op, sr});
       else
-        stage_locked(&op);
+        pending_.push_back(&op);
     }
-    // Batched submission with a progress guarantee: flush when a dispatch
-    // batch has accumulated, or when the kernel has nothing from us yet
-    // (otherwise nothing would ever wake the reaper's CQE wait).
-    if (staged_ >= batch_ || kernel_inflight_ == 0) flush_locked();
+    pump_locked(false);
   }
   cv_work_.notify_one();
 }
@@ -473,6 +575,7 @@ void uring_backend::handle_event(seg_op* op, int res, bool from_kernel,
   auto& stats = io_stats::global();
   bool seg_done = false;
   bool restage = false;
+  bool backoff = false;
   if (res < 0) {
     const int e = -res;
     if (e == EINTR) {
@@ -482,13 +585,11 @@ void uring_backend::handle_event(seg_op* op, int res, bool from_kernel,
                op->attempt < conf().io_max_retries) {
       ++op->attempt;
       stats.retries.fetch_add(1, std::memory_order_relaxed);
-      // Backoff on the reaper, outside ring_mtx_, so submitters and the
-      // kernel stay free to make progress while we wait out the glitch.
-      io_retry::backoff_sleep(
-          op->attempt,
-          static_cast<std::uint64_t>(op->seg.file_off) ^
-              (static_cast<std::uint64_t>(op->seg.len) << 32));
+      // Backoff runs on the dispatch pool, never on the reaper: one
+      // segment waiting out a glitch must not delay harvesting, delivery
+      // and resubmission of every other in-flight request.
       restage = true;
+      backoff = true;
     } else {
       if (!req->err)
         req->err = std::make_exception_ptr(io_error(
@@ -520,14 +621,33 @@ void uring_backend::handle_event(seg_op* op, int res, bool from_kernel,
       restage = true;  // short transfer: resubmit the remainder
   }
   if (restage) {
-    // A resubmission is one more "syscall": consult the injection schedule
-    // again, so a persistent plan (prob = 1.0) keeps firing until the retry
-    // budget escalates — exactly like the shim-based path, where every
-    // retry goes back through fault_pread/fault_pwrite.
-    const fault_io_decision d =
-        req->is_write ? fault_next_write_submit(op->seg.len - op->done)
-                      : fault_next_read_submit(op->seg.len - op->done);
-    req->sleep_us += d.sleep_us;
+    if (backoff) {
+      enqueue_dispatch([this, op] {
+        io_retry::backoff_sleep(
+            op->attempt,
+            static_cast<std::uint64_t>(op->seg.file_off) ^
+                (static_cast<std::uint64_t>(op->seg.len) << 32));
+        resubmit(op);
+      });
+    } else {
+      resubmit(op);
+    }
+  }
+  if (seg_done && --req->remaining == 0) finished.push_back(req);
+}
+
+void uring_backend::resubmit(seg_op* op) {
+  // A resubmission is one more "syscall": consult the injection schedule
+  // again, so a persistent plan (prob = 1.0) keeps firing until the retry
+  // budget escalates — exactly like the shim-based path, where every
+  // retry goes back through fault_pread/fault_pwrite. Consulted BEFORE
+  // taking ring_mtx_ (the injector's plan lock ranks below it).
+  uring_request* req = op->req;
+  const fault_io_decision d =
+      req->is_write ? fault_next_write_submit(op->seg.len - op->done)
+                    : fault_next_read_submit(op->seg.len - op->done);
+  req->sleep_us += d.sleep_us;
+  {
     mutex_lock lock(ring_mtx_);
     if (d.err != 0) {
       synth_.push_back(cqe_ev{op, -d.err});
@@ -535,16 +655,19 @@ void uring_backend::handle_event(seg_op* op, int res, bool from_kernel,
       synth_.push_back(cqe_ev{op, 0});
     } else {
       if (d.short_io && req->is_write) op->short_trim = true;
-      stage_locked(op);
-      if (staged_ >= batch_ || kernel_inflight_ == 0) flush_locked();
+      pending_.push_back(op);
+      pump_locked(false);
     }
   }
-  if (seg_done && --req->remaining == 0) finished.push_back(req);
+  // A dispatch-pool resubmission must wake a reaper parked in cv_work_
+  // (synthetic CQEs, or staged work the pump could not flush yet).
+  cv_work_.notify_one();
 }
 
 void uring_backend::deliver(uring_request* req) {
-  if (req->sleep_us > 0)
-    std::this_thread::sleep_for(std::chrono::microseconds(req->sleep_us));
+  const int sleep_us = req->sleep_us.load(std::memory_order_relaxed);
+  if (sleep_us > 0)
+    std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
   // The emulated-SSD throughput throttle is charged at completion (the
   // submit path may run under the prefetch-window mutex, where sleeping
   // would stall every worker).
@@ -592,6 +715,28 @@ void uring_backend::deliver(uring_request* req) {
   delete req;
 }
 
+void uring_backend::enqueue_dispatch(std::function<void()> task) {
+  {
+    mutex_lock lock(dispatch_mtx_);
+    dispatch_q_.push_back(std::move(task));
+  }
+  cv_dispatch_.notify_one();
+}
+
+void uring_backend::dispatch_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      mutex_lock lock(dispatch_mtx_);
+      while (dispatch_q_.empty() && !dispatch_stop_) cv_dispatch_.wait(lock);
+      if (dispatch_q_.empty()) return;  // stop requested and fully drained
+      task = std::move(dispatch_q_.front());
+      dispatch_q_.pop_front();
+    }
+    task();
+  }
+}
+
 void uring_backend::reaper_loop() {
   std::vector<cqe_ev> synth;
   std::vector<uring_request*> finished;
@@ -601,13 +746,29 @@ void uring_backend::reaper_loop() {
     {
       mutex_lock lock(ring_mtx_);
       for (;;) {
-        if (staged_ > 0) flush_locked();
+        pump_locked(true);
         if (!synth_.empty() || kernel_inflight_ > 0) break;
         if (stop_ && live_reqs_ == 0) return;
-        cv_work_.wait(lock);
+        if (staged_ > 0 || !pending_.empty()) {
+          // Kernel backpressure (EAGAIN/EBUSY flush) with nothing in
+          // flight to block on: retry the flush after a beat instead of
+          // spinning or sleeping forever.
+          cv_work_.wait_for(lock, std::chrono::milliseconds(1));
+        } else {
+          cv_work_.wait(lock);
+        }
       }
       synth.swap(synth_);
       kernel_pending = kernel_inflight_ > 0;
+      if (!overflow_warned_ &&
+          __atomic_load_n(cq_overflow_, __ATOMIC_RELAXED) != 0) {
+        // Should be impossible: pump_locked bounds in-flight SQEs to the CQ
+        // capacity. If it ever fires, the bound is broken somewhere.
+        overflow_warned_ = true;
+        FLASHR_WARN("uring: CQ overflow counter is %u despite the in-flight "
+                    "bound; completions may be delayed or dropped",
+                    __atomic_load_n(cq_overflow_, __ATOMIC_RELAXED));
+      }
     }
 
     // Synthetic (injected) completions never involve the kernel; apply them
@@ -638,16 +799,23 @@ void uring_backend::reaper_loop() {
       n = pop_cqes(cqes, kReapBatch);
     }
 
-    // Dispatch finished requests with no ring state held: completion
-    // callbacks take the prefetch-window mutex (rank 500 < uring_ring 610),
-    // so delivering under ring_mtx_ would invert the lock order.
-    for (uring_request* req : finished) deliver(req);
-    if (!finished.empty()) {
-      const int done = static_cast<int>(finished.size());
-      finished.clear();
-      mutex_lock lock(ring_mtx_);
-      live_reqs_ -= done;
-    }
+    // Hand finished requests to the dispatch pool with no ring state held:
+    // delivery blocks (throughput throttle, injected latency) and its
+    // callbacks take the prefetch-window mutex (rank 500 < uring_ring
+    // 610), so it must run neither under ring_mtx_ nor on the reaper. The
+    // request stays counted in live_reqs_ until delivered, which is what
+    // lets the destructor join the reaper only after every delivery ran.
+    for (uring_request* req : finished)
+      enqueue_dispatch([this, req] {
+        deliver(req);
+        bool last;
+        {
+          mutex_lock lock(ring_mtx_);
+          last = --live_reqs_ == 0;
+        }
+        if (last) cv_work_.notify_all();
+      });
+    finished.clear();
   }
 }
 

@@ -2,14 +2,21 @@
 //
 // The paper's SAFS layer issues asynchronous direct I/O against the SSD
 // array; this backend is the native-Linux equivalent of that submission
-// path. One io_uring instance serves the whole engine: submitters stage
-// SQEs — one per SAFS stripe segment of a request — under a dedicated ring
-// mutex and hand them to the kernel in batches (a single io_uring_enter per
-// dispatch batch, sized from the prefetch window), and one reaper thread
-// harvests CQEs, applies the same retry policy as the synchronous safs path
-// (io_retry), and drives the engine's existing completion machinery:
-// prefetch-pipeline notify callbacks, read futures, and the base class's
-// backend-agnostic write-budget release.
+// path. One io_uring instance serves the whole engine: submitters enqueue
+// one op per SAFS stripe segment of a request under a dedicated ring
+// mutex, and pump_locked() moves ops into the SQ and hands them to the
+// kernel in batches (a single io_uring_enter per dispatch batch, sized
+// from the prefetch window). Ops the ring has no room for wait in a
+// pending queue — never in a spin loop — so kernel-in-flight SQEs are
+// hard-bounded to the CQ capacity and the completion queue can never
+// overflow, on any kernel, with or without IORING_FEAT_NODROP. One reaper
+// thread harvests CQEs, applies the same retry policy as the synchronous
+// safs path (io_retry), and hands finished requests to a small
+// completion-dispatch pool that runs the engine's existing completion
+// machinery — prefetch-pipeline notify callbacks, read futures, the base
+// class's backend-agnostic write-budget release, throughput-throttle
+// charges and injected latency — so one request's stall never delays
+// harvesting or delivery of the others.
 //
 // Zero-copy reads: the buffer pool carves its hot buffers from one
 // contiguous arena (mem/buffer_pool.h) which this backend registers with
@@ -26,6 +33,8 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -102,27 +111,56 @@ class uring_backend final : public io_backend {
   void submit_request(uring_request* req);
 
   /// Write one SQE for the next unfinished piece of `op` and publish the SQ
-  /// tail. Flushes first when the SQ is full.
-  void stage_locked(seg_op* op) REQUIRES(ring_mtx_);
+  /// tail. Caller (pump_locked) guarantees SQ space and CQ budget.
+  void write_sqe_locked(seg_op* op) REQUIRES(ring_mtx_);
+  /// Move pending ops into the SQ while there is room — SQ space AND the
+  /// hard in-flight bound `staged_ + kernel_inflight_ < cq_entries_`, which
+  /// is what makes CQ overflow impossible — then hand batches to the
+  /// kernel per the flush policy. Never blocks, never spins: ops the ring
+  /// cannot take yet stay in `pending_` for the reaper to retry.
+  void pump_locked(bool force_flush) REQUIRES(ring_mtx_);
   /// Hand all staged SQEs to the kernel (one io_uring_enter; with SQPOLL,
-  /// at most a wakeup). Records the batch-size histogram.
-  void flush_locked() REQUIRES(ring_mtx_);
+  /// at most a wakeup). Records the batch-size histogram. Returns false on
+  /// kernel backpressure (EAGAIN/EBUSY) with the SQEs left staged — the
+  /// caller must NOT spin; the reaper retries after completions drain.
+  /// Never throws: a non-transient submit failure fails the staged ops
+  /// through fail_staged_locked instead.
+  bool flush_locked() REQUIRES(ring_mtx_);
+  /// Unpublish every staged-but-unconsumed SQE and convert each into a
+  /// synthetic failed completion (res = -err), feeding the normal
+  /// error-escalation path. Used when io_uring_enter rejects a submission
+  /// outright — throwing there would escape the reaper (std::terminate) or
+  /// corrupt live/inflight accounting on the submit path.
+  void fail_staged_locked(int err) REQUIRES(ring_mtx_);
   unsigned sq_space_locked() const REQUIRES(ring_mtx_);
+  /// Re-run the fault-injection schedule for the unfinished remainder of
+  /// `op` (a resubmission is one more "syscall") and queue it: synthetic
+  /// CQE on an injected fault, otherwise back through the pending queue.
+  /// Takes ring_mtx_ itself; called from the reaper and, after a backoff
+  /// sleep, from the dispatch pool.
+  void resubmit(seg_op* op);
 
   void reaper_loop();
+  /// Completion-dispatch pool worker: drains dispatch_q_ and runs each
+  /// task (deliver(), or a backoff sleep + resubmit). Keeping these off
+  /// the reaper means one request's throttle wait / injected latency /
+  /// retry backoff never delays harvesting or delivery of the rest.
+  void dispatch_loop();
+  void enqueue_dispatch(std::function<void()> task);
   /// Harvest up to `max` CQEs into `out`. Single consumer (the reaper);
   /// touches only the shared CQ ring with acquire/release atomics — never
   /// blocks, never allocates.
   std::size_t pop_cqes(cqe_ev* out, std::size_t max) noexcept
       FLASHR_NONBLOCKING;
-  /// Apply one completion event: retry/resubmit per the io_retry policy,
-  /// zero-fill premature EOFs, record errors; appends the request to
-  /// `finished` when its last segment completes.
+  /// Apply one completion event: retry/resubmit per the io_retry policy
+  /// (backoff sleeps run on the dispatch pool, not the reaper), zero-fill
+  /// premature EOFs, record errors; appends the request to `finished` when
+  /// its last segment completes.
   void handle_event(seg_op* op, int res, bool from_kernel,
                     std::vector<uring_request*>& finished);
-  /// Final delivery of a finished request on the reaper thread: injected
-  /// latency/stall, throughput throttle, stats, then the notify callback /
-  /// future / write-budget release. Frees the request.
+  /// Final delivery of a finished request on a dispatch-pool thread:
+  /// injected latency/stall, throughput throttle, stats, then the notify
+  /// callback / future / write-budget release. Frees the request.
   void deliver(uring_request* req);
 
   int enter(unsigned to_submit, unsigned min_complete, unsigned flags);
@@ -151,6 +189,10 @@ class uring_backend final : public io_backend {
   unsigned* cq_head_ = nullptr;
   unsigned* cq_tail_ = nullptr;
   unsigned* cq_mask_ = nullptr;
+  /// Kernel's CQ-overflow counter. The in-flight bound keeps it at zero by
+  /// construction; the reaper warns once if it ever moves (invariant
+  /// check, also covers pre-NODROP kernels where overflow would drop CQEs).
+  unsigned* cq_overflow_ = nullptr;
   void* cqes_ = nullptr;
 
   /// SQEs handed to the kernel per io_uring_enter; sized from the effective
@@ -159,13 +201,27 @@ class uring_backend final : public io_backend {
 
   // --- submission state ----------------------------------------------------
   mutable mutex ring_mtx_ LOCK_RANK(uring_ring);
-  /// Wakes the reaper: new work staged/synthesized, or shutdown.
+  /// Wakes the reaper: new work staged/synthesized, last delivery done, or
+  /// shutdown.
   cond_var cv_work_;
   unsigned staged_ GUARDED_BY(ring_mtx_) = 0;
   unsigned kernel_inflight_ GUARDED_BY(ring_mtx_) = 0;
+  /// Ops waiting for ring room (SQ space and the CQ-capacity bound). FIFO;
+  /// unbounded — backpressure on total outstanding I/O comes from the
+  /// prefetch window and the governor, exactly as for the thread pool's
+  /// request queue.
+  std::deque<seg_op*> pending_ GUARDED_BY(ring_mtx_);
   std::vector<cqe_ev> synth_ GUARDED_BY(ring_mtx_);
   int live_reqs_ GUARDED_BY(ring_mtx_) = 0;
   bool stop_ GUARDED_BY(ring_mtx_) = false;
+  bool overflow_warned_ GUARDED_BY(ring_mtx_) = false;
+
+  // --- completion-dispatch pool --------------------------------------------
+  mutable mutex dispatch_mtx_ LOCK_RANK(uring_dispatch);
+  cond_var cv_dispatch_;
+  std::deque<std::function<void()>> dispatch_q_ GUARDED_BY(dispatch_mtx_);
+  bool dispatch_stop_ GUARDED_BY(dispatch_mtx_) = false;
+  std::vector<std::thread> dispatchers_;
 
   std::thread reaper_;
 };

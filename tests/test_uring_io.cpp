@@ -112,6 +112,44 @@ TEST_F(UringBackendTest, ParityWithThreadPoolInAllModes) {
   }
 }
 
+TEST_F(UringBackendTest, TinyRingSaturationStaysBoundedAndCorrect) {
+  // The smallest allowed ring (sq 8; the kernel gives cq = 2*sq = 16)
+  // against a pass that keeps far more than 16 segments outstanding: every
+  // submission overflows into the pending queue and the CQ-capacity
+  // in-flight bound engages constantly. Regression test for the
+  // CQ-overflow deadlock — submitters must park work instead of spinning
+  // on io_uring_enter under the ring mutex the reaper needs.
+  options o = base_options();
+  o.uring_queue_depth = 8;
+  init_uring(o);
+  const std::size_t n = 2000, cols = 7;
+  smat h = host_input(n, cols);
+  dense_matrix x = em_input(h);
+  smat got = conv_store(x * 2.0 + 1.0, storage::ext_mem).to_smat();
+  for (std::size_t j = 0; j < cols; ++j)
+    for (std::size_t i = 0; i < n; ++i)
+      ASSERT_NEAR(got(i, j), h(i, j) * 2.0 + 1.0, 1e-12) << i << "," << j;
+}
+
+TEST_F(UringBackendTest, SqpollRunsOrDowngradesGracefully) {
+  // With SQPOLL the submitter publishes SQEs for a kernel poller thread and
+  // only issues a wakeup when the poller napped (the seq_cst-fenced
+  // NEED_WAKEUP check). Kernels/permissions that refuse SQPOLL, or lack
+  // IORING_FEAT_SQPOLL_NONFIXED (we submit raw fds), downgrade to plain
+  // submission — either way the pass must complete correctly.
+  options o = base_options();
+  o.uring_sqpoll = true;
+  o.uring_queue_depth = 32;
+  init_uring(o);
+  const std::size_t n = 1000, cols = 7;
+  smat h = host_input(n, cols);
+  dense_matrix x = em_input(h);
+  smat got = conv_store(x - 4.0, storage::ext_mem).to_smat();
+  for (std::size_t j = 0; j < cols; ++j)
+    for (std::size_t i = 0; i < n; ++i)
+      ASSERT_NEAR(got(i, j), h(i, j) - 4.0, 1e-12) << i << "," << j;
+}
+
 // ---------------------------------------------------------------------------
 // Fault injection through the ring (synthetic CQEs, res < 0 retry path)
 // ---------------------------------------------------------------------------
