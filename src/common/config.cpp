@@ -9,6 +9,7 @@
 
 #include "common/error.h"
 #include "common/log.h"
+#include "obs/incident.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
 #include "obs/stats_server.h"
@@ -78,6 +79,9 @@ void options::validate() const {
                "obs_profile_history must be >= 1");
   FLASHR_CHECK(obs_http_port >= -1 && obs_http_port <= 65535,
                "obs_http_port must be -1 (off) or a port number");
+  FLASHR_CHECK(obs_flight_secs >= 1, "obs_flight_secs must be >= 1");
+  FLASHR_CHECK(incident_max_bundles >= 1,
+               "incident_max_bundles must be >= 1");
   FLASHR_CHECK(uring_queue_depth >= 8 && uring_queue_depth <= 32768,
                "uring_queue_depth must be in [8, 32768]");
 }
@@ -116,6 +120,17 @@ void init(const options& opts) {
       env != nullptr && *env != '\0') {
     g_options.obs_http_port = std::atoi(env);
   }
+  // FLASHR_FLIGHT=0 disables the always-on flight recorder; any other value
+  // (or unset) leaves it on.
+  if (const char* env = std::getenv("FLASHR_FLIGHT");
+      env != nullptr && *env != '\0') {
+    g_options.obs_flight = std::string_view(env) != "0";
+  }
+  // FLASHR_INCIDENT_DIR=<dir> arms incident bundles + the crash handler.
+  if (const char* env = std::getenv("FLASHR_INCIDENT_DIR");
+      env != nullptr && *env != '\0') {
+    g_options.incident_dir = env;
+  }
   // FLASHR_IO_BACKEND=threads|uring|auto selects the async I/O backend
   // (CI runs the whole suite under `uring` this way).
   if (const char* env = std::getenv("FLASHR_IO_BACKEND");
@@ -140,6 +155,7 @@ void init(const options& opts) {
       FLASHR_WARN("FLASHR_LOG_LEVEL: unknown level '%s' (ignored)", env);
   }
   obs::set_trace_enabled(g_options.obs_trace);
+  obs::set_flight_enabled(g_options.obs_flight);
   obs::set_metrics_enabled(g_options.obs_metrics);
   obs::set_profile_enabled(g_options.obs_profile);
   if (g_options.obs_http_port >= 0)
@@ -154,6 +170,14 @@ void init(const options& opts) {
     (void)registered;
   }
   g_initialized = true;
+  // Incident subsystem last, after g_initialized: the monitor thread reads
+  // conf(), which must not re-enter init(). Counters register even while
+  // disarmed so /metrics always exports flashr_incident_*.
+  obs::incident_register_metrics();
+  if (!g_options.incident_dir.empty())
+    obs::incident_arm(g_options.incident_dir);
+  else
+    obs::incident_disarm();
   FLASHR_DEBUG("initialized: threads=%d io_threads=%d part_rows=%zu mode=%s",
                g_options.num_threads, g_options.io_threads,
                g_options.io_part_rows, exec_mode_name(g_options.mode));

@@ -212,6 +212,25 @@ struct options {
   /// obs::stats_server::global().port()). Also set by FLASHR_HTTP=<port>.
   /// -1 (default) = no server.
   int obs_http_port = -1;
+  /// Keep the always-on flight recorder retaining the last seconds of spans
+  /// and instants per thread in small fixed rings (obs/trace.h), independent
+  /// of obs_trace, so incident bundles and crash dumps always have a tail to
+  /// show. Default ON (the cost is the same relaxed-load gate tracing pays
+  /// plus ~64 KiB per thread); FLASHR_FLIGHT=0 disables it.
+  bool obs_flight = true;
+  /// Flight-recorder window included in incident bundles, seconds. The
+  /// rings are bounded by capacity, not time; this only bounds how far back
+  /// a bundle reaches.
+  int obs_flight_secs = 30;
+  /// When non-empty, arm the incident subsystem (obs/incident.h): watchdog
+  /// trips, governor escalations, invariant/lock-rank aborts, exhausted I/O
+  /// retries and SIGUSR2 each drop a JSON post-mortem bundle here, and the
+  /// crash handler dumps raw black-box state on SIGSEGV/SIGBUS/SIGABRT/
+  /// SIGFPE. Also set by FLASHR_INCIDENT_DIR.
+  std::string incident_dir;
+  /// Incident bundles retained in incident_dir; the oldest are pruned.
+  /// Crash dumps are never pruned.
+  int incident_max_bundles = 16;
 
   void validate() const;
 };

@@ -4,84 +4,200 @@
 // rank is not strictly greater than everything held is a latent deadlock
 // and aborts immediately with both lock names.
 //
-// The stack is a fixed-size thread_local array: no allocation (the checker
-// runs inside mutex::lock, including from async-I/O completion contexts
-// where allocating would itself break the nonblocking rule) and no
-// destruction-order hazards at thread exit. Depth 16 is 4x the deepest
-// chain the engine can form (watchdog -> prefetch window is 2; the stats
-// path peaks at 3).
+// The per-thread stacks live in a fixed global registry of atomic records
+// rather than plain thread_locals, so incident diagnostics can snapshot
+// EVERY thread's held ranks (held_ranks_all_threads, /debug/stacks, crash
+// dumps) without any locking. A thread claims a registry slot on first use
+// (CAS on the tid field) and releases it at thread exit; the owning thread
+// is the only writer of its record, so its own reads/writes are plain
+// relaxed atomics and the checker's fast path stays allocation- and
+// lock-free (it runs inside mutex::lock, including from async-I/O
+// completion contexts). Cross-thread snapshot reads are relaxed too: a
+// concurrently mutating stack may read momentarily inconsistent, which is
+// acceptable for diagnostics. Depth 16 is 4x the deepest chain the engine
+// can form (watchdog -> prefetch window is 2; the stats path peaks at 3).
 
 #include "common/thread_safety.h"
 
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <atomic>
 #include <cstdio>
 
 #include "common/error.h"
+#include "common/raw_sink.h"
 
 namespace flashr::detail {
 
 namespace {
 
-struct held_entry {
-  const void* m;
-  const lock_rank::rank_t* rank;
+constexpr int kMaxHeld = 16;
+constexpr int kMaxThreads = 256;
+
+static_assert(sizeof(thread_ranks::values) / sizeof(int) == kMaxHeld,
+              "thread_ranks arrays must match the checker's stack depth");
+
+struct rank_rec {
+  std::atomic<unsigned> tid{0};  ///< OS thread id; 0 = free slot
+  std::atomic<int> depth{0};
+  std::atomic<const void*> m[kMaxHeld] = {};
+  std::atomic<const lock_rank::rank_t*> rank[kMaxHeld] = {};
 };
 
-constexpr int kMaxHeld = 16;
+rank_rec g_recs[kMaxThreads];
 
-thread_local held_entry t_held[kMaxHeld];
-thread_local int t_depth = 0;
+unsigned os_tid() noexcept {
+  return static_cast<unsigned>(::syscall(SYS_gettid));
+}
+
+struct tls_slot {
+  rank_rec* rec = nullptr;
+  bool registered = false;
+  ~tls_slot() {
+    if (rec != nullptr && registered) {
+      rec->depth.store(0, std::memory_order_relaxed);
+      rec->tid.store(0, std::memory_order_release);  // slot becomes reusable
+    }
+  }
+};
+
+thread_local tls_slot t_slot;
+
+rank_rec& local_rec() noexcept {
+  if (t_slot.rec == nullptr) {
+    const unsigned tid = os_tid();
+    for (int i = 0; i < kMaxThreads; ++i) {
+      unsigned expect = 0;
+      if (g_recs[i].tid.compare_exchange_strong(expect, tid,
+                                                std::memory_order_acq_rel)) {
+        t_slot.rec = &g_recs[i];
+        t_slot.registered = true;
+        return *t_slot.rec;
+      }
+    }
+    // Registry full (> kMaxThreads concurrent threads): rank checking still
+    // works through a private record; the thread is just invisible to
+    // cross-thread snapshots.
+    static thread_local rank_rec overflow;
+    overflow.tid.store(tid, std::memory_order_relaxed);
+    t_slot.rec = &overflow;
+  }
+  return *t_slot.rec;
+}
 
 }  // namespace
 
 void rank_check(const void* m, const lock_rank::rank_t& r) {
-  for (int i = 0; i < t_depth; ++i) {
-    if (t_held[i].m == m) {
+  rank_rec& rec = local_rec();
+  const int depth = rec.depth.load(std::memory_order_relaxed);
+  for (int i = 0; i < depth; ++i) {
+    const lock_rank::rank_t* held = rec.rank[i].load(std::memory_order_relaxed);
+    if (rec.m[i].load(std::memory_order_relaxed) == m) {
       char msg[160];
       std::snprintf(msg, sizeof(msg),
                     "recursive lock of '%s' (rank %d) on the same thread",
                     r.name, r.value);
       assert_fail("lock rank order", "thread_safety.h", 0, msg);
     }
-    if (t_held[i].rank->value >= r.value) {
+    if (held->value >= r.value) {
       char msg[160];
       std::snprintf(
           msg, sizeof(msg),
           "lock rank inversion: acquiring '%s' (rank %d) while holding "
           "'%s' (rank %d); ranks must strictly increase",
-          r.name, r.value, t_held[i].rank->name, t_held[i].rank->value);
+          r.name, r.value, held->name, held->value);
       assert_fail("lock rank order", "thread_safety.h", 0, msg);
     }
   }
 }
 
 void rank_note(const void* m, const lock_rank::rank_t& r) {
-  if (t_depth >= kMaxHeld) {
+  rank_rec& rec = local_rec();
+  const int depth = rec.depth.load(std::memory_order_relaxed);
+  if (depth >= kMaxHeld) {
     char msg[96];
     std::snprintf(msg, sizeof(msg),
                   "held-lock stack overflow (%d ranked locks) at '%s'",
-                  t_depth, r.name);
+                  depth, r.name);
     assert_fail("lock rank depth", "thread_safety.h", 0, msg);
   }
-  t_held[t_depth].m = m;
-  t_held[t_depth].rank = &r;
-  ++t_depth;
+  rec.m[depth].store(m, std::memory_order_relaxed);
+  rec.rank[depth].store(&r, std::memory_order_relaxed);
+  // Entries first, then the count: a relaxed cross-thread reader sees a
+  // prefix that was valid at some point, never an uninitialized slot.
+  rec.depth.store(depth + 1, std::memory_order_release);
 }
 
 void rank_forget(const void* m) noexcept {
+  if (t_slot.rec == nullptr) return;  // nothing ever noted on this thread
+  rank_rec& rec = *t_slot.rec;
+  const int depth = rec.depth.load(std::memory_order_relaxed);
   // Last occurrence, scanned from the top: unlocks are LIFO in practice,
   // and a mutex locked while the gate was off is simply absent (no-op).
-  for (int i = t_depth - 1; i >= 0; --i) {
-    if (t_held[i].m != m) continue;
-    for (int j = i; j + 1 < t_depth; ++j) t_held[j] = t_held[j + 1];
-    --t_depth;
+  for (int i = depth - 1; i >= 0; --i) {
+    if (rec.m[i].load(std::memory_order_relaxed) != m) continue;
+    for (int j = i; j + 1 < depth; ++j) {
+      rec.m[j].store(rec.m[j + 1].load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+      rec.rank[j].store(rec.rank[j + 1].load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+    }
+    rec.depth.store(depth - 1, std::memory_order_release);
     return;
   }
 }
 
 int held_ranks(int* out, int max) noexcept {
-  const int n = t_depth < max ? t_depth : max;
-  for (int i = 0; i < n; ++i) out[i] = t_held[i].rank->value;
-  return t_depth;
+  if (t_slot.rec == nullptr) return 0;
+  rank_rec& rec = *t_slot.rec;
+  const int depth = rec.depth.load(std::memory_order_relaxed);
+  const int n = depth < max ? depth : max;
+  for (int i = 0; i < n; ++i)
+    out[i] = rec.rank[i].load(std::memory_order_relaxed)->value;
+  return depth;
+}
+
+int held_ranks_all_threads(thread_ranks* out, int max) noexcept {
+  int n = 0;
+  for (int i = 0; i < kMaxThreads && n < max; ++i) {
+    const unsigned tid = g_recs[i].tid.load(std::memory_order_acquire);
+    if (tid == 0) continue;
+    int depth = g_recs[i].depth.load(std::memory_order_relaxed);
+    if (depth < 0) depth = 0;
+    if (depth > kMaxHeld) depth = kMaxHeld;
+    thread_ranks& tr = out[n];
+    tr.tid = tid;
+    tr.depth = 0;
+    for (int j = 0; j < depth; ++j) {
+      const lock_rank::rank_t* r =
+          g_recs[i].rank[j].load(std::memory_order_relaxed);
+      if (r == nullptr) break;  // torn snapshot of a growing stack
+      tr.values[tr.depth] = r->value;
+      tr.names[tr.depth] = r->name;
+      ++tr.depth;
+    }
+    ++n;
+  }
+  return n;
+}
+
+FLASHR_SIGNAL_SAFE void rank_dump_raw(raw_sink& sink) noexcept {
+  // Static snapshot buffer: the crash path must not grow the stack, and the
+  // dump-once guard in crash_handler.cpp means a single writer.
+  static thread_ranks snap[kMaxThreads];
+  const int n = held_ranks_all_threads(snap, kMaxThreads);
+  std::uint64_t len = 4;
+  for (int i = 0; i < n; ++i)
+    len += 8 + 4u * static_cast<unsigned>(snap[i].depth);
+  sink_tag(sink, "RANK", len);
+  sink_u32(sink, static_cast<std::uint32_t>(n));
+  for (int i = 0; i < n; ++i) {
+    sink_u32(sink, snap[i].tid);
+    sink_u32(sink, static_cast<std::uint32_t>(snap[i].depth));
+    for (int j = 0; j < snap[i].depth; ++j)
+      sink_u32(sink, static_cast<std::uint32_t>(snap[i].values[j]));
+  }
 }
 
 }  // namespace flashr::detail

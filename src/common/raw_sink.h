@@ -1,0 +1,82 @@
+// Async-signal-safe buffered writer over a raw fd, shared by every
+// crash-path dumper (obs/crash_handler.cpp orchestrates; trace.cpp,
+// log.cpp and lock_rank.cpp each dump their own section through it).
+//
+// Everything here is on the FLASHR_SIGNAL_SAFE path: no allocation, no
+// locks, no stdio — just memcpy into a fixed buffer and ::write() to a
+// pre-opened fd. The section framing it emits is the crash-dump binary
+// format documented in obs/crash_handler.h; sink_tag writes one section
+// header (4-byte tag + u64 payload length, little-endian).
+#pragma once
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#include "common/thread_safety.h"
+
+namespace flashr {
+
+struct raw_sink {
+  int fd = -1;
+  std::size_t n = 0;
+  char buf[4096];
+};
+
+void sink_flush(raw_sink& s) noexcept FLASHR_SIGNAL_SAFE;
+void sink_put(raw_sink& s, const void* p, std::size_t len) noexcept
+    FLASHR_SIGNAL_SAFE;
+void sink_u32(raw_sink& s, std::uint32_t v) noexcept FLASHR_SIGNAL_SAFE;
+void sink_u64(raw_sink& s, std::uint64_t v) noexcept FLASHR_SIGNAL_SAFE;
+/// Section header: 4-byte ASCII tag + u64 payload byte count.
+void sink_tag(raw_sink& s, const char tag[4], std::uint64_t len) noexcept
+    FLASHR_SIGNAL_SAFE;
+
+inline void sink_flush(raw_sink& s) noexcept {
+  std::size_t off = 0;
+  while (off < s.n) {
+    const ssize_t w = ::write(s.fd, s.buf + off, s.n - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      break;  // dying anyway; a truncated dump beats a hang
+    }
+    if (w == 0) break;
+    off += static_cast<std::size_t>(w);
+  }
+  s.n = 0;
+}
+
+inline void sink_put(raw_sink& s, const void* p, std::size_t len) noexcept {
+  const char* src = static_cast<const char*>(p);
+  while (len > 0) {
+    if (s.n == sizeof(s.buf)) sink_flush(s);
+    std::size_t k = sizeof(s.buf) - s.n;
+    if (k > len) k = len;
+    std::memcpy(s.buf + s.n, src, k);
+    s.n += k;
+    src += k;
+    len -= k;
+  }
+}
+
+inline void sink_u32(raw_sink& s, std::uint32_t v) noexcept {
+  char b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  sink_put(s, b, 4);
+}
+
+inline void sink_u64(raw_sink& s, std::uint64_t v) noexcept {
+  char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  sink_put(s, b, 8);
+}
+
+inline void sink_tag(raw_sink& s, const char tag[4], std::uint64_t len) noexcept {
+  sink_put(s, tag, 4);
+  sink_u64(s, len);
+}
+
+}  // namespace flashr

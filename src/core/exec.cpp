@@ -26,6 +26,7 @@
 #include "matrix/generated_store.h"
 #include "matrix/mem_store.h"
 #include "mem/numa.h"
+#include "obs/incident.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
 #include "obs/trace.h"
@@ -518,6 +519,56 @@ std::atomic<std::uint64_t> g_zero_copy_total{0};
 mutex g_stats_mutex LOCK_RANK(pass_stats);
 pass_stats g_last_stats GUARDED_BY(g_stats_mutex);
 
+/// Live materializations (incident bundles, /debug/stacks). The table owns
+/// COPIES of the interesting pass_ctl fields, updated at registration and
+/// at every degrade step, so readers never touch a running pass's own state.
+struct active_pass {
+  std::uint64_t pass_id = 0;
+  std::uint64_t start_ns = 0;
+  std::uint64_t deadline_ms = 0;
+  exec_mode mode = exec_mode::cache_fuse;
+  std::string degrade;  ///< comma-joined ladder steps so far
+  std::size_t admission_waits = 0;
+};
+std::vector<active_pass> g_active GUARDED_BY(g_stats_mutex);
+
+void active_pass_register(std::uint64_t pass_id, std::uint64_t start_ns,
+                          std::uint64_t deadline_ms) {
+  active_pass p;
+  p.pass_id = pass_id;
+  p.start_ns = start_ns;
+  p.deadline_ms = deadline_ms;
+  p.mode = conf().mode;
+  mutex_lock lock(g_stats_mutex);
+  g_active.push_back(std::move(p));
+}
+
+void active_pass_degrade(std::uint64_t pass_id, const std::string& step) {
+  mutex_lock lock(g_stats_mutex);
+  for (active_pass& p : g_active) {
+    if (p.pass_id != pass_id) continue;
+    if (!p.degrade.empty()) p.degrade += ',';
+    p.degrade += step;
+    return;
+  }
+}
+
+void active_pass_note_wait(std::uint64_t pass_id) {
+  mutex_lock lock(g_stats_mutex);
+  for (active_pass& p : g_active)
+    if (p.pass_id == pass_id) ++p.admission_waits;
+}
+
+void active_pass_unregister(std::uint64_t pass_id) {
+  mutex_lock lock(g_stats_mutex);
+  for (auto it = g_active.begin(); it != g_active.end(); ++it) {
+    if (it->pass_id == pass_id) {
+      g_active.erase(it);
+      return;
+    }
+  }
+}
+
 /// Per-GenOp-kind kernel-time histograms, resolved once so the hot path
 /// costs an array index instead of a registry lookup.
 obs::histogram& kernel_hist(node_kind k) {
@@ -564,20 +615,9 @@ void register_pass_probes() {
       return static_cast<std::uint64_t>(g_last_stats.*field);
     });
   };
-  probe("pass.passes", &pass_stats::passes);
-  probe("pass.sequential_passes", &pass_stats::sequential_passes);
-  probe("pass.read_bytes", &pass_stats::read_bytes);
-  probe("pass.write_bytes", &pass_stats::write_bytes);
-  probe("pass.read_wait_ns", &pass_stats::read_wait_ns);
-  probe("pass.reads_issued", &pass_stats::reads_issued);
-  probe("pass.occupancy_x100", &pass_stats::occupancy_x100);
-  probe("pass.write_throttle_stalls", &pass_stats::write_throttle_stalls);
-  probe("pass.write_throttle_ns", &pass_stats::write_throttle_ns);
-  probe("pass.write_inflight_hwm", &pass_stats::write_inflight_hwm);
-  probe("pass.zero_copy_chunks", &pass_stats::zero_copy_chunks);
-  probe("pass.degrade_steps", &pass_stats::degrade_steps);
-  probe("pass.admission_waits", &pass_stats::admission_waits);
-  probe("pass.admission_wait_ns", &pass_stats::admission_wait_ns);
+#define FLASHR_PASS_STATS_PROBE(f) probe("pass." #f, &pass_stats::f);
+  FLASHR_PASS_STATS_FIELDS(FLASHR_PASS_STATS_PROBE)
+#undef FLASHR_PASS_STATS_PROBE
 }
 
 void pass_runner::allocate_outputs() {
@@ -1261,7 +1301,7 @@ void pass_runner::eval_virtual(thread_ctx& ctx, virtual_store* v,
 }
 
 void pass_runner::process_chunk(thread_ctx& ctx) {
-  OBS_SPAN_ARG("chunk", ctx.chunk_row0);
+  OBS_SPAN_HOT("chunk", ctx.chunk_row0);
   ++ctx.gen;
   // Tall outputs: evaluate and copy the chunk into the partition store.
   for (std::size_t i = 0; i < dag_.tall_outputs.size(); ++i) {
@@ -1494,7 +1534,10 @@ resource_governor::reservation admit_with_degradation(const dag_info& dag,
   const std::uint64_t pass_id = ctl != nullptr ? ctl->pass_id : 0;
   long depth = default_prefetch_depth();
   auto record_step = [&](std::string step) {
-    if (ctl != nullptr) ctl->degrade.push_back(std::move(step));
+    if (ctl != nullptr) {
+      active_pass_degrade(ctl->pass_id, step);
+      ctl->degrade.push_back(std::move(step));
+    }
     gov.count_degrade_step();
   };
   for (;;) {
@@ -1509,11 +1552,16 @@ resource_governor::reservation admit_with_degradation(const dag_info& dag,
     if (v == resource_governor::verdict::busy) {
       if (conf().governor_fail_fast) {
         gov.count_reject();
+        obs::incident_request(obs::incident_kind::governor_overload,
+                              "budget held by other passes (fail-fast)");
         throw overload_error(
             "resource budget held by other passes (fail-fast)", pass_id,
             fp.bytes, conf().mem_budget_bytes);
       }
       const std::uint64_t t0 = now_ns();
+      // Mark the wait BEFORE blocking: an incident bundle cut while this
+      // pass queues for budget should say so.
+      if (ctl != nullptr) active_pass_note_wait(ctl->pass_id);
       res = gov.admit(pass_id, fp,
                       ctl != nullptr ? ctl->deadline_ns : 0,
                       ctl != nullptr ? ctl->deadline_ms : 0);
@@ -1541,6 +1589,9 @@ resource_governor::reservation admit_with_degradation(const dag_info& dag,
         c = std::max<std::size_t>(16, std::bit_floor(dag.space.part_rows) / 2);
       if (c >= dag.space.part_rows) {
         gov.count_reject();
+        obs::incident_request(
+            obs::incident_kind::governor_overload,
+            "footprint exceeds the memory budget even fully degraded");
         throw overload_error(
             "pass footprint exceeds the memory budget even fully degraded",
             pass_id, fp.bytes, conf().mem_budget_bytes);
@@ -1555,6 +1606,9 @@ resource_governor::reservation admit_with_degradation(const dag_info& dag,
       gov.count_reject();
       const bool mem_exceeded = conf().mem_budget_bytes != 0 &&
                                 fp.bytes > conf().mem_budget_bytes;
+      obs::incident_request(
+          obs::incident_kind::governor_overload,
+          "footprint exceeds the resource budget even fully degraded");
       throw overload_error(
           "pass footprint exceeds the resource budget even fully degraded",
           pass_id, mem_exceeded ? fp.bytes : fp.inflight_io,
@@ -1619,27 +1673,44 @@ pass_stats last_pass_stats() {
 }
 
 std::string pass_stats::to_json() const {
-  char buf[640];
-  std::snprintf(
-      buf, sizeof(buf),
-      "{\"passes\": %zu, \"sequential_passes\": %zu, \"read_bytes\": %" PRIu64
-      ", \"write_bytes\": %" PRIu64 ", \"read_wait_ns\": %" PRIu64
-      ", \"reads_issued\": %zu, \"occupancy_x100\": %" PRIu64
-      ", \"write_throttle_stalls\": %zu, \"write_throttle_ns\": %" PRIu64
-      ", \"write_inflight_hwm\": %zu, \"zero_copy_chunks\": %zu"
-      ", \"degrade_steps\": %zu"
-      ", \"admission_waits\": %zu, \"admission_wait_ns\": %" PRIu64
-      ", \"degrade_path\": \"",
-      passes, sequential_passes, read_bytes, write_bytes, read_wait_ns,
-      reads_issued, occupancy_x100, write_throttle_stalls, write_throttle_ns,
-      write_inflight_hwm, zero_copy_chunks, degrade_steps, admission_waits,
-      admission_wait_ns);
-  // Ladder steps are [a-z0-9:>,-] only — no JSON escaping needed, but the
-  // path length is unbounded (one entry per halving), so append unbuffered.
-  std::string s = buf;
+  // Generated from the same X-macro the parity test expands: a field in the
+  // struct IS a key in the JSON, with no hand-maintained format string to
+  // fall behind (zero_copy_chunks, degrade_steps and degrade_path once did).
+  std::string s = "{";
+#define FLASHR_PASS_STATS_JSON(f)                                      \
+  s += "\"" #f "\": " +                                                \
+       std::to_string(static_cast<std::uint64_t>(f)) + ", ";
+  FLASHR_PASS_STATS_FIELDS(FLASHR_PASS_STATS_JSON)
+#undef FLASHR_PASS_STATS_JSON
+  // Ladder steps are [a-z0-9:>,-] only — no JSON escaping needed.
+  s += "\"degrade_path\": \"";
   s += degrade_path;
   s += "\"}";
   return s;
+}
+
+std::string active_passes_json() {
+  const std::uint64_t now = now_ns();
+  mutex_lock lock(g_stats_mutex);
+  std::string out = "[";
+  bool first = true;
+  for (const active_pass& p : g_active) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"pass_id\":" + std::to_string(p.pass_id);
+    out += ",\"start_ns\":" + std::to_string(p.start_ns);
+    out += ",\"elapsed_ns\":" +
+           std::to_string(now > p.start_ns ? now - p.start_ns : 0);
+    out += ",\"deadline_ms\":" + std::to_string(p.deadline_ms);
+    out += ",\"mode\":\"";
+    out += exec_mode_name(p.mode);
+    out += "\",\"degrade\":\"";
+    out += p.degrade;  // ladder steps: [a-z0-9:>,-], no escaping needed
+    out += "\",\"admission_waits\":" + std::to_string(p.admission_waits);
+    out += "}";
+  }
+  out += "]";
+  return out;
 }
 
 void materialize(const std::vector<matrix_store::ptr>& targets, storage st) {
@@ -1682,6 +1753,7 @@ void materialize(const std::vector<matrix_store::ptr>& targets, storage st,
   ctl.deadline_ns =
       ctl.deadline_ms != 0 ? ctl.start_ns + ctl.deadline_ms * 1000000ull : 0;
   ctl.stall_ms = conf().watchdog_stall_ms;
+  active_pass_register(ctl.pass_id, ctl.start_ns, ctl.deadline_ms);
 
   // Bracket the passes with global-counter snapshots so last_pass_stats()
   // reports this materialization's I/O only. Runs even when a pass throws:
@@ -1728,6 +1800,14 @@ void materialize(const std::vector<matrix_store::ptr>& targets, storage st,
       s.admission_wait_ns = ctl.admission_wait_ns;
       mutex_lock lock(g_stats_mutex);
       g_last_stats = s;
+      // This materialization is over (normally or by exception): drop its
+      // active-pass entry under the same lock that published its stats.
+      for (auto it = g_active.begin(); it != g_active.end(); ++it) {
+        if (it->pass_id == ctl.pass_id) {
+          g_active.erase(it);
+          break;
+        }
+      }
     }
   } finalize{ios, aio, rb0, wb0, zc0, th0, ctl};
 
@@ -1746,8 +1826,10 @@ void materialize(const std::vector<matrix_store::ptr>& targets, storage st,
         // strictly smaller. A single-node DAG would just re-fail with the
         // identical footprint — surface the overload instead.
         if (dag.order.size() <= 1) throw;
-        ctl.degrade.push_back(std::string("mode:") +
-                              exec_mode_name(conf().mode) + "->eager");
+        const std::string step =
+            std::string("mode:") + exec_mode_name(conf().mode) + "->eager";
+        active_pass_degrade(ctl.pass_id, step);
+        ctl.degrade.push_back(step);
         resource_governor::global().count_degrade_step();
         run_eager(dag, st, targets, &ctl);
       }

@@ -81,12 +81,46 @@ struct pass_stats {
   std::string to_json() const;
 };
 
+/// X-macro over every numeric pass_stats field, in declaration order.
+/// to_json(), the per-field metrics probes (exec.cpp) and the struct/JSON
+/// parity test (tests/test_incident.cpp) all expand this list; the
+/// static_assert below pins the struct layout so adding a field without
+/// extending the list fails to compile instead of silently missing from
+/// /passes and incident bundles.
+#define FLASHR_PASS_STATS_FIELDS(X) \
+  X(passes)                         \
+  X(sequential_passes)              \
+  X(read_bytes)                     \
+  X(write_bytes)                    \
+  X(read_wait_ns)                   \
+  X(reads_issued)                   \
+  X(occupancy_x100)                 \
+  X(write_throttle_stalls)          \
+  X(write_throttle_ns)              \
+  X(write_inflight_hwm)             \
+  X(zero_copy_chunks)               \
+  X(degrade_steps)                  \
+  X(admission_waits)                \
+  X(admission_wait_ns)
+
+static_assert(sizeof(pass_stats) ==
+                  14 * sizeof(std::uint64_t) + sizeof(std::string),
+              "pass_stats layout changed: update FLASHR_PASS_STATS_FIELDS "
+              "(degrade_path stays the one non-numeric field in to_json)");
+
 /// Stats of the most recent materialize() (global, not thread-local). Safe
 /// to call from any thread at any time: the snapshot is taken under a lock,
 /// so a call concurrent with a running materialize() returns a coherent
 /// copy — either the previous materialization's stats or the new ones,
 /// never a mix.
 pass_stats last_pass_stats();
+
+/// Materializations currently in flight, for incident bundles and the
+/// /debug/stacks route: a JSON array of
+/// {"pass_id","start_ns","elapsed_ns","deadline_ms","mode","degrade",
+///  "admission_waits"} — degrade is the ladder path taken SO FAR, so a
+/// bundle cut mid-pass shows how far the pass had already fallen back.
+std::string active_passes_json();
 
 /// Rows per Pcache chunk for a DAG whose widest matrix has `max_ncol`
 /// columns of `elem_bytes`-byte elements (exposed for tests).

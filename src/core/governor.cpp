@@ -4,9 +4,12 @@
 #include <chrono>
 #include <thread>
 
+#include <cstdio>
+
 #include "common/config.h"
 #include "common/error.h"
 #include "common/timer.h"
+#include "obs/incident.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -111,14 +114,18 @@ resource_governor::reservation resource_governor::admit(
   if ((mem_budget != 0 && fp.bytes > mem_budget) ||
       (io_budget != 0 && fp.inflight_io > io_budget)) {
     count_reject();
+    const bool mem = mem_budget != 0 && fp.bytes > mem_budget;
+    char detail[160];
+    std::snprintf(detail, sizeof(detail),
+                  "pass %llu footprint exceeds the budget (requested=%zu "
+                  "budget=%zu)",
+                  static_cast<unsigned long long>(pass_id),
+                  mem ? fp.bytes : fp.inflight_io,
+                  mem ? mem_budget : io_budget);
+    obs::incident_request(obs::incident_kind::governor_overload, detail);
     throw overload_error("pass footprint exceeds the resource budget",
-                         pass_id,
-                         mem_budget != 0 && fp.bytes > mem_budget
-                             ? fp.bytes
-                             : fp.inflight_io,
-                         mem_budget != 0 && fp.bytes > mem_budget
-                             ? mem_budget
-                             : io_budget);
+                         pass_id, mem ? fp.bytes : fp.inflight_io,
+                         mem ? mem_budget : io_budget);
   }
   const std::uint64_t t0 = now_ns();
   queue_wait_counter().add(1);
@@ -141,6 +148,15 @@ resource_governor::reservation resource_governor::admit(
       const std::uint64_t now = now_ns();
       if (now >= deadline_ns) {
         --queued_;
+        // Lock-free by design: gov_mtx_ is held right here.
+        char detail[160];
+        std::snprintf(detail, sizeof(detail),
+                      "pass %llu deadline expired queued for budget "
+                      "(waited_ms=%llu limit_ms=%llu)",
+                      static_cast<unsigned long long>(pass_id),
+                      static_cast<unsigned long long>((now - t0) / 1000000),
+                      static_cast<unsigned long long>(deadline_ms));
+        obs::incident_request(obs::incident_kind::governor_timeout, detail);
         throw timeout_error(
             "pass deadline expired while queued for the resource budget",
             pass_id, now - t0, deadline_ms);
@@ -348,17 +364,35 @@ void pass_watchdog::loop() {
       for (auto& [tok, e] : entries_) {
         const trip_decision d = check_entry(e, now);
         if (d.k == trip_decision::kind::none) continue;
+        // File the incident while wd_mtx_ is held — incident_request is
+        // lock-free precisely for trigger sites like this one.
+        char detail[160];
         if (d.k == trip_decision::kind::deadline) {
           err = std::make_exception_ptr(timeout_error(
               "pass deadline exceeded", e.pass_id, d.elapsed_ns,
               e.deadline_ms));
           deadline_trip_counter().add(1);
+          std::snprintf(detail, sizeof(detail),
+                        "watchdog: pass %llu deadline exceeded "
+                        "(elapsed_ms=%llu limit_ms=%llu)",
+                        static_cast<unsigned long long>(e.pass_id),
+                        static_cast<unsigned long long>(d.elapsed_ns /
+                                                        1000000),
+                        static_cast<unsigned long long>(e.deadline_ms));
         } else {
           err = std::make_exception_ptr(timeout_error(
               "hung I/O: reads in flight with no completion", e.pass_id,
               d.elapsed_ns, e.stall_ms));
           stall_trip_counter().add(1);
+          std::snprintf(detail, sizeof(detail),
+                        "watchdog: pass %llu hung I/O (stalled_ms=%llu "
+                        "bound_ms=%llu)",
+                        static_cast<unsigned long long>(e.pass_id),
+                        static_cast<unsigned long long>(d.elapsed_ns /
+                                                        1000000),
+                        static_cast<unsigned long long>(e.stall_ms));
         }
+        obs::incident_request(obs::incident_kind::watchdog_trip, detail);
         e.tripped = true;
         fire_tok = tok;
         cancel = e.cancel;

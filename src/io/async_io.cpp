@@ -120,6 +120,28 @@ void thread_pool_backend::submit_write(std::shared_ptr<safs_file> file,
   enqueue_write(std::move(req));
 }
 
+std::string thread_pool_backend::debug_snapshot() const {
+  // Sequential lock acquisition: read the queue under io_mtx_, release, then
+  // let the base read the budget under its own mutex — never nested, so the
+  // snapshot cannot invert async_queue (600) against io_write_budget (580).
+  std::size_t depth = 0;
+  bool stopping = false;
+  {
+    mutex_lock lock(io_mtx_);
+    depth = queue_.size();
+    stopping = stop_;
+  }
+  std::string s = "{\"name\": \"threads\"";
+  s += ", \"io_threads\": " + std::to_string(threads_.size());
+  s += ", \"queue_depth\": " + std::to_string(depth);
+  s += ", \"stopping\": ";
+  s += stopping ? "true" : "false";
+  s += ", \"last_completion_ns\": " + std::to_string(last_completion_ns());
+  s += ", \"write_budget\": " + write_budget_json();
+  s += "}";
+  return s;
+}
+
 void thread_pool_backend::io_loop() {
   for (;;) {
     request req;

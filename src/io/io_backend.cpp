@@ -83,4 +83,26 @@ void io_backend::reset_throttle_hwm() {
   write_hwm_bytes_ = inflight_write_bytes_;
 }
 
+std::string io_backend::write_budget_json() const {
+  mutex_lock lock(budget_mtx_);
+  std::string s = "{\"pending_writes\": " + std::to_string(pending_writes_);
+  s += ", \"inflight_write_bytes\": " + std::to_string(inflight_write_bytes_);
+  s += ", \"write_hwm_bytes\": " + std::to_string(write_hwm_bytes_);
+  s += ", \"throttle_stalls\": " + std::to_string(throttle_stalls_);
+  s += ", \"throttle_stall_ns\": " + std::to_string(throttle_stall_ns_);
+  s += ", \"write_error\": ";
+  s += write_error_ ? "true" : "false";
+  s += "}";
+  return s;
+}
+
+std::string io_backend::debug_snapshot() const {
+  std::string s = "{\"name\": \"";
+  s += name();
+  s += "\", \"last_completion_ns\": " + std::to_string(last_completion_ns());
+  s += ", \"write_budget\": " + write_budget_json();
+  s += "}";
+  return s;
+}
+
 }  // namespace flashr

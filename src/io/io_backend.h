@@ -22,6 +22,7 @@
 #include <functional>
 #include <future>
 #include <memory>
+#include <string>
 
 #include "common/thread_safety.h"
 #include "io/safs.h"
@@ -95,6 +96,13 @@ class io_backend {
   /// pass); stall counters are cumulative and diffed by the caller.
   void reset_throttle_hwm();
 
+  /// One JSON object describing backend internals for incident bundles and
+  /// the /debug routes: the base contributes name, the completion clock and
+  /// the write-budget accounting; backends override to append queue/ring
+  /// state (taking their own locks SEQUENTIALLY after the base's, never
+  /// nested, so the snapshot cannot invert lock ranks).
+  virtual std::string debug_snapshot() const;
+
   /// Timestamp (flashr::now_ns) of the most recent completed I/O request,
   /// read or write; 0 until the first completion. The hung-I/O watchdog
   /// (core/governor.h) compares this against a stalled pass's own
@@ -122,6 +130,10 @@ class io_backend {
 
   /// Stamp the watchdog's completion clock (any finished read or write).
   void stamp_completion() FLASHR_NONBLOCKING;
+
+  /// The write-budget section of debug_snapshot(), as one JSON object
+  /// (overrides embed it in their own snapshot).
+  std::string write_budget_json() const;
 
  private:
   mutable mutex budget_mtx_ LOCK_RANK(io_write_budget);

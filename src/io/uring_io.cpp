@@ -8,6 +8,7 @@
 
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 
 #include "common/config.h"
@@ -15,6 +16,7 @@
 #include "common/log.h"
 #include "common/timer.h"
 #include "io/fault.h"
+#include "obs/incident.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -263,14 +265,16 @@ void uring_backend::init_ring(int queue_depth, bool sqpoll) {
   if (nd > 4) nd = 4;
   dispatchers_.reserve(static_cast<std::size_t>(nd));
   for (int t = 0; t < nd; ++t)
-    dispatchers_.emplace_back([this] {
-      obs::set_thread_name("io-uring-disp");
+    dispatchers_.emplace_back([this, t] {
+      char name[16];
+      std::snprintf(name, sizeof(name), "uring-disp-%d", t);
+      obs::set_thread_name(name);
       obs::ensure_thread_ring();
       dispatch_loop();
     });
 
   reaper_ = std::thread([this] {
-    obs::set_thread_name("io-uring-reap");
+    obs::set_thread_name("uring-reap");
     // Completion callbacks may trace; registering the ring here keeps
     // emit()'s once-per-thread slow path out of the nonblocking context.
     obs::ensure_thread_ring();
@@ -302,6 +306,51 @@ uring_backend::~uring_backend() {
     ::munmap(cq_ring_ptr_, cq_ring_sz_);
   if (sq_ring_ptr_ != nullptr) ::munmap(sq_ring_ptr_, sq_ring_sz_);
   if (ring_fd_ >= 0) ::close(ring_fd_);
+}
+
+std::string uring_backend::debug_snapshot() const {
+  // Locks are taken SEQUENTIALLY — ring, then dispatch, then the base's
+  // budget — never nested: dispatch (605) ranks below ring (610), so
+  // nesting them here would invert the order the submit path establishes.
+  unsigned staged = 0, kernel_inflight = 0;
+  std::size_t pending = 0, synth = 0;
+  int live = 0;
+  bool overflow_warned = false;
+  {
+    mutex_lock lock(ring_mtx_);
+    staged = staged_;
+    kernel_inflight = kernel_inflight_;
+    pending = pending_.size();
+    synth = synth_.size();
+    live = live_reqs_;
+    overflow_warned = overflow_warned_;
+  }
+  std::size_t dispatch_depth = 0;
+  {
+    mutex_lock lock(dispatch_mtx_);
+    dispatch_depth = dispatch_q_.size();
+  }
+  std::string s = "{\"name\": \"uring\"";
+  s += ", \"sq_entries\": " + std::to_string(sq_entries_);
+  s += ", \"cq_entries\": " + std::to_string(cq_entries_);
+  s += ", \"batch\": " + std::to_string(batch_);
+  s += ", \"sqpoll\": ";
+  s += sqpoll_ ? "true" : "false";
+  s += ", \"fixed_buffers\": ";
+  s += fixed_ ? "true" : "false";
+  s += ", \"staged\": " + std::to_string(staged);
+  s += ", \"kernel_inflight\": " + std::to_string(kernel_inflight);
+  s += ", \"pending\": " + std::to_string(pending);
+  s += ", \"synthetic\": " + std::to_string(synth);
+  s += ", \"live_requests\": " + std::to_string(live);
+  s += ", \"overflow_warned\": ";
+  s += overflow_warned ? "true" : "false";
+  s += ", \"dispatch_queue\": " + std::to_string(dispatch_depth);
+  s += ", \"dispatchers\": " + std::to_string(dispatchers_.size());
+  s += ", \"last_completion_ns\": " + std::to_string(last_completion_ns());
+  s += ", \"write_budget\": " + write_budget_json();
+  s += "}";
+  return s;
 }
 
 int uring_backend::enter(unsigned to_submit, unsigned min_complete,
@@ -591,12 +640,23 @@ void uring_backend::handle_event(seg_op* op, int res, bool from_kernel,
       restage = true;
       backoff = true;
     } else {
-      if (!req->err)
+      if (!req->err) {
+        // Black-box trip: retry budget exhausted is exactly the moment an
+        // operator wants the ring/queue state captured (lock-free request;
+        // the armed monitor composes the bundle off this thread).
+        char detail[160];
+        std::snprintf(detail, sizeof(detail),
+                      "uring %s failed beyond retry budget "
+                      "(errno=%d attempts=%d len=%zu)",
+                      req->is_write ? "pwrite" : "pread", e, op->attempt,
+                      op->seg.len - op->done);
+        obs::incident_request(obs::incident_kind::io_exhausted, detail);
         req->err = std::make_exception_ptr(io_error(
             std::string(req->is_write ? "pwrite" : "pread") +
                 " failed beyond retry budget",
             req->file_name(), op->seg.file_off + op->done,
             op->seg.len - op->done, e));
+      }
       seg_done = true;
     }
   } else if (res == 0 && op->done < op->seg.len) {
@@ -793,11 +853,17 @@ void uring_backend::reaper_loop() {
       if (t0 != 0) reap_hist().record((now_ns() - t0) / 1000);
       n = pop_cqes(cqes, kReapBatch);
     }
+    std::size_t reaped = 0;
     while (n > 0) {
       for (std::size_t i = 0; i < n; ++i)
         handle_event(cqes[i].op, cqes[i].res, true, finished);
+      reaped += n;
       n = pop_cqes(cqes, kReapBatch);
     }
+    // One instant per non-empty harvest (not per CQE): the uring-reap track
+    // shows the reaper's cadence in traces, and a post-mortem flight tail
+    // answers "was the reaper still harvesting?" after a stall or crash.
+    if (reaped > 0) OBS_INSTANT("uring.reap", reaped);
 
     // Hand finished requests to the dispatch pool with no ring state held:
     // delivery blocks (throughput throttle, injected latency) and its

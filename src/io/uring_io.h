@@ -83,6 +83,8 @@ class uring_backend final : public io_backend {
   void submit_write(std::shared_ptr<safs_file> file, std::size_t offset,
                     std::size_t len, pool_lease buf) override;
 
+  std::string debug_snapshot() const override;
+
  private:
   struct uring_request;
 

@@ -95,7 +95,7 @@ buffer_pool::arena_info buffer_pool::registrable_arena() {
 }
 
 pool_buffer buffer_pool::get(std::size_t bytes) {
-  OBS_INSTANT("pool.get", bytes);
+  OBS_INSTANT_HOT("pool.get", bytes);
   ensure_arena();
   const int cls = class_of(bytes);
   const std::size_t class_bytes = std::size_t{1} << (cls + kMinClassLog2);
@@ -191,7 +191,7 @@ void buffer_pool::track_return_locked(char* data, std::size_t size, int cls,
 
 void buffer_pool::put(char* data, std::size_t size, int cls,
                       bool tracked) noexcept {
-  OBS_INSTANT("pool.put", size);
+  OBS_INSTANT_HOT("pool.put", size);
   {
     mutex_lock lock(pool_mtx_);
     if (invariants_enabled())

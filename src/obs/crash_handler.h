@@ -1,0 +1,70 @@
+// Async-signal-safe crash capture: the last line of the incident subsystem
+// (obs/incident.h). When the process dies by SIGSEGV/SIGBUS/SIGABRT/SIGFPE
+// or an invariant/lock-rank abort, almost nothing is safe — the crashed
+// thread may hold any lock, including malloc's — so this path writes a RAW
+// BINARY dump from pre-opened fds and pre-serialized/atomic state only, and
+// the JSON view is reassembled offline (reassemble_crash_dump here, or
+// tools/check_incident.py in CI). The analyzer enforces the contract
+// statically: everything reachable from a FLASHR_SIGNAL_SAFE root must be
+// free of locks, allocation and buffered/blocking library I/O.
+//
+// Crash-dump binary format ("crash-<pid>-sig<N>.bin"), all integers
+// little-endian:
+//
+//   8 bytes magic "FLRCRSH1"
+//   then sections, each:  4-byte ASCII tag, u64 payload length, payload
+//
+//   HDR1  u32 version, u32 signal (0 = abort via assert_fail), u32 pid,
+//         u32 reason_len, u64 mono_ns, u64 real_ns, reason bytes
+//   STAT  pre-serialized JSON: {"build":{...},"config":{...}} — refreshed
+//         periodically by the incident monitor, double-buffered
+//   LOGR  log ring (common/log.cpp log_dump_raw): u64 head, u32 n,
+//         per record: u32 level, u32 len, bytes
+//   RANK  held lock ranks (common/lock_rank.cpp rank_dump_raw): u32 n,
+//         per thread: u32 tid, u32 depth, depth x u32 rank value
+//   FRNG  one per flight ring (obs/trace.cpp flight_dump_raw): u32 os_tid,
+//         u32 pad, char name[32], u64 cap, u64 head, u64 count,
+//         count x 32-byte records {ts_ns, name_ptr, kind, arg}
+//   STRT  interned-name table: u32 n, per entry: u64 ptr, u32 len, bytes
+//         (resolves FRNG name_ptr values offline)
+//   METR  metrics snapshots the monitor staged: u32 n, per entry:
+//         u64 ts_ns, u32 len, JSON bytes
+//   END0  empty terminator (its presence means the dump is complete)
+#pragma once
+
+#include <string>
+
+#include "common/thread_safety.h"
+
+namespace flashr::obs {
+
+/// Pre-open the dump fd inside `dir`, install the crash signal handlers
+/// (SIGSEGV/SIGBUS/SIGABRT/SIGFPE; installed once) and mark the handler
+/// armed. Re-arming switches directories. Not signal-safe (call at init).
+void crash_arm(const std::string& dir);
+
+/// Close the pre-opened fds; crash signals then fall through to the default
+/// action without dumping. Handlers stay installed (they no-op unarmed).
+void crash_disarm();
+
+bool crash_armed();
+
+/// Refresh the pre-serialized STAT section and stage one metrics snapshot
+/// for METR. Called periodically by the incident monitor. Oversized inputs
+/// are truncated to the fixed static buffers. Not signal-safe.
+void crash_refresh_static(const std::string& static_json);
+void crash_stage_metrics(const std::string& metrics_json);
+
+/// The crash entry point shared by the signal handlers and
+/// error.cpp::assert_fail: writes the dump at most once per process
+/// (subsequent calls are no-ops) and atomically renames it into place.
+/// Returns whether this call performed the dump. Async-signal-safe.
+bool crash_dump_now(int sig, const char* reason) noexcept FLASHR_SIGNAL_SAFE;
+
+/// Offline reassembly of a crash-*.bin dump into one JSON object (schema
+/// "flashr-crash-v1"). Throws io_error when the file cannot be read; a
+/// truncated or corrupt dump yields as much as could be parsed, with
+/// "complete": false. Ordinary code — not signal-safe.
+std::string reassemble_crash_dump(const std::string& path);
+
+}  // namespace flashr::obs

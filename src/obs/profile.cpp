@@ -122,13 +122,16 @@ int profile_node_id(const matrix_store* s, plan_node_meta* meta) {
 }
 
 std::uint64_t profile_record(pass_profile&& p) {
+  // Read config before locking: a first-ever conf() call runs lazy init,
+  // which may arm the incident monitor — including a thread join on
+  // re-arm, which must never run while holding prof_mtx.
+  std::size_t cap = conf().obs_profile_history;
+  if (cap < 1) cap = 1;
   profile_state& s = state();
   mutex_lock lock(s.prof_mtx);
   p.seq = ++s.pass_seq;
   const std::uint64_t seq = p.seq;
   s.history.push_back(std::move(p));
-  std::size_t cap = conf().obs_profile_history;
-  if (cap < 1) cap = 1;
   while (s.history.size() > cap) s.history.pop_front();
   return seq;
 }

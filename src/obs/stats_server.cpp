@@ -11,8 +11,11 @@
 #include <cstring>
 #include <utility>
 
+#include "common/config.h"
 #include "common/log.h"
+#include "common/timer.h"
 #include "core/governor.h"
+#include "obs/incident.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
 
@@ -26,8 +29,28 @@ struct route_response {
   std::string body;
 };
 
-route_response route(const std::string& path) {
+route_response route(const std::string& method, const std::string& path) {
   route_response r;
+  if (method == "POST") {
+    // The one mutating route: file a manual incident trigger. Everything
+    // else is read-only and stays GET.
+    if (path == "/debug/incident") {
+      r.content_type = "application/json";
+      if (incident_armed()) {
+        incident_request(incident_kind::manual, "POST /debug/incident");
+        r.status = "202 Accepted";
+        r.body = "{\"accepted\": true}\n";
+      } else {
+        r.status = "503 Service Unavailable";
+        r.body = "{\"accepted\": false, \"error\": \"incidents not armed "
+                 "(set FLASHR_INCIDENT_DIR)\"}\n";
+      }
+    } else {
+      r.status = "404 Not Found";
+      r.body = "not found\n";
+    }
+    return r;
+  }
   if (path == "/metrics") {
     // The version parameter is how Prometheus recognizes the 0.0.4 text
     // exposition format.
@@ -51,6 +74,33 @@ route_response route(const std::string& path) {
     r.body = last_explain_analyze_json();
     if (r.body.empty()) r.body = "{}";
     r.body += "\n";
+  } else if (path == "/debug/flight") {
+    // The flight-recorder tail, same window a bundle would capture.
+    const std::uint64_t window =
+        static_cast<std::uint64_t>(conf().obs_flight_secs) * 1000000000ull;
+    const std::uint64_t now = now_ns();
+    r.content_type = "application/json";
+    r.body = flight_json(now > window ? now - window : 0);
+    r.body += "\n";
+  } else if (path == "/debug/stacks") {
+    r.content_type = "application/json";
+    r.body = stacks_json();
+    r.body += "\n";
+  } else if (path == "/debug/incidents") {
+    r.content_type = "application/json";
+    r.body = incidents_list_json();
+    r.body += "\n";
+  } else if (path.rfind("/debug/incidents/", 0) == 0) {
+    const std::string name = path.substr(sizeof("/debug/incidents/") - 1);
+    std::string body = incident_fetch(name);
+    if (body.empty()) {
+      r.status = "404 Not Found";
+      r.body = "not found\n";
+    } else {
+      r.content_type = "application/json";
+      r.body = std::move(body);
+      if (r.body.empty() || r.body.back() != '\n') r.body += "\n";
+    }
   } else {
     r.status = "404 Not Found";
     r.body = "not found\n";
@@ -58,21 +108,28 @@ route_response route(const std::string& path) {
   return r;
 }
 
-/// First line of an HTTP request -> the path ("GET /metrics HTTP/1.1").
-std::string parse_path(const char* req, std::size_t len) {
+/// First line of an HTTP request -> method + path
+/// ("GET /metrics HTTP/1.1").
+struct request_line {
+  std::string method;
+  std::string path;
+};
+
+request_line parse_request(const char* req, std::size_t len) {
   std::string line(req, len);
   if (const std::size_t eol = line.find('\r'); eol != std::string::npos)
     line.resize(eol);
+  request_line out;
   const std::size_t sp1 = line.find(' ');
-  if (sp1 == std::string::npos) return "";
+  if (sp1 == std::string::npos) return out;
+  out.method = line.substr(0, sp1);
   const std::size_t sp2 = line.find(' ', sp1 + 1);
-  std::string path = sp2 == std::string::npos
-                         ? line.substr(sp1 + 1)
-                         : line.substr(sp1 + 1, sp2 - sp1 - 1);
+  out.path = sp2 == std::string::npos ? line.substr(sp1 + 1)
+                                      : line.substr(sp1 + 1, sp2 - sp1 - 1);
   // Strip a query string; the routes take no parameters.
-  if (const std::size_t q = path.find('?'); q != std::string::npos)
-    path.resize(q);
-  return path;
+  if (const std::size_t q = out.path.find('?'); q != std::string::npos)
+    out.path.resize(q);
+  return out;
 }
 
 void send_all(int fd, const std::string& data) {
@@ -88,7 +145,12 @@ void send_all(int fd, const std::string& data) {
 }  // namespace
 
 std::string stats_server::http_response(const std::string& path) {
-  route_response r = route(path);
+  return http_response("GET", path);
+}
+
+std::string stats_server::http_response(const std::string& method,
+                                        const std::string& path) {
+  route_response r = route(method, path);
   std::string out = "HTTP/1.0 ";
   out += r.status;
   out += "\r\nContent-Type: ";
@@ -191,9 +253,10 @@ void stats_server::serve() {
     // first segment, and the routes ignore headers and bodies.
     char req[2048];
     const ssize_t n = ::recv(client, req, sizeof(req) - 1, 0);
-    if (n > 0)
-      send_all(client, http_response(
-                           parse_path(req, static_cast<std::size_t>(n))));
+    if (n > 0) {
+      const request_line rl = parse_request(req, static_cast<std::size_t>(n));
+      send_all(client, http_response(rl.method, rl.path));
+    }
     ::close(client);
   }
 }

@@ -2,11 +2,16 @@
 // blocking sockets serving the obs layer to a live scraper.
 //
 // Routes:
-//   /metrics       metrics_registry::global().to_prometheus()
-//                  (text/plain; version=0.0.4 — Prometheus scrape target)
-//   /healthz       200 "ok"
-//   /passes        obs::profile_history_json() — the pass-profile ring
-//   /explain/last  obs::last_explain_analyze_json() — last EXPLAIN ANALYZE
+//   /metrics                 metrics_registry::global().to_prometheus()
+//                            (text/plain; version=0.0.4 — Prometheus target)
+//   /healthz                 200 "ok"
+//   /passes                  obs::profile_history_json() — pass-profile ring
+//   /explain/last            obs::last_explain_analyze_json()
+//   /debug/flight            flight-recorder tail (obs_flight_secs window)
+//   /debug/stacks            per-thread held lock ranks + innermost span
+//   /debug/incidents         bundles on disk in the armed incident dir
+//   /debug/incidents/<name>  one bundle (crash .bin reassembled to JSON)
+//   POST /debug/incident     file a manual incident trigger (202 when armed)
 //
 // The listener binds 127.0.0.1 only (observability, not a public API) and
 // handles one connection at a time: scrapes are rare and tiny, and a serial
@@ -47,8 +52,10 @@ class stats_server {
 
   /// The routing core: full HTTP/1.0 response (status line, headers, body)
   /// for a request path. Static and socket-free so tests can exercise every
-  /// route without a network round trip.
+  /// route without a network round trip. The one-argument form is a GET.
   static std::string http_response(const std::string& path);
+  static std::string http_response(const std::string& method,
+                                   const std::string& path);
 
   /// Process-wide instance, started by init() when obs_http_port >= 0.
   static stats_server& global();

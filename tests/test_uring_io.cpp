@@ -25,6 +25,7 @@
 #include "matrix/em_store.h"
 #include "mem/buffer_pool.h"
 #include "obs/profile.h"
+#include "obs/trace.h"
 
 namespace flashr {
 namespace {
@@ -322,6 +323,38 @@ TEST_F(UringBackendTest, ReaperReleasesWriteBudget) {
   // throttle must have engaged, and the high-water mark must respect it.
   EXPECT_GT(stats.write_throttle_stalls, 0u);
   EXPECT_LE(stats.write_inflight_hwm, std::size_t{4096});
+}
+
+// The reaper and completion-dispatch threads must trace under their own
+// names — not anonymously — so post-mortem flight tails and Perfetto
+// views attribute I/O completion work to the right track. The io.read /
+// io.write spans dispatch from the uring-disp-* pool, so those tracks
+// carry real events (check_trace.py --require-track 'uring-*' pins the
+// same contract on the CI trace artifact).
+TEST_F(UringBackendTest, CompletionThreadsTraceUnderUringTracks) {
+  options o = base_options();
+  o.obs_trace = true;
+  init_uring(o);
+  obs::trace_clear();
+
+  smat h = host_input(1000, 7);
+  dense_matrix x = em_input(h);
+  (void)conv_store(x * 2.0 + 1.0, storage::ext_mem).to_smat();
+
+  obs::trace_summary tsum;
+  const std::string json = obs::trace_json(&tsum);
+  EXPECT_GT(tsum.events, 0u);
+  EXPECT_NE(json.find("\"args\":{\"name\":\"uring-reap\"}"),
+            std::string::npos)
+      << "reaper track missing from trace";
+  EXPECT_NE(json.find("\"args\":{\"name\":\"uring-disp-0\"}"),
+            std::string::npos)
+      << "dispatch-pool track missing from trace";
+  // Completion spans land on the dispatch pool; the reaper marks each
+  // non-empty harvest. Both track families must carry real events, which
+  // is exactly what --require-track asserts on the CI artifact.
+  EXPECT_NE(json.find("\"name\":\"io.read\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"uring.reap\""), std::string::npos);
 }
 
 }  // namespace

@@ -23,6 +23,19 @@ cannot see):
                   verified on its own); FLASHR_BLOCKING_EXEMPT("why") stops
                   the descent (use sparingly, with the reason in the code).
 
+  signal-safe     Functions marked FLASHR_SIGNAL_SAFE (the crash handler and
+                  everything it reaches: raw_sink helpers, the flight-ring /
+                  held-ranks / log-tail raw dumpers) may run inside a fatal
+                  signal handler, where the interrupted thread can hold ANY
+                  lock — including malloc's.  Strictly stronger than
+                  nonblocking: no mutex of any rank (nonblocking_safe does
+                  not help — the crashed thread may hold that very mutex),
+                  no allocation, no logging, no blocking call other than
+                  the raw write/pwrite/read/pread/fsync/fdatasync/close
+                  family.  Calling another FLASHR_SIGNAL_SAFE function is
+                  fine (verified on its own); FLASHR_BLOCKING_EXEMPT does
+                  NOT stop this descent.
+
   pool-discipline buffer_pool::get() results must live in a pool_buffer
                   RAII handle: a `.data()` chained off the temporary dangles
                   (the buffer bounces straight back to the pool), a
@@ -44,9 +57,9 @@ Two frontends produce the same IR:
           what the ctest wiring runs, and the fallback when clang is absent.
 
 Both share the annotation/lock tables, which are extracted from source text
-(the LOCK_RANK / FLASHR_NONBLOCKING / FLASHR_BLOCKING_EXEMPT / REQUIRES
-macros are project-controlled, and lock field names are unique repo-wide,
-so text extraction is exact).
+(the LOCK_RANK / FLASHR_NONBLOCKING / FLASHR_BLOCKING_EXEMPT /
+FLASHR_SIGNAL_SAFE / REQUIRES macros are project-controlled, and lock field
+names are unique repo-wide, so text extraction is exact).
 
 Documented soundness limits (see DESIGN.md §12): indirect calls through
 std::function are opaque; std container/string growth is not counted as
@@ -95,13 +108,16 @@ class Op:
 
     kind: 'acquire' (detail = lock field or '?<expr>'), 'release' (detail =
     lock field), 'call' (detail = callee base name), 'block' (detail =
-    human-readable blocking-op description).
+    human-readable blocking-op description, sym = the raw callee symbol so
+    the signal-safe rule can whitelist the write/fsync family that the
+    coarser 'file I/O' description lumps together).
     """
 
-    def __init__(self, kind: str, detail: str, line: int):
+    def __init__(self, kind: str, detail: str, line: int, sym: str = ""):
         self.kind = kind
         self.detail = detail
         self.line = line
+        self.sym = sym
 
 
 class Func:
@@ -110,7 +126,7 @@ class Func:
         self.cls = cls              # enclosing class ('' for free functions)
         self.file = file
         self.line = line
-        self.attrs: set[str] = set()      # 'nonblocking', 'exempt'
+        self.attrs: set[str] = set()  # 'nonblocking', 'exempt', 'signal_safe'
         self.requires: list[str] = []     # lock fields held on entry
         self.ops: list[Op] = []
 
@@ -503,11 +519,12 @@ def scan_ops(body: str, base_line: int, fn: Func, locks: dict):
             # :: calls on file-ish receivers is too subtle — count them all
             # and rely on names (the engine funnels I/O through safs).
             events.append((pos,
-                           Op("block", BLOCKING_NAMES[base], line)))
+                           Op("block", BLOCKING_NAMES[base], line, sym=base)))
             continue
         if base in ALLOC_NAMES:
             events.append((pos,
-                           Op("block", f"heap allocation ({base})", line)))
+                           Op("block", f"heap allocation ({base})", line,
+                              sym=base)))
             continue
         if base in STD_NAMES:
             continue
@@ -566,6 +583,13 @@ REQUIRES_ARGS_RE = re.compile(r"\bREQUIRES\s*\(([^)]*)\)")
 LEADING_ATTR_MACROS = {"FLASHR_BLOCKING_EXEMPT": "exempt",
                        "FLASHR_ANNOTATE": None}
 
+# Object-like attribute macros (no parens, so FUNC_HEAD_RE cannot see them)
+# that may precede a definition: `FLASHR_SIGNAL_SAFE void f(...) { ... }`.
+LEADING_BARE_ATTR_RE = re.compile(
+    r"(FLASHR_SIGNAL_SAFE|FLASHR_NONBLOCKING)\b")
+LEADING_BARE_ATTRS = {"FLASHR_SIGNAL_SAFE": "signal_safe",
+                      "FLASHR_NONBLOCKING": "nonblocking"}
+
 
 def parse_functions_source(text: str, rel: str, locks: dict,
                            attr_sink: dict | None = None,
@@ -604,6 +628,13 @@ def parse_functions_source(text: str, rel: str, locks: dict,
                 class_stack.pop()
             i += 1
             continue
+        if c == "F" and (i == 0 or not (text[i - 1].isalnum()
+                                        or text[i - 1] in "_:.")):
+            bm = LEADING_BARE_ATTR_RE.match(text, i)
+            if bm:
+                pending_attrs.add(LEADING_BARE_ATTRS[bm.group(1)])
+                i = bm.end()
+                continue
         m = FUNC_HEAD_RE.match(text, i)
         if not m or not (i == 0 or not (text[i - 1].isalnum()
                                         or text[i - 1] in "_:.")):
@@ -672,6 +703,8 @@ def parse_functions_source(text: str, rel: str, locks: dict,
                 got.add("nonblocking")
             if "FLASHR_BLOCKING_EXEMPT" in region:
                 got.add("exempt")
+            if "FLASHR_SIGNAL_SAFE" in region:
+                got.add("signal_safe")
             if got:
                 attr_sink.setdefault(sink_key, set()).update(got)
         if req_sink is not None:
@@ -682,7 +715,10 @@ def parse_functions_source(text: str, rel: str, locks: dict,
                     f for f in fields if f)
         pending_attrs.clear()
         if body_start < 0:
-            i = close
+            # Skip to the end of the declaration: re-walking the trailing
+            # qualifier/attribute region would hand its bare attribute
+            # tokens (FLASHR_SIGNAL_SAFE, ...) to the NEXT function.
+            i = k if k > close else close
             continue
         body_end = match_paren(text, body_start, "{", "}")
         body = text[body_start + 1:body_end - 1]
@@ -938,10 +974,11 @@ class AstWalker:
                     fn.ops.append(Op("call", "emit", line)) \
                         if base == "emit" else None
                 elif base in BLOCKING_NAMES:
-                    fn.ops.append(Op("block", BLOCKING_NAMES[base], line))
+                    fn.ops.append(Op("block", BLOCKING_NAMES[base], line,
+                                     sym=base))
                 elif base in ALLOC_NAMES:
                     fn.ops.append(Op("block", f"heap allocation ({base})",
-                                     line))
+                                     line, sym=base))
                 elif base not in STD_NAMES and base not in KEYWORDS:
                     if kind == "CXXMemberCallExpr":
                         fn.ops.append(Op("call", "." + base, line))
@@ -1156,6 +1193,60 @@ class Analysis:
             f"'{root.qual}': {what}",
             chain + [(fn.qual, fn.file, op.line)]))
 
+    # -- signal-safe --------------------------------------------------------
+
+    # The raw syscall family that stays legal inside a fatal-signal handler
+    # (POSIX async-signal-safe, and the only I/O the crash dumper performs).
+    SIGNAL_SAFE_SYMS = {"write", "pwrite", "read", "pread",
+                        "fsync", "fdatasync", "close"}
+
+    def check_signal_safe(self):
+        reported: set = set()
+        for fn in self.funcs:
+            if "signal_safe" in fn.attrs:
+                self._ss_walk(fn, fn, [(fn.qual, fn.file, fn.line)],
+                              set(), reported, 0)
+
+    def _ss_walk(self, root: Func, fn: Func, chain: list, visited: set,
+                 reported: set, depth: int):
+        if depth > 48 or id(fn) in visited:
+            return
+        visited.add(id(fn))
+        for op in fn.ops:
+            if op.kind == "acquire":
+                # ANY mutex is fatal here: the interrupted thread may hold
+                # that very mutex, so nonblocking_safe ranks do not help.
+                ld = self.locks.get(op.detail)
+                what = (f"locks '{ld.field}' (rank {ld.rank_name})" if ld
+                        else f"locks mutex '{op.detail}'")
+                self._ss_report(reported, fn, op, what, chain, root)
+            elif op.kind == "block":
+                if op.sym in self.SIGNAL_SAFE_SYMS:
+                    continue  # raw write/fsync family: allowed
+                self._ss_report(reported, fn, op, op.detail, chain, root)
+            elif op.kind == "call":
+                for callee in self.resolve(fn, op.detail):
+                    if "signal_safe" in callee.attrs:
+                        continue  # verified as its own root
+                    # NOTE: 'exempt'/'nonblocking' do NOT stop the descent —
+                    # those waivers are argued for thread contexts, not for
+                    # running under a fatal signal.
+                    self._ss_walk(root, callee,
+                                  chain + [(callee.qual, callee.file,
+                                            callee.line)],
+                                  visited, reported, depth + 1)
+
+    def _ss_report(self, reported, fn, op, what, chain, root):
+        rkey = ("signal-safe", fn.file, op.line, what)
+        if rkey in reported:
+            return
+        reported.add(rkey)
+        self.add(Finding(
+            "signal-safe", fn.file, op.line,
+            f"async-signal-unsafe operation reachable from crash-path "
+            f"context '{root.qual}': {what}",
+            chain + [(fn.qual, fn.file, op.line)]))
+
 
 # ---------------------------------------------------------------------------
 # Pool discipline (syntactic, per file)
@@ -1258,6 +1349,7 @@ def analyze(root: pathlib.Path, frontend: str, compdb, cache_dir,
     an = Analysis(funcs, locks, attrs, requires)
     an.check_lock_rank()
     an.check_nonblocking()
+    an.check_signal_safe()
     findings += an.findings
     findings += check_pool_discipline(files, root)
 
@@ -1281,6 +1373,7 @@ FIXTURE_EXPECT = {
     "bad_blocking_completion.cpp": "nonblocking",
     "bad_pool_leak.cpp": "pool-discipline",
     "bad_unranked_mutex.cpp": "unranked-mutex",
+    "bad_signal_unsafe.cpp": "signal-safe",
 }
 CLEAN_FIXTURES = ["clean_concurrency.cpp"]
 
@@ -1305,7 +1398,7 @@ def self_test(root: pathlib.Path) -> int:
                   f"(got: {[str(v) for v in by_file.get(name, [])]})")
             failures += 1
             continue
-        if rule in ("lock-rank", "nonblocking") and \
+        if rule in ("lock-rank", "nonblocking", "signal-safe") and \
                 not any(len(f.chain) >= 2 for f in got):
             print(f"SELF-TEST FAIL: {name}: {rule} fired without a "
                   f"call-chain diagnostic")

@@ -1,0 +1,40 @@
+// Seeded violation for tools/analyze_flashr.py --self-test: async-signal-
+// unsafe operations reachable from a crash-path context. on_fatal_signal
+// is marked FLASHR_SIGNAL_SAFE (the contract of the SIGSEGV/SIGBUS crash
+// dumper), but it calls flush_state(), which takes a mutex — even a
+// nonblocking_safe one is fatal here, because the interrupted thread may
+// hold that very mutex — and heap-allocates and logs. The analyzer must
+// report [signal-safe] findings with the call chain through flush_state().
+// The raw ::write of the dump itself is the allowed syscall family and
+// must NOT be reported.
+#include <unistd.h>
+
+#include "common/thread_safety.h"
+
+namespace fixture {
+
+using flashr::mutex;
+using flashr::mutex_lock;
+
+struct crash_ctx {
+  mutex crash_fix_mtx LOCK_RANK(buffer_pool);  // nonblocking_safe: no help
+  char* scratch = nullptr;
+  int fd = -1;
+
+  void on_fatal_signal(int sig) FLASHR_SIGNAL_SAFE;
+  void flush_state(int sig);
+};
+
+void crash_ctx::flush_state(int sig) {
+  mutex_lock lock(crash_fix_mtx);   // any mutex is a deadlock in a handler
+  scratch = new char[64];          // malloc's lock may be held by the
+  scratch[0] = static_cast<char>(sig);  // crashed thread
+}
+
+void crash_ctx::on_fatal_signal(int sig) {
+  flush_state(sig);
+  char b = static_cast<char>(sig);
+  (void)!::write(fd, &b, 1);  // raw write: allowed, not a finding
+}
+
+}  // namespace fixture

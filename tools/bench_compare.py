@@ -4,9 +4,10 @@
 Matches records between a baseline and a candidate document by their
 configuration fields (everything that is not a measurement), then reports:
 
-  * per matched record: each ``*seconds`` measurement's relative change,
-    flagged as a REGRESSION when the candidate is slower than baseline by
-    more than --threshold (default 25% — shared-runner noise is real);
+  * per matched record: each ``*seconds`` (lower is better) and ``*_gbps``
+    (higher is better) measurement's relative change, flagged as a
+    REGRESSION when the candidate is worse than baseline by more than
+    --threshold (default 25% — shared-runner noise is real);
   * engine counters (the embedded "engine" object): pass/io counter deltas,
     flagged when read or write BYTES grow by more than --io-threshold
     (default 10%) — time is noisy on shared runners, I/O volume is not;
@@ -32,6 +33,7 @@ def is_measurement(key: str) -> bool:
     record.  Derived ratios (speedup, occupancy) are measurements too — keying
     on them would make records unmatchable across runs."""
     return (key == "seconds" or key.endswith("_seconds")
+            or key.endswith("_gbps")
             or "speedup" in key or "occupancy" in key
             or key in ("wall_ns", "kernel_ns", "coverage"))
 
@@ -74,7 +76,10 @@ def compare(base: dict, cand: dict, threshold: float,
             delta = (cv - bv) / bv
             line = (f"{fmt_key(key)}: {mkey} {bv:.4g} -> {cv:.4g} "
                     f"({delta:+.1%})")
-            if mkey.endswith("seconds") and delta > threshold:
+            slower = (delta > threshold if mkey.endswith("seconds")
+                      else -delta > threshold if mkey.endswith("_gbps")
+                      else False)
+            if slower:
                 line = "REGRESSION " + line
                 regressions.append(line)
             report.append(line)
@@ -125,6 +130,19 @@ def self_test() -> int:
     report, regressions = compare(base, cand, 0.25, 0.10)
     assert any("depth=4" in r and r.startswith("REGRESSION")
                for r in regressions), regressions
+    # Throughput (*_gbps) is higher-is-better: a drop past the threshold is
+    # a regression, a gain never is.
+    tbase = {"bench": "microops",
+             "records": [{"mode": "cache-fuse", "one_op_gbps": 5.0},
+                         {"mode": "eager", "one_op_gbps": 1.0}]}
+    tcand = {"bench": "microops",
+             "records": [{"mode": "cache-fuse", "one_op_gbps": 3.0},  # -40%
+                         {"mode": "eager", "one_op_gbps": 1.5}]}      # +50%
+    treport, tregs = compare(tbase, tcand, 0.25, 0.10)
+    assert any("mode=cache-fuse" in r and r.startswith("REGRESSION")
+               for r in tregs), tregs
+    assert not any("mode=eager" in r for r in tregs), tregs
+    assert any("MISSING" not in r for r in treport), treport
     assert any("MISSING" in r and "depth=8" in r for r in regressions)
     assert any("read_bytes" in r and r.startswith("REGRESSION")
                for r in regressions)

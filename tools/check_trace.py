@@ -19,7 +19,12 @@ Exit 0 and a one-line summary on success; exit 1 with the first failure
 otherwise. CI runs this over the traced bench_fig7 artifact.
 
 Usage: check_trace.py TRACE.json [--min-events N] [--require-name NAME ...]
-                      [--require-counter NAME ...] [--self-test]
+                      [--require-counter NAME ...]
+                      [--require-track PATTERN ...] [--self-test]
+
+--require-track takes an fnmatch pattern (e.g. ``uring-*``) that must match
+the thread_name label of at least one track that carries events — how CI
+asserts the uring reaper/dispatcher threads actually traced.
 
 --self-test validates the fixtures in tools/trace_fixtures/: good_*.json
 must pass, bad_*.json must fail.
@@ -28,6 +33,7 @@ must pass, bad_*.json must fail.
 from __future__ import annotations
 
 import argparse
+import fnmatch
 import json
 import os
 import sys
@@ -38,7 +44,8 @@ class TraceError(Exception):
 
 
 def validate(doc, min_events: int, require_names: list[str],
-             require_counters: list[str]) -> str:
+             require_counters: list[str],
+             require_tracks: list[str] | None = None) -> str:
     """Raises TraceError on the first problem; returns the OK summary."""
     events = doc.get("traceEvents")
     if not isinstance(events, list):
@@ -121,6 +128,12 @@ def validate(doc, min_events: int, require_names: list[str],
         if required not in counter_names:
             raise TraceError(
                 f"required counter {required!r} never appears as a C event")
+    for pattern in require_tracks or []:
+        labels = [track_names[t] for t in event_tracks if t in track_names]
+        if not any(fnmatch.fnmatch(label, pattern) for label in labels):
+            raise TraceError(
+                f"no event-carrying track label matches {pattern!r} "
+                f"(labels: {sorted(labels)})")
 
     dropped = doc.get("otherData", {}).get("dropped", 0)
     return (f"{counted} events on {len(event_tracks)} track(s), "
@@ -155,8 +168,17 @@ def self_test() -> int:
     # Requirement flags fire on the good fixture.
     with open(os.path.join(fixtures, good[0]), encoding="utf-8") as f:
         doc = json.load(f)
+    try:
+        validate(doc, min_events=1, require_names=[], require_counters=[],
+                 require_tracks=["*"])
+    except TraceError as e:
+        print(f"check_trace: SELF-TEST FAIL: require-track '*' rejected "
+              f"on {good[0]}: {e}")
+        return 1
     for kwargs in ({"require_names": ["absent.name"], "require_counters": []},
-                   {"require_names": [], "require_counters": ["absent.ctr"]}):
+                   {"require_names": [], "require_counters": ["absent.ctr"]},
+                   {"require_names": [], "require_counters": [],
+                    "require_tracks": ["absent-track-*"]}):
         try:
             validate(doc, min_events=1, **kwargs)
             print(f"check_trace: SELF-TEST FAIL: {kwargs} not enforced")
@@ -179,6 +201,10 @@ def main() -> int:
     ap.add_argument("--require-counter", action="append", default=[],
                     help="counter series (ph C) that must appear at least "
                          "once (repeatable)")
+    ap.add_argument("--require-track", action="append", default=[],
+                    help="fnmatch pattern that must match at least one "
+                         "event-carrying track's thread_name label, e.g. "
+                         "'uring-*' (repeatable)")
     ap.add_argument("--self-test", action="store_true",
                     help="validate the fixtures in tools/trace_fixtures/")
     args = ap.parse_args()
@@ -200,7 +226,7 @@ def main() -> int:
 
     try:
         summary = validate(doc, args.min_events, args.require_name,
-                           args.require_counter)
+                           args.require_counter, args.require_track)
     except TraceError as e:
         print(f"check_trace: FAIL: {e}")
         return 1
