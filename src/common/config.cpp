@@ -11,7 +11,9 @@
 #include "common/log.h"
 #include "obs/incident.h"
 #include "obs/metrics.h"
+#include "obs/prof_store.h"
 #include "obs/profile.h"
+#include "obs/sampler.h"
 #include "obs/stats_server.h"
 #include "obs/trace.h"
 
@@ -82,6 +84,9 @@ void options::validate() const {
   FLASHR_CHECK(obs_flight_secs >= 1, "obs_flight_secs must be >= 1");
   FLASHR_CHECK(incident_max_bundles >= 1,
                "incident_max_bundles must be >= 1");
+  FLASHR_CHECK(obs_sample_hz >= 0 && obs_sample_hz <= 10000,
+               "obs_sample_hz must be in [0, 10000]");
+  FLASHR_CHECK(obs_prof_keep >= 1, "obs_prof_keep must be >= 1");
   FLASHR_CHECK(uring_queue_depth >= 8 && uring_queue_depth <= 32768,
                "uring_queue_depth must be in [8, 32768]");
 }
@@ -93,6 +98,13 @@ namespace {
 void write_trace_at_exit() {
   if (obs::trace_on() && !conf().obs_trace_path.empty())
     obs::write_trace(conf().obs_trace_path);
+}
+
+/// Flush folded sampler stacks when the process exits with a sample path
+/// armed (registered once, like write_trace_at_exit).
+void write_folded_at_exit() {
+  if (obs::sampler_on() && !conf().obs_sample_path.empty())
+    obs::write_folded(conf().obs_sample_path);
 }
 
 }  // namespace
@@ -114,6 +126,26 @@ void init(const options& opts) {
   if (const char* env = std::getenv("FLASHR_PROFILE");
       env != nullptr && *env != '\0' && std::string_view(env) != "0") {
     g_options.obs_profile = true;
+  }
+  // FLASHR_SAMPLE=1 turns the sampling profiler on at the default 97 Hz;
+  // an integer value sets the rate; any other non-"0" value is also the
+  // folded-stack output path, flushed automatically at exit.
+  if (const char* env = std::getenv("FLASHR_SAMPLE");
+      env != nullptr && *env != '\0' && std::string_view(env) != "0") {
+    char* end = nullptr;
+    const long hz = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && hz > 0) {
+      g_options.obs_sample_hz = static_cast<int>(hz);
+    } else {
+      if (g_options.obs_sample_hz <= 0) g_options.obs_sample_hz = 97;
+      if (std::string_view(env) != "1") g_options.obs_sample_path = env;
+    }
+  }
+  // FLASHR_PROF_DIR=<dir> arms the profile-history store: one
+  // flashr-prof-v1 record appended per process exit.
+  if (const char* env = std::getenv("FLASHR_PROF_DIR");
+      env != nullptr && *env != '\0') {
+    g_options.obs_prof_dir = env;
   }
   // FLASHR_HTTP=<port> starts the stats server (0 = ephemeral port).
   if (const char* env = std::getenv("FLASHR_HTTP");
@@ -158,6 +190,25 @@ void init(const options& opts) {
   obs::set_flight_enabled(g_options.obs_flight);
   obs::set_metrics_enabled(g_options.obs_metrics);
   obs::set_profile_enabled(g_options.obs_profile);
+  // Sampler counters register even while off so /metrics always exports
+  // flashr_sampler_*; the sampler itself starts only when a rate is set.
+  obs::sampler_register_metrics();
+  if (g_options.obs_sample_hz > 0) {
+    obs::sampler_start(g_options.obs_sample_hz);
+    if (!g_options.obs_sample_path.empty()) {
+      static const bool samp_registered = [] {
+        std::atexit(write_folded_at_exit);
+        return true;
+      }();
+      (void)samp_registered;
+    }
+  } else {
+    obs::sampler_stop();
+  }
+  if (!g_options.obs_prof_dir.empty())
+    obs::prof_store_arm(g_options.obs_prof_dir, g_options.obs_prof_keep);
+  else
+    obs::prof_store_disarm();
   if (g_options.obs_http_port >= 0)
     obs::stats_server::global().start(g_options.obs_http_port);
   else

@@ -222,6 +222,30 @@ struct options {
   /// rings are bounded by capacity, not time; this only bounds how far back
   /// a bundle reaches.
   int obs_flight_secs = 30;
+  /// Continuous sampling profiler (obs/sampler.h): per-thread SIGPROF
+  /// timers at this frequency capture frame-pointer stacks plus the
+  /// current pass/DAG-node context into lock-free rings; a collector
+  /// folds them into flamegraph-ready aggregates. 0 (default) = off —
+  /// every instrumentation site then costs one relaxed load. Also set by
+  /// FLASHR_SAMPLE (=1 for the default 97 Hz, =<hz> for a specific rate,
+  /// =<path> to additionally write folded stacks there at exit).
+  int obs_sample_hz = 0;
+  /// When non-empty, write the sampler's folded stacks (flamegraph.pl
+  /// collapsed format) here at process exit. FLASHR_SAMPLE=<path> sets
+  /// this too.
+  std::string obs_sample_path;
+  /// Export histograms on /metrics as native Prometheus `histogram`
+  /// families with cumulative _bucket{le="..."} samples (power-of-two
+  /// boundaries) instead of the default `summary` quantiles.
+  bool obs_prom_buckets = false;
+  /// When non-empty, append one flashr-prof-v1 profile-history record
+  /// (sampler aggregates: per-node sample counts + folded stacks) here at
+  /// process exit, retention-bounded like incident bundles. Also set by
+  /// FLASHR_PROF_DIR. tools/bench_compare.py --attribute diffs two records
+  /// to name the DAG node and stack that regressed.
+  std::string obs_prof_dir;
+  /// Profile-history records retained in obs_prof_dir; oldest pruned.
+  int obs_prof_keep = 32;
   /// When non-empty, arm the incident subsystem (obs/incident.h): watchdog
   /// trips, governor escalations, invariant/lock-rank aborts, exhausted I/O
   /// retries and SIGUSR2 each drop a JSON post-mortem bundle here, and the

@@ -170,6 +170,16 @@ inline constexpr rank_t uring_ring{610, "uring_ring", false};
 inline constexpr rank_t buffer_pool{650, "buffer_pool", true};
 inline constexpr rank_t metrics_registry{700, "metrics_registry", false};
 inline constexpr rank_t trace_registry{750, "trace_registry", false};
+// Profile-history store bookkeeping (obs/prof_store.cpp): armed directory
+// and retention count. Held across record composition, which drains the
+// sampler's aggregates — so it must rank BELOW sampler.
+inline constexpr rank_t prof_store{760, "prof_store", false};
+// Sampling-profiler collector state (obs/sampler.cpp): thread registry,
+// folded aggregates, symbol cache. Acquired by thread attach/detach (may
+// run under trace_registry from set_thread_name), the collector's drain
+// tick, and export paths that hold nothing else; the SIGPROF handler
+// itself never touches it (per-thread rings are lock-free SPSC).
+inline constexpr rank_t sampler{770, "sampler", false};
 // Innermost: conf() lazily runs config init, which may start/stop the HTTP
 // stats server — so the server's own lock can be acquired under whatever
 // the first conf() caller happens to hold (pass accumulators, the prefetch

@@ -29,6 +29,7 @@
 #include "obs/incident.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
+#include "obs/sampler.h"
 #include "obs/trace.h"
 #include "parallel/scheduler.h"
 #include "parallel/thread_pool.h"
@@ -488,6 +489,10 @@ class pass_runner {
   std::vector<std::uint8_t> prof_leaf_;
   std::vector<std::atomic<std::uint64_t>> prof_acc_;
   std::uint64_t prof_t0_ = 0;
+  /// Sampling-profiler pass token (obs/sampler.h); 0 when the sampler was
+  /// off at pass start. Workers tag their samples with it so
+  /// record_profile() can join exactly this pass's samples.
+  std::uint32_t samp_pass_ = 0;
   /// Partition sources feeding the pipelines. Declared BEFORE pipelines_ so
   /// the pipelines (whose refill lambdas capture them) are destroyed first.
   std::optional<part_scheduler> part_sched_;
@@ -765,6 +770,28 @@ void pass_runner::record_profile() {
     p.io_wait_ns += n.io_wait_ns;
     p.nodes.push_back(n);
   }
+  // Join the sampling profiler's view of the same pass: per-node on-CPU
+  // sample counts (scaled to ns by the sample period) next to the measured
+  // kernel_ns, plus the pass-level cpu/io-wait/lock-wait split. Slots that
+  // alias the same plan id fold into the first slot carrying that id.
+  if (samp_pass_ != 0) {
+    std::uint64_t period_ns = 0;
+    const std::vector<obs::node_samples> samp =
+        obs::sampler_pass_samples(samp_pass_, &period_ns);
+    p.sample_period_ns = period_ns;
+    for (const obs::node_samples& e : samp) {
+      p.samples_cpu += e.cpu;
+      p.samples_io_wait += e.io_wait;
+      p.samples_lock_wait += e.lock_wait;
+      if (e.node < 0) continue;
+      for (obs::node_profile& n : p.nodes) {
+        if (n.id != e.node) continue;
+        n.samples += e.cpu;
+        n.sampled_ns += e.cpu * period_ns;
+        break;
+      }
+    }
+  }
   obs::profile_record(std::move(p));
 }
 
@@ -846,7 +873,14 @@ void pass_runner::pipeline_worker(thread_ctx& ctx) {
     for (;;) {
       if (cancelled()) break;
       const std::uint64_t w0 = prof_ ? now_ns() : 0;
-      if (!pl.pop(s)) break;
+      bool got;
+      {
+        // Blocked in pop() == waiting for prefetched reads: samples landing
+        // here are the profile's I/O-wait share.
+        obs::sample_wait_scope io_scope(obs::sample_state::io_wait);
+        got = pl.pop(s);
+      }
+      if (!got) break;
       if (prof_ && !s.bufs.empty()) {
         // Attribute the blocked-in-pop() time evenly across the partition's
         // EM leaves; bytes/rows are exact per leaf.
@@ -879,6 +913,7 @@ void pass_runner::pipeline_worker(thread_ctx& ctx) {
 void pass_runner::run() {
   OBS_SPAN_ARG("pass", dag_.order.size());
   if (prof_) prof_t0_ = now_ns();
+  if (prof_ && obs::sampler_on()) samp_pass_ = obs::sampler_new_pass();
   thread_pool& pool = thread_pool::global();
   build_pipelines();
   ++g_stats_acc.passes;
@@ -912,6 +947,8 @@ void pass_runner::run() {
   }
 
   pool.run_all([&](int thread_idx) {
+    // Samples taken anywhere in this worker's pass carry the pass token.
+    obs::sample_pass_scope sample_pass(samp_pass_);
     thread_ctx ctx;
     ctx.thread_idx = thread_idx;
     ctx.chunk.resize(static_cast<std::size_t>(dag_.num_ids));
@@ -1003,8 +1040,11 @@ void pass_runner::process_partition(thread_ctx& ctx) {
     for (auto& [node, chain] : cum_chains_) {
       auto& carry = ctx.cum_carry[node];
       carry.resize(node->ncol() * type_size(node->type()));
-      if (ctx.part > 0)
+      if (ctx.part > 0) {
+        // Parked on a predecessor's cumulative carry: lock wait.
+        obs::sample_wait_scope sample_scope(obs::sample_state::lock_wait);
         chain.wait_for(ctx.part - 1, carry.data(), carry.size());
+      }
     }
     ctx.cum_has_carry = ctx.part > 0;
   }
@@ -1134,6 +1174,9 @@ chunk_buf& pass_runner::ensure(thread_ctx& ctx,
       cb.owned = buffer_pool::global().get(ctx.chunk_rows * g->ncol() *
                                            g->elem_size());
       ++ctx.live_owned;
+      obs::sample_node_scope sample_scope(
+          prof_ ? prof_plan_id_[static_cast<std::size_t>(dag_.id_of(key))]
+                : -1);
       const std::uint64_t g0 = prof_ ? now_ns() : 0;
       g->generate(ctx.part_row0 + ctx.chunk_row0, ctx.chunk_rows,
                   cb.owned.data(), ctx.chunk_rows);
@@ -1210,6 +1253,10 @@ void pass_runner::eval_virtual(thread_ctx& ctx, virtual_store* v,
   // Kernel execution: node_kind_name() returns a string literal, which
   // satisfies the span's static-storage requirement.
   obs::span kernel_span(node_kind_name(op.kind), rows);
+  // Samples landing in the kernel (or its allocation) attribute to this
+  // node's plan id; nested ensure() calls already closed their own scopes.
+  obs::sample_node_scope sample_scope(
+      prof_ ? prof_plan_id_[static_cast<std::size_t>(dag_.id_of(v))] : -1);
   const std::uint64_t k0 = (obs::metrics_on() || prof_) ? now_ns() : 0;
 
   out.owned = buffer_pool::global().get(rows * cols * v->elem_size());
@@ -1306,6 +1353,8 @@ void pass_runner::process_chunk(thread_ctx& ctx) {
   // Tall outputs: evaluate and copy the chunk into the partition store.
   for (std::size_t i = 0; i < dag_.tall_outputs.size(); ++i) {
     virtual_store* v = dag_.tall_outputs[i];
+    obs::sample_node_scope sample_scope(
+        prof_ ? prof_plan_id_[static_cast<std::size_t>(dag_.id_of(v))] : -1);
     chunk_buf& cb = ensure(ctx, v->shared_from_this());
     const std::size_t esz = v->elem_size();
     const bool ext = out_stores_[i]->kind() == store_kind::ext;
@@ -1333,6 +1382,11 @@ void pass_runner::process_chunk(thread_ctx& ctx) {
 
   // Sinks: accumulate into this thread's partials.
   for (std::size_t s = 0; s < sinks_.size(); ++s) {
+    // The sink's accumulate kernel samples attribute to the sink slot;
+    // child evaluation inside ensure() re-scopes to the child's node.
+    obs::sample_node_scope sample_scope(
+        prof_ ? prof_plan_id_[static_cast<std::size_t>(dag_.num_ids) + s]
+              : -1);
     virtual_store* v = sinks_[s].node;
     const genop& op = v->op();
     const auto& ch = v->children();

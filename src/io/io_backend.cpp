@@ -3,6 +3,7 @@
 #include "common/config.h"
 #include "common/timer.h"
 #include "obs/metrics.h"
+#include "obs/sampler.h"
 #include "obs/trace.h"
 
 namespace flashr {
@@ -27,6 +28,8 @@ void io_backend::admit_write(std::size_t len) {
   if (budget != 0 && inflight_write_bytes_ != 0 &&
       inflight_write_bytes_ + len > budget) {
     OBS_SPAN_ARG("io.write_throttle", len);
+    // Sampling profiler: time stalled on the write budget is I/O wait.
+    obs::sample_wait_scope sample_scope(obs::sample_state::io_wait);
     ++throttle_stalls_;
     const std::uint64_t t0 = now_ns();
     while (inflight_write_bytes_ != 0 && inflight_write_bytes_ + len > budget)

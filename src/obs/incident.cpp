@@ -27,6 +27,7 @@
 #include "obs/crash_handler.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
+#include "obs/sampler.h"
 #include "obs/trace.h"
 
 namespace flashr::obs {
@@ -657,6 +658,32 @@ std::string incident_bundle_json(incident_kind kind, const char* detail,
   out += ",\"snapshot\":" + async_io::global().debug_snapshot() + "}";
 
   out += ",\"metrics\":" + metrics_registry::global().to_json();
+
+  // SAMP: the sampling profiler's trailing ~5s of folded stacks — what the
+  // process was actually doing when the trigger fired. Empty folded list
+  // when the sampler is off (the counters still report that fact).
+  {
+    const sampler_counters sc = sampler_stats();
+    out += ",\"samples\":{\"hz\":" + std::to_string(sc.hz);
+    out += ",\"samples\":" + std::to_string(sc.samples);
+    out += ",\"dropped\":" + std::to_string(sc.dropped);
+    out += ",\"window_ns\":5000000000";
+    out += ",\"folded\":[";
+    const std::string folded = folded_recent(5000000000ull);
+    bool first_line = true;
+    std::size_t pos = 0;
+    while (pos < folded.size()) {
+      std::size_t eol = folded.find('\n', pos);
+      if (eol == std::string::npos) eol = folded.size();
+      if (eol > pos) {
+        if (!first_line) out += ',';
+        first_line = false;
+        json_str(out, folded.substr(pos, eol - pos));
+      }
+      pos = eol + 1;
+    }
+    out += "]}";
+  }
 
   out += ",\"log_tail\":[";
   bool first = true;

@@ -1,0 +1,48 @@
+// Append-only profile-history store (flashr-prof-v1 records).
+//
+// One record = the sampling profiler's aggregates at a moment in time:
+// per-(pass, node) sample counts split cpu / io_wait / lock_wait, plus the
+// folded stacks, plus enough metadata (rate, period, drop count) to scale
+// counts into seconds. Records land in obs_prof_dir as
+// prof-<zero-padded realtime ns>.json — lexicographic order is
+// chronological order across runs — written temp + fsync + rename and
+// retention-bounded to obs_prof_keep like incident bundles.
+//
+// The point is regression *attribution*: tools/bench_compare.py
+// --attribute diffs two records and names which DAG node and which stack
+// regressed, not just which benchmark. When armed (obs_prof_dir /
+// FLASHR_PROF_DIR), one record is appended automatically at process exit;
+// the stats server serves the store at /debug/profiles.
+#pragma once
+
+#include <string>
+
+namespace flashr::obs {
+
+/// Arm the store: records append into `dir` (created if missing), keeping
+/// the newest `keep`. Registers the at-exit append once. Re-arming
+/// switches directories.
+void prof_store_arm(const std::string& dir, int keep);
+
+/// Disarm: no further automatic appends (explicit prof_store_append with
+/// an armed dir already gone is a no-op returning "").
+void prof_store_disarm();
+
+bool prof_store_armed();
+
+/// Compose one flashr-prof-v1 record from the sampler's current
+/// aggregates. `label` tags the record ("exit", "bench_fig7", ...).
+std::string prof_record_json(const char* label);
+
+/// Compose and write one record into the armed directory. Returns the
+/// record filename, or "" when disarmed or on write failure.
+std::string prof_store_append(const char* label);
+
+/// {"dir":..., "records":[{"name":...,"bytes":...}, ...]} — newest last.
+std::string prof_store_list_json();
+
+/// Read one record by filename into `body`. Rejects anything but a plain
+/// prof-*.json basename (no '/', no ".."), mirroring incident_fetch.
+bool prof_store_fetch(const std::string& name, std::string* body);
+
+}  // namespace flashr::obs

@@ -63,9 +63,15 @@ void append_node(std::string& out, const node_profile& n) {
          ", \"group\": %d, \"est_bytes\": %" PRIu64 ", \"kernel_ns\": %" PRIu64
          ", \"copy_ns\": %" PRIu64 ", \"io_wait_ns\": %" PRIu64
          ", \"partitions\": %" PRIu64 ", \"rows\": %" PRIu64
-         ", \"bytes\": %" PRIu64 ", \"chunks\": %" PRIu64 "}",
+         ", \"bytes\": %" PRIu64 ", \"chunks\": %" PRIu64,
          n.group, n.est_bytes, n.kernel_ns, n.copy_ns, n.io_wait_ns,
          n.partitions, n.rows, n.bytes, n.chunks);
+  // Sampler join fields only when the pass was sampled, so consumers of
+  // the pre-sampler shape see unchanged nodes.
+  if (n.samples > 0 || n.sampled_ns > 0)
+    append(out, ", \"samples\": %" PRIu64 ", \"sampled_ns\": %" PRIu64,
+           n.samples, n.sampled_ns);
+  out += '}';
 }
 
 }  // namespace
@@ -74,9 +80,15 @@ std::string pass_profile::to_json() const {
   std::string out;
   append(out,
          "{\"seq\": %" PRIu64 ", \"mode\": \"%s\", \"chunk_rows\": %zu, "
-         "\"threads\": %d, \"wall_ns\": %" PRIu64 ", \"io_wait_ns\": %" PRIu64
-         ", \"degrade\": [",
+         "\"threads\": %d, \"wall_ns\": %" PRIu64 ", \"io_wait_ns\": %" PRIu64,
          seq, mode, chunk_rows, threads, wall_ns, io_wait_ns);
+  // Sampler join fields only when the pass was sampled (see append_node).
+  if (sample_period_ns > 0)
+    append(out,
+           ", \"sample_period_ns\": %" PRIu64 ", \"samples_cpu\": %" PRIu64
+           ", \"samples_io_wait\": %" PRIu64 ", \"samples_lock_wait\": %" PRIu64,
+           sample_period_ns, samples_cpu, samples_io_wait, samples_lock_wait);
+  out += ", \"degrade\": [";
   for (std::size_t i = 0; i < degrade.size(); ++i) {
     if (i > 0) out += ", ";
     out += "\"" + degrade[i] + "\"";
@@ -213,6 +225,8 @@ void run_analysis(const std::vector<matrix_store::ptr>& targets, storage st,
       t.rows += n.rows;
       t.bytes += n.bytes;
       t.chunks += n.chunks;
+      t.samples += n.samples;
+      t.sampled_ns += n.sampled_ns;
     }
   }
 

@@ -58,6 +58,12 @@ struct node_profile {
   std::uint64_t rows = 0;         ///< rows produced/consumed
   std::uint64_t bytes = 0;        ///< bytes produced (or read, for leaves)
   std::uint64_t chunks = 0;       ///< Pcache chunk evaluations
+  /// Sampling-profiler join (obs/sampler.h), present when the sampler ran
+  /// during the pass: on-CPU samples attributed to this node and their
+  /// time-equivalent (samples x sample period) — the measured kernel_ns
+  /// carries a sampled self-time cross-check.
+  std::uint64_t samples = 0;
+  std::uint64_t sampled_ns = 0;
 };
 
 /// One materialization pass, merged across workers.
@@ -73,6 +79,11 @@ struct pass_profile {
   /// empty when the pass ran at full configuration.
   std::vector<std::string> degrade;
   std::vector<node_profile> nodes;
+  /// Sampling-profiler join: 0 when the sampler was off for this pass.
+  std::uint64_t sample_period_ns = 0;
+  std::uint64_t samples_cpu = 0;
+  std::uint64_t samples_io_wait = 0;
+  std::uint64_t samples_lock_wait = 0;
 
   std::string to_json() const;
 };

@@ -17,7 +17,9 @@
 #include "core/governor.h"
 #include "obs/incident.h"
 #include "obs/metrics.h"
+#include "obs/prof_store.h"
 #include "obs/profile.h"
+#include "obs/sampler.h"
 
 namespace flashr::obs {
 
@@ -29,8 +31,16 @@ struct route_response {
   std::string body;
 };
 
-route_response route(const std::string& method, const std::string& path) {
+route_response route(const std::string& method, const std::string& full_path) {
   route_response r;
+  // Split the query string off: most routes take no parameters, and the
+  // ones that do parse `query` themselves.
+  std::string path = full_path;
+  std::string query;
+  if (const std::size_t q = path.find('?'); q != std::string::npos) {
+    query = path.substr(q + 1);
+    path.resize(q);
+  }
   if (method == "POST") {
     // The one mutating route: file a manual incident trigger. Everything
     // else is read-only and stays GET.
@@ -86,6 +96,43 @@ route_response route(const std::string& method, const std::string& path) {
     r.content_type = "application/json";
     r.body = stacks_json();
     r.body += "\n";
+  } else if (path == "/debug/pprof/profile") {
+    // pprof-style on-demand profile: block for ?seconds=N (default 5,
+    // clamped by the sampler) collecting folded stacks, temporarily
+    // starting the sampler when it is off. seconds=0 returns a snapshot
+    // of everything aggregated so far without blocking.
+    int seconds = 5;
+    if (!query.empty()) {
+      char* end = nullptr;
+      const long v = query.rfind("seconds=", 0) == 0
+                         ? std::strtol(query.c_str() + sizeof("seconds=") - 1,
+                                       &end, 10)
+                         : -1;
+      if (end == nullptr || *end != '\0' || v < 0) {
+        // A malformed window must not silently block the serial accept
+        // loop for the 5s default — reject it instead.
+        r.status = "400 Bad Request";
+        r.body = "bad seconds\n";
+        return r;
+      }
+      seconds = static_cast<int>(v);
+    }
+    r.body = folded_profile_window(seconds);
+  } else if (path == "/debug/profiles") {
+    r.content_type = "application/json";
+    r.body = prof_store_list_json();
+    r.body += "\n";
+  } else if (path.rfind("/debug/profiles/", 0) == 0) {
+    const std::string name = path.substr(sizeof("/debug/profiles/") - 1);
+    std::string body;
+    if (!prof_store_fetch(name, &body)) {
+      r.status = "404 Not Found";
+      r.body = "not found\n";
+    } else {
+      r.content_type = "application/json";
+      r.body = std::move(body);
+      if (r.body.empty() || r.body.back() != '\n') r.body += "\n";
+    }
   } else if (path == "/debug/incidents") {
     r.content_type = "application/json";
     r.body = incidents_list_json();
@@ -126,9 +173,8 @@ request_line parse_request(const char* req, std::size_t len) {
   const std::size_t sp2 = line.find(' ', sp1 + 1);
   out.path = sp2 == std::string::npos ? line.substr(sp1 + 1)
                                       : line.substr(sp1 + 1, sp2 - sp1 - 1);
-  // Strip a query string; the routes take no parameters.
-  if (const std::size_t q = out.path.find('?'); q != std::string::npos)
-    out.path.resize(q);
+  // The query string stays attached; route() splits it off itself
+  // (/debug/pprof/profile reads ?seconds=N).
   return out;
 }
 

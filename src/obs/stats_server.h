@@ -9,6 +9,11 @@
 //   /explain/last            obs::last_explain_analyze_json()
 //   /debug/flight            flight-recorder tail (obs_flight_secs window)
 //   /debug/stacks            per-thread held lock ranks + innermost span
+//   /debug/pprof/profile     sampling profiler, folded-stack text; blocks
+//                            ?seconds=N (default 5; 0 = non-blocking
+//                            snapshot of all aggregates)
+//   /debug/profiles          profile-history records in the armed prof dir
+//   /debug/profiles/<name>   one flashr-prof-v1 record
 //   /debug/incidents         bundles on disk in the armed incident dir
 //   /debug/incidents/<name>  one bundle (crash .bin reassembled to JSON)
 //   POST /debug/incident     file a manual incident trigger (202 when armed)

@@ -14,6 +14,7 @@
 #include "common/raw_sink.h"
 #include "common/thread_safety.h"
 #include "common/timer.h"
+#include "obs/sampler.h"
 
 namespace flashr::obs {
 
@@ -268,6 +269,9 @@ void set_thread_name(const char* name) {
     if (t_ring.ring) t_ring.ring->name = name;
     if (t_flight != nullptr) flight_set_name(*t_flight, name);
   }
+  // Every named engine thread is also a sampler track; the sampler copies
+  // the name and records this thread's stack bounds for its stack walk.
+  sampler_thread_attach(name);
 }
 
 std::string trace_json(trace_summary* summary) {

@@ -368,7 +368,7 @@ TEST(StatsServer, ServesOverRealSocket) {
   EXPECT_NE(health.find("200 OK"), std::string::npos);
   EXPECT_NE(health.find("\"ok\": true"), std::string::npos);
 
-  // Query strings are stripped by the request parser.
+  // route() splits the query off the path; /metrics ignores whatever is left.
   const std::string metrics = http_get(port, "/metrics?ignored=1");
   EXPECT_NE(metrics.find("200 OK"), std::string::npos);
   EXPECT_NE(metrics.find("# TYPE "), std::string::npos);

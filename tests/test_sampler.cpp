@@ -1,0 +1,517 @@
+// Sampling-profiler tests (src/obs/sampler.*, prof_store.*, the new stats
+// server routes and the native Prometheus histogram export): zero-cost-off
+// gating, folded-stack shape, wait-state attribution, the explain_analyze
+// sampled-self-time join (coverage of measured kernel time on one thread),
+// flashr-prof-v1 store round trip with traversal rejection, and concurrent
+// live-socket scrapes of /debug/pprof/profile while passes run (TSan gate).
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/config.h"
+#include "common/timer.h"
+#include "core/dense_matrix.h"
+#include "core/exec.h"
+#include "obs/metrics.h"
+#include "obs/prof_store.h"
+#include "obs/profile.h"
+#include "obs/sampler.h"
+#include "obs/stats_server.h"
+
+namespace flashr {
+namespace {
+
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#define FLASHR_TEST_SANITIZED 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#define FLASHR_TEST_SANITIZED 1
+#endif
+#endif
+
+options sampler_options() {
+  options o;
+  o.em_dir = "/tmp/flashr_test_sampler";
+  o.num_threads = 2;
+  o.io_part_rows = 1024;
+  o.pcache_bytes = 4096;
+  o.small_nrow_threshold = 16;
+  return o;
+}
+
+/// Leave the process exactly as a fresh test expects it: sampler stopped,
+/// aggregates dropped, store disarmed.
+void sampler_reset() {
+  obs::sampler_stop();
+  obs::sampler_clear();
+  obs::prof_store_disarm();
+}
+
+/// Burn CPU until `ms` of wall time passed (keeps the thread on-CPU so
+/// wall-clock samples land in state cpu).
+void spin_ms(std::uint64_t ms) {
+  const std::uint64_t t0 = now_ns();
+  volatile double sink = 1.0;
+  while (now_ns() - t0 < ms * 1000000ull) {
+    for (int i = 0; i < 4096; ++i) sink = sink * 1.0000001 + 1e-9;
+  }
+}
+
+/// Split folded text into non-empty lines.
+std::vector<std::string> folded_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    if (eol > pos) lines.push_back(text.substr(pos, eol - pos));
+    pos = eol + 1;
+  }
+  return lines;
+}
+
+/// "track;state;frames... count" — positive trailing count, >= 2 frames.
+void expect_well_formed(const std::string& line) {
+  const std::size_t sp = line.rfind(' ');
+  ASSERT_NE(sp, std::string::npos) << line;
+  ASSERT_LT(sp + 1, line.size()) << line;
+  for (std::size_t i = sp + 1; i < line.size(); ++i)
+    EXPECT_TRUE(std::isdigit(static_cast<unsigned char>(line[i]))) << line;
+  EXPECT_GT(std::strtoull(line.c_str() + sp + 1, nullptr, 10), 0u) << line;
+  const std::string head = line.substr(0, sp);
+  EXPECT_NE(head.find(';'), std::string::npos)
+      << "no track;state separator: " << line;
+}
+
+std::uint64_t find_u64(const std::string& json, const std::string& key,
+                       std::size_t from = 0) {
+  const std::string needle = "\"" + key + "\": ";
+  const std::size_t pos = json.find(needle, from);
+  if (pos == std::string::npos) return 0;
+  return std::strtoull(json.c_str() + pos + needle.size(), nullptr, 10);
+}
+
+std::uint64_t sum_u64(const std::string& json, const std::string& key,
+                      std::size_t from) {
+  const std::string needle = "\"" + key + "\": ";
+  std::uint64_t total = 0;
+  for (std::size_t pos = json.find(needle, from); pos != std::string::npos;
+       pos = json.find(needle, pos + 1))
+    total += std::strtoull(json.c_str() + pos + needle.size(), nullptr, 10);
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// Core sampler
+// ---------------------------------------------------------------------------
+
+TEST(Sampler, OffByDefaultCostsNothing) {
+  sampler_reset();
+  EXPECT_FALSE(obs::sampler_on());
+  // Scopes are inert while off: no context mutation, no samples.
+  {
+    obs::sample_node_scope node(7);
+    obs::sample_pass_scope pass(obs::sampler_new_pass());
+    obs::sample_wait_scope wait(obs::sample_state::io_wait);
+    spin_ms(5);
+  }
+  const obs::sampler_counters c = obs::sampler_stats();
+  EXPECT_EQ(c.hz, 0u);
+  EXPECT_EQ(c.samples, 0u);
+  EXPECT_TRUE(obs::folded_stacks().empty());
+  EXPECT_TRUE(obs::sampler_pass_samples(0, nullptr).empty());
+}
+
+TEST(Sampler, CollectsWellFormedFoldedStacks) {
+  sampler_reset();
+  obs::sampler_start(997);
+  ASSERT_TRUE(obs::sampler_on());
+  spin_ms(300);
+  obs::sampler_stop();
+  EXPECT_FALSE(obs::sampler_on());
+
+  const obs::sampler_counters c = obs::sampler_stats();
+  EXPECT_GT(c.samples, 0u) << "no samples after 300ms at 997 Hz";
+
+  const std::string folded = obs::folded_stacks();
+  const std::vector<std::string> lines = folded_lines(folded);
+  ASSERT_FALSE(lines.empty());
+  bool saw_main_cpu = false;
+  for (const std::string& line : lines) {
+    expect_well_formed(line);
+    if (line.rfind("main;cpu", 0) == 0) saw_main_cpu = true;
+  }
+  EXPECT_TRUE(saw_main_cpu)
+      << "main thread spun on-CPU but no main;cpu stack:\n" << folded;
+  sampler_reset();
+}
+
+TEST(Sampler, PassAndNodeAttribution) {
+  sampler_reset();
+  obs::sampler_start(997);
+  const std::uint32_t pass = obs::sampler_new_pass();
+  ASSERT_NE(pass, 0u);
+  {
+    obs::sample_pass_scope ps(pass);
+    obs::sample_node_scope ns(5);
+    spin_ms(250);
+  }
+  obs::sampler_stop();
+
+  std::uint64_t period = 0;
+  const std::vector<obs::node_samples> agg =
+      obs::sampler_pass_samples(pass, &period);
+  EXPECT_GT(period, 0u);
+  std::uint64_t node5_cpu = 0;
+  for (const obs::node_samples& e : agg) {
+    EXPECT_EQ(e.pass, pass);
+    if (e.node == 5) node5_cpu += e.cpu;
+  }
+  EXPECT_GT(node5_cpu, 0u) << "no cpu samples attributed to node 5";
+  // A different pass token matches nothing.
+  EXPECT_TRUE(obs::sampler_pass_samples(pass + 1, nullptr).empty());
+  sampler_reset();
+}
+
+TEST(Sampler, WaitScopeSplitsOffCpu) {
+  sampler_reset();
+  obs::sampler_start(997);
+  const std::uint32_t pass = obs::sampler_new_pass();
+  {
+    obs::sample_pass_scope ps(pass);
+    obs::sample_wait_scope ws(obs::sample_state::io_wait);
+    // Wall-clock timers keep firing while the thread sleeps — that is the
+    // point: blocked time is sampled and attributed off-CPU.
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  }
+  obs::sampler_stop();
+
+  std::uint64_t io_wait = 0;
+  for (const obs::node_samples& e : obs::sampler_pass_samples(pass, nullptr))
+    io_wait += e.io_wait;
+  EXPECT_GT(io_wait, 0u) << "sleep under sample_wait_scope took no io_wait "
+                            "samples";
+  const std::string folded = obs::folded_stacks();
+  EXPECT_NE(folded.find(";io_wait;"), std::string::npos) << folded;
+  sampler_reset();
+}
+
+TEST(Sampler, WriteFoldedRoundTrip) {
+  sampler_reset();
+  obs::sampler_start(997);
+  spin_ms(150);
+  obs::sampler_stop();
+
+  const std::string path = "/tmp/flashr_test_sampler_folded.txt";
+  const obs::folded_summary s = obs::write_folded(path);
+  EXPECT_GT(s.lines, 0u);
+  EXPECT_GT(s.samples, 0u);
+  FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[4096];
+  std::string text;
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  EXPECT_EQ(folded_lines(text).size(), s.lines);
+  std::remove(path.c_str());
+  sampler_reset();
+}
+
+// Acceptance gate: with one worker thread, per-node sampled self-time
+// (cpu samples x period) must cover the measured kernel+copy time. Both
+// are wall-clock measures of the same scopes, so the ratio is ~1 up to
+// sampling noise.
+TEST(Sampler, ExplainAnalyzeSampledSelfTimeCoverage) {
+  sampler_reset();
+  options o = sampler_options();
+  o.num_threads = 1;
+  o.obs_sample_hz = 1997;
+  init(o);
+  obs::profile_clear();
+
+  dense_matrix X = dense_matrix::runif(500000, 4, 0.1, 1.0, 3);
+  dense_matrix v = log(X + 1.0);
+  v = exp(v * 0.5);
+  v = sigmoid(v);
+  v = sqrt(v + 0.25);
+  v = log1p(v * v);
+  const std::string json = sum(v).explain_analyze();
+
+  init(sampler_options());  // hz back to 0 — stops the sampler
+  const std::size_t totals = json.find("\"totals\":");
+  ASSERT_NE(totals, std::string::npos);
+  const std::uint64_t kernel = sum_u64(json, "kernel_ns", totals) +
+                               sum_u64(json, "copy_ns", totals);
+  const std::uint64_t sampled = sum_u64(json, "sampled_ns", totals);
+  const std::uint64_t samples = sum_u64(json, "samples", totals);
+  ASSERT_GT(kernel, 0u);
+  EXPECT_GT(find_u64(json, "sample_period_ns"), 0u)
+      << "pass JSON lacks the sampler join fields";
+#ifdef FLASHR_TEST_SANITIZED
+  // Sanitizer runtimes intercept signal delivery and skew both measures;
+  // presence is enough there.
+  EXPECT_GT(samples, 0u);
+#else
+  ASSERT_GT(samples, 20u) << json;
+  const double cover =
+      static_cast<double>(sampled) / static_cast<double>(kernel);
+  EXPECT_GE(cover, 0.80) << "sampled " << sampled << " ns vs kernel "
+                         << kernel << " ns\n" << json;
+  EXPECT_LE(cover, 1.60) << "sampled self-time double-counted?\n" << json;
+#endif
+  sampler_reset();
+}
+
+TEST(Sampler, RestartAndClear) {
+  sampler_reset();
+  obs::sampler_start(499);
+  EXPECT_EQ(obs::sampler_stats().hz, 499u);
+  obs::sampler_start(997);  // re-arm at a new rate
+  EXPECT_EQ(obs::sampler_stats().hz, 997u);
+  spin_ms(100);
+  obs::sampler_stop();
+  EXPECT_GT(obs::sampler_stats().samples, 0u);
+  obs::sampler_clear();
+  EXPECT_EQ(obs::sampler_stats().samples, 0u);
+  EXPECT_TRUE(obs::folded_stacks().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Profile-history store (flashr-prof-v1)
+// ---------------------------------------------------------------------------
+
+TEST(ProfStore, RecordRoundTripAndPrune) {
+  sampler_reset();
+  const std::string dir = "/tmp/flashr_test_prof_store";
+  std::system(("rm -rf " + dir).c_str());
+
+  obs::sampler_start(997);
+  {
+    obs::sample_pass_scope ps(obs::sampler_new_pass());
+    obs::sample_node_scope ns(3);
+    spin_ms(150);
+  }
+  obs::sampler_stop();
+
+  obs::prof_store_arm(dir, /*keep=*/3);
+  ASSERT_TRUE(obs::prof_store_armed());
+  std::string last;
+  for (int i = 0; i < 5; ++i) {
+    last = obs::prof_store_append("test");
+    ASSERT_FALSE(last.empty());
+  }
+  EXPECT_EQ(last.rfind("prof-", 0), 0u) << last;
+
+  // Retention: only the newest `keep` records remain listed.
+  const std::string list = obs::prof_store_list_json();
+  std::size_t count = 0;
+  for (std::size_t pos = list.find("\"name\""); pos != std::string::npos;
+       pos = list.find("\"name\"", pos + 1))
+    ++count;
+  EXPECT_EQ(count, 3u) << list;
+  EXPECT_NE(list.find(last), std::string::npos) << list;
+
+  std::string body;
+  ASSERT_TRUE(obs::prof_store_fetch(last, &body));
+  EXPECT_NE(body.find("\"schema\":\"flashr-prof-v1\""), std::string::npos);
+  EXPECT_NE(body.find("\"label\":\"test\""), std::string::npos);
+  EXPECT_NE(body.find("\"nodes\":"), std::string::npos);
+  EXPECT_NE(body.find("\"stacks\":"), std::string::npos);
+  EXPECT_NE(body.find("\"node\":3"), std::string::npos)
+      << "node aggregate lost in the record:\n" << body;
+
+  // Traversal and shape rejection.
+  EXPECT_FALSE(obs::prof_store_fetch("../" + last, &body));
+  EXPECT_FALSE(obs::prof_store_fetch("..", &body));
+  EXPECT_FALSE(obs::prof_store_fetch("/etc/passwd", &body));
+  EXPECT_FALSE(obs::prof_store_fetch("not-a-record.json", &body));
+  EXPECT_FALSE(obs::prof_store_fetch("prof-but-not-json.txt", &body));
+  EXPECT_FALSE(obs::prof_store_fetch("", &body));
+
+  obs::prof_store_disarm();
+  EXPECT_FALSE(obs::prof_store_armed());
+  EXPECT_EQ(obs::prof_store_append("after-disarm"), "");
+  std::system(("rm -rf " + dir).c_str());
+  sampler_reset();
+}
+
+// ---------------------------------------------------------------------------
+// Stats server routes
+// ---------------------------------------------------------------------------
+
+TEST(StatsServerSampler, ProfileEndpointRouting) {
+  sampler_reset();
+  // seconds=0: non-blocking snapshot, valid with the sampler off.
+  const std::string prof =
+      obs::stats_server::http_response("/debug/pprof/profile?seconds=0");
+  EXPECT_EQ(prof.rfind("HTTP/1.0 200 OK", 0), 0u) << prof;
+  EXPECT_NE(prof.find("Content-Type: text/plain"), std::string::npos);
+
+  // A malformed window is rejected up front — it must never fall back to
+  // the blocking default and stall the serial accept loop.
+  for (const char* q : {"seconds=x", "seconds=-1", "frobnicate=1"}) {
+    const std::string bad = obs::stats_server::http_response(
+        std::string("/debug/pprof/profile?") + q);
+    EXPECT_EQ(bad.rfind("HTTP/1.0 400 Bad Request", 0), 0u) << q << "\n" << bad;
+  }
+
+  const std::string list = obs::stats_server::http_response("/debug/profiles");
+  EXPECT_EQ(list.rfind("HTTP/1.0 200 OK", 0), 0u);
+  EXPECT_NE(list.find("Content-Type: application/json"), std::string::npos);
+  EXPECT_NE(list.find("\"records\""), std::string::npos) << list;
+
+  // Fetch: missing records and traversal attempts are both plain 404s.
+  for (const char* path : {"/debug/profiles/prof-00000000000000000000.json",
+                           "/debug/profiles/../../etc/passwd",
+                           "/debug/profiles/..",
+                           "/debug/profiles/not-a-record.json"}) {
+    const std::string r = obs::stats_server::http_response(path);
+    EXPECT_EQ(r.rfind("HTTP/1.0 404 Not Found", 0), 0u) << path << "\n" << r;
+  }
+}
+
+TEST(StatsServerSampler, ProfileEndpointCollectsWindow) {
+  sampler_reset();
+  // Sampler off: the endpoint starts it for the window, samples this
+  // process, and stops it again.
+  std::atomic<bool> stop{false};
+  std::thread burner([&stop] {
+    while (!stop.load(std::memory_order_relaxed)) spin_ms(10);
+  });
+  const std::string body = obs::folded_profile_window(1);
+  stop.store(true);
+  burner.join();
+  EXPECT_FALSE(obs::sampler_on()) << "window did not stop the sampler";
+  const std::vector<std::string> lines = folded_lines(body);
+  ASSERT_FALSE(lines.empty()) << "1s window over a busy process was empty";
+  for (const std::string& line : lines) expect_well_formed(line);
+  sampler_reset();
+}
+
+std::string http_get(int port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string req = "GET " + path + " HTTP/1.0\r\nHost: t\r\n\r\n";
+  (void)::send(fd, req.data(), req.size(), 0);
+  std::string out;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0)
+    out.append(buf, static_cast<std::size_t>(n));
+  ::close(fd);
+  return out;
+}
+
+// TSan gate: scraping the sampler endpoints while sampled materializations
+// run must be race-free.
+TEST(StatsServerSampler, ConcurrentScrapeWhileSampling) {
+  sampler_reset();
+  options o = sampler_options();
+  o.obs_profile = true;
+  o.obs_metrics = true;
+  o.obs_sample_hz = 499;
+  init(o);
+  obs::profile_clear();
+
+  auto& s = obs::stats_server::global();
+  ASSERT_TRUE(s.start(0));
+  const int port = s.port();
+  ASSERT_GT(port, 0);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> scrapes{0};
+  std::thread scraper([&stop, &scrapes, port] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      // seconds=0 keeps the scrape non-blocking; the serial accept loop
+      // would otherwise stall every other route behind the window.
+      if (!http_get(port, "/debug/pprof/profile?seconds=0").empty())
+        ++scrapes;
+      (void)http_get(port, "/debug/profiles");
+      (void)http_get(port, "/metrics");
+    }
+  });
+
+  for (int i = 0; i < 3; ++i) {
+    dense_matrix X = dense_matrix::runif(60000, 4, 0.1, 1.0, 11 + i);
+    (void)sum(exp(X * 0.5)).scalar();
+  }
+
+  stop.store(true);
+  scraper.join();
+  s.stop();
+  EXPECT_GT(scrapes.load(), 0);
+  init(sampler_options());
+  sampler_reset();
+}
+
+// ---------------------------------------------------------------------------
+// Native Prometheus histogram buckets (obs_prom_buckets)
+// ---------------------------------------------------------------------------
+
+TEST(PromBuckets, NativeHistogramExport) {
+  auto& h = obs::metrics_registry::global().get_histogram("samp.bucket_test");
+  h.reset();
+  h.record(0);
+  h.record(1);
+  h.record(2);
+  h.record(3);
+  h.record(100);
+
+  options o = sampler_options();
+  o.obs_prom_buckets = true;
+  init(o);
+  const std::string prom = obs::metrics_registry::global().to_prometheus();
+  init(sampler_options());
+
+  const std::string name = "flashr_samp_bucket_test";
+  EXPECT_NE(prom.find("# TYPE " + name + " histogram"), std::string::npos);
+  EXPECT_NE(prom.find(name + "_bucket{le=\"0\"} 1\n"), std::string::npos);
+  EXPECT_NE(prom.find(name + "_bucket{le=\"1\"} 2\n"), std::string::npos);
+  EXPECT_NE(prom.find(name + "_bucket{le=\"3\"} 4\n"), std::string::npos);
+  EXPECT_NE(prom.find(name + "_bucket{le=\"127\"} 5\n"), std::string::npos);
+  EXPECT_NE(prom.find(name + "_bucket{le=\"+Inf\"} 5\n"), std::string::npos);
+  EXPECT_NE(prom.find(name + "_count 5\n"), std::string::npos);
+  EXPECT_NE(prom.find(name + "_sum 106\n"), std::string::npos);
+  // No quantile series in native mode for this family.
+  EXPECT_EQ(prom.find(name + "{quantile"), std::string::npos);
+
+  // Default stays the summary exposition.
+  const std::string prom2 = obs::metrics_registry::global().to_prometheus();
+  EXPECT_NE(prom2.find("# TYPE " + name + " summary"), std::string::npos);
+  EXPECT_NE(prom2.find(name + "{quantile=\"0.5\"}"), std::string::npos);
+  EXPECT_EQ(prom2.find(name + "_bucket"), std::string::npos);
+}
+
+// The sampler's own health counters are exported for check_prom --require.
+TEST(PromBuckets, SamplerCountersExported) {
+  obs::sampler_register_metrics();
+  const std::string prom = obs::metrics_registry::global().to_prometheus();
+  EXPECT_NE(prom.find("flashr_sampler_samples"), std::string::npos);
+  EXPECT_NE(prom.find("flashr_sampler_drops"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace flashr

@@ -13,7 +13,7 @@ Accepts any mix of:
 Bundle checks:
   1. every required section is present (schema, trigger, time, build,
      config, flight, stacks, passes, governor, io_backend, metrics,
-     log_tail) and the trigger kind is a known incident kind;
+     samples, log_tail) and the trigger kind is a known incident kind;
   2. the filename (when it follows the incident-<ts>-<kind>.json
      convention) agrees with the trigger kind, and the trigger timestamp
      does not postdate the composition timestamp;
@@ -22,7 +22,9 @@ Bundle checks:
      re-pairs them, so an unbalanced track means the re-pairing broke);
   4. per-thread held lock ranks (the stacks section) are strictly
      increasing and every (name, value) pair matches the rank table in
-     DESIGN.md §12.1 — the same table src/common/thread_safety.h declares.
+     DESIGN.md §12.1 — the same table src/common/thread_safety.h declares;
+  5. the sampler section (samples) carries non-negative counters and
+     well-formed folded stack lines (track;state;frames + positive count).
 
 Raw-dump checks: magic, section framing (HDR1 first, known tags, in-bounds
 lengths), END0 termination (unless --allow-truncated), and a decodable
@@ -59,7 +61,7 @@ KNOWN_KINDS = {
 
 BUNDLE_SECTIONS = ("schema", "trigger", "time", "build", "config", "flight",
                    "stacks", "passes", "governor", "io_backend", "metrics",
-                   "log_tail")
+                   "samples", "log_tail")
 
 DUMP_MAGIC = b"FLRCRSH1"
 DUMP_TAGS = {b"HDR1", b"STAT", b"LOGR", b"RANK", b"FRNG", b"STRT", b"METR",
@@ -231,6 +233,30 @@ def validate_bundle(doc, table: dict[str, int], fname: str,
         raise IncidentError("io_backend.snapshot lacks write_budget")
     if not isinstance(doc["metrics"], dict):
         raise IncidentError("metrics is not an object")
+    samp = doc["samples"]
+    if not isinstance(samp, dict):
+        raise IncidentError("samples is not an object")
+    for key in ("hz", "samples", "dropped", "folded"):
+        if key not in samp:
+            raise IncidentError(f"samples section lacks {key!r}")
+    for key in ("hz", "samples", "dropped"):
+        if not isinstance(samp[key], int) or samp[key] < 0:
+            raise IncidentError(
+                f"samples.{key} is not a non-negative integer")
+    folded = samp["folded"]
+    if not isinstance(folded, list) or \
+            not all(isinstance(s, str) for s in folded):
+        raise IncidentError("samples.folded is not a list of strings")
+    for i, line in enumerate(folded):
+        # Folded lines are "track;state;frame;...;frame count".
+        parts = line.rsplit(" ", 1)
+        if len(parts) != 2 or not parts[1].isdigit() or int(parts[1]) < 1:
+            raise IncidentError(
+                f"samples.folded[{i}] lacks a positive trailing count: "
+                f"{line!r}")
+        if len(parts[0].split(";")) < 2:
+            raise IncidentError(
+                f"samples.folded[{i}] lacks track;state frames: {line!r}")
     tail = doc["log_tail"]
     if not isinstance(tail, list) or \
             not all(isinstance(s, str) for s in tail):
